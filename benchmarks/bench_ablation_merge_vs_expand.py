@@ -1,0 +1,100 @@
+"""Ablation — merge-based vs expansion-based token tree construction.
+
+The paper's section 3 introduces both constructions and evaluates their
+comparison in the companion technical report: a pool of boost-tuned SSMs
+(each contributing a sequence, merged per Definition 3.2) against a single
+SSM expanded top-k.  The interesting shape: with comparable token budgets,
+merged multi-SSM trees recover most of the expansion win, and diversity
+across SSMs covers LLM outputs a single SSM misses.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    bench_llm,
+    dataset_prompts,
+    dataset_ssm,
+    run_traces,
+    save_report,
+)
+from repro.cluster.simulator import mean_tokens_per_step
+from repro.engine.tree_spec import SpecInferEngine
+from repro.model.coupled import CoupledSSM
+from repro.reporting.tables import AsciiTable
+from repro.speculate.expansion import ExpansionConfig
+from repro.speculate.speculator import Speculator
+
+DATASET = "Alpaca"
+DEPTH = 6
+
+
+def _expansion_engine(width: int) -> SpecInferEngine:
+    return SpecInferEngine(
+        bench_llm(),
+        Speculator(
+            [dataset_ssm(DATASET)],
+            ExpansionConfig.width_sweep(width, depth=DEPTH, expand_step=0),
+        ),
+    )
+
+
+def _merge_engine(n_ssms: int) -> SpecInferEngine:
+    ssms = [dataset_ssm(DATASET, seed_offset=100 + i) for i in range(n_ssms)]
+    return SpecInferEngine(
+        bench_llm(),
+        Speculator(ssms, ExpansionConfig.sequence(DEPTH)),
+    )
+
+
+def _build_report():
+    prompts = dataset_prompts(DATASET, n=4)
+    table = AsciiTable(
+        ["construction", "tokens/step", "avg tree size"],
+        title=(
+            "Ablation: merge-based (k sequence SSMs) vs expansion-based "
+            "(1 SSM, width k) tree construction"
+        ),
+    )
+    results = {}
+    for label, engine in (
+        ("expansion width=1 (sequence baseline)", _expansion_engine(1)),
+        ("expansion width=3", _expansion_engine(3)),
+        ("merge 3 SSMs", _merge_engine(3)),
+    ):
+        traces = run_traces(engine, prompts)
+        rate = mean_tokens_per_step(traces)
+        size = float(np.mean([
+            s.tree_size for t in traces for s in t.steps
+        ]))
+        results[label] = rate
+        table.add_row(label, f"{rate:.2f}", f"{size:.1f}")
+    return table.render(), results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_merge_vs_expand(benchmark):
+    report, results = benchmark.pedantic(_build_report, rounds=1,
+                                         iterations=1)
+    save_report("ablation_merge_vs_expand", report)
+    baseline = results["expansion width=1 (sequence baseline)"]
+    # Both multi-candidate constructions beat single-sequence speculation.
+    assert results["expansion width=3"] >= baseline
+    assert results["merge 3 SSMs"] >= baseline * 0.95
+
+
+def test_merged_trees_union_ssm_outputs():
+    """Diversity check: the merged tree contains sequences no single SSM
+    proposes alone (when the SSMs disagree)."""
+    llm = bench_llm()
+    ssms = [dataset_ssm(DATASET, seed_offset=200 + i) for i in range(3)]
+    prompt = dataset_prompts(DATASET, n=1)[0]
+    merged_spec = Speculator(ssms, ExpansionConfig.sequence(4))
+    merged_spec.prefill(prompt[:-1])
+    merged = merged_spec.speculate(int(prompt[-1]))
+    solo_sequences = set()
+    for ssm in ssms:
+        solo = Speculator([ssm], ExpansionConfig.sequence(4))
+        solo.prefill(prompt[:-1])
+        solo_sequences |= solo.speculate(int(prompt[-1])).sequences()
+    assert merged.sequences() == solo_sequences

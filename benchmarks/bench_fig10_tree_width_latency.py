@@ -1,0 +1,66 @@
+"""Figure 10 — end-to-end latency vs tree width across batch sizes.
+
+Paper: LLaMA-7B / LLaMA-68M.  At BS=1-2, wider trees keep reducing
+per-token latency (spare GPU resources verify more tokens for free); at
+BS>=4 wide trees start *hurting* because verification compute is no longer
+free, and width 2-3 is optimal.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    dataset_prompts,
+    distributed_simulator,
+    run_traces,
+    save_report,
+    spec_engine,
+)
+from repro.reporting.tables import AsciiTable
+from repro.speculate.expansion import ExpansionConfig
+
+WIDTHS = (1, 2, 3, 4, 5)
+BATCH_SIZES = (1, 2, 4, 8, 16)
+DATASET = "Alpaca"
+
+
+def _build_report():
+    sim = distributed_simulator("llama-7b")
+    traces_by_width = {
+        w: run_traces(
+            spec_engine(
+                DATASET, ExpansionConfig.width_sweep(w, depth=8,
+                                                     expand_step=2)
+            ),
+            dataset_prompts(DATASET),
+        )
+        for w in WIDTHS
+    }
+    table = AsciiTable(
+        ["tree width"] + [f"BS={b}" for b in BATCH_SIZES],
+        title="Figure 10 (llama-7b): per-token latency (ms) vs tree width",
+    )
+    grid = {}
+    for width in WIDTHS:
+        grid[width] = [
+            sim.replay_many(traces_by_width[width],
+                            batch_size=b).per_token_ms
+            for b in BATCH_SIZES
+        ]
+        table.add_row(f"width={width}", *(f"{v:.1f}" for v in grid[width]))
+    return table.render(), grid
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_tree_width_latency(benchmark):
+    report, grid = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    save_report("fig10_tree_width_latency", report)
+    # Paper shape 1: at BS=1 widening the tree does not hurt (more verified
+    # tokens for free in the memory-bound regime).
+    assert grid[5][0] <= grid[1][0] * 1.1
+    # Paper shape 2: at BS=16 the widest tree is no longer the best width —
+    # verification compute eats the gains.
+    best_width_bs16 = min(WIDTHS, key=lambda w: grid[w][-1])
+    assert best_width_bs16 < 5 or grid[5][-1] > grid[best_width_bs16][0]
+    # Paper shape 3: latency grows with batch size for every width.
+    for width in WIDTHS:
+        assert grid[width][-1] > grid[width][0]

@@ -1,0 +1,84 @@
+"""Planning sweeps — the deployment questions behind the paper's choices.
+
+Three what-if curves from the cost model:
+
+* tensor-parallel degree vs per-token latency (why LLaMA-7B runs on 1 GPU
+  while OPT-30B takes the whole node),
+* speculation depth vs per-token latency at Table-1-like alpha (why the
+  paper speculates 8 tokens),
+* SSM size vs per-token latency (why the SSMs are 100-1000x smaller).
+"""
+
+import pytest
+
+from benchmarks.harness import save_report
+from repro.cluster.hardware import single_node_cluster
+from repro.cluster.models import paper_model
+from repro.cluster.sweep import (
+    best_point,
+    sweep_speculation_depth,
+    sweep_ssm_size,
+    sweep_tensor_parallel,
+)
+from repro.reporting.tables import AsciiTable
+
+
+def _build_report():
+    cluster = single_node_cluster()
+    sections = []
+
+    tp_table = AsciiTable(
+        ["model"] + [f"tp={t}" for t in (1, 2, 4)],
+        title="Sweep: incremental per-token latency (ms) vs TP degree",
+    )
+    for name in ("llama-7b", "opt-13b", "opt-30b"):
+        points = {int(p.x): p.latency * 1e3
+                  for p in sweep_tensor_parallel(paper_model(name), cluster)}
+        tp_table.add_row(
+            name,
+            *(f"{points[t]:.1f}" if t in points else "-" for t in (1, 2, 4)),
+        )
+    sections.append(tp_table.render())
+
+    depth_points = sweep_speculation_depth(
+        paper_model("llama-7b"), paper_model("llama-68m"), cluster,
+        alpha=0.7,
+    )
+    depth_best = best_point(depth_points)
+    depth_table = AsciiTable(
+        ["depth", "per-token ms"],
+        title="Sweep: speculation depth (alpha=0.7, llama-7b + llama-68m)",
+    )
+    for point in depth_points[:12]:
+        marker = " <- best" if point.x == depth_best.x else ""
+        depth_table.add_row(int(point.x),
+                            f"{point.latency * 1e3:.2f}{marker}")
+    sections.append(depth_table.render())
+
+    size_points = sweep_ssm_size(
+        paper_model("llama-7b"), cluster,
+        {0.01: 0.55, 0.05: 0.7, 0.15: 0.8, 0.5: 0.9},
+    )
+    size_best = best_point(size_points)
+    size_table = AsciiTable(
+        ["ssm scale", "assumed alpha", "per-token ms"],
+        title="Sweep: SSM size vs latency (llama-7b verifier)",
+    )
+    for point in size_points:
+        alpha = point.label.split("alpha=")[1].rstrip(")")
+        marker = " <- best" if point.x == size_best.x else ""
+        size_table.add_row(point.x, alpha,
+                           f"{point.latency * 1e3:.2f}{marker}")
+    sections.append(size_table.render())
+    return "\n\n".join(sections), depth_best, size_best
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_planning_sweeps(benchmark):
+    report, depth_best, size_best = benchmark.pedantic(
+        _build_report, rounds=1, iterations=1
+    )
+    save_report("sweep_planning", report)
+    # The paper's choices fall out of the model: depth near 8, tiny SSM.
+    assert 4 <= depth_best.x <= 14
+    assert size_best.x <= 0.15

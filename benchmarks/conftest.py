@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import os
+
+# Make `benchmarks.harness` importable when pytest is run from the repo root.
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Dynamic tree expansion + a genuinely trained model pair.
+
+Combines two extensions of the base reproduction:
+
+1. a model-zoo pair — a toy LLM *trained* on a corpus and an SSM
+   *distilled* from it (the honest version of the paper's
+   pretrained-on-the-same-data alignment), and
+2. the dynamic (best-first) tree expansion policy the paper leaves as
+   future work, compared against the paper's static configuration at a
+   matched speculation budget.
+
+Run:  python examples/adaptive_speculation.py   (trains once, ~1 minute;
+      cached under examples/.zoo_cache for subsequent runs)
+"""
+
+import os
+
+from repro import (
+    AdaptiveConfig,
+    ExpansionConfig,
+    GenerationConfig,
+    IncrementalEngine,
+    SpecInferEngine,
+    Speculator,
+)
+from repro.model.zoo import ModelZoo, ZooSpec
+from repro.tree.render import render_tree, tree_stats_line
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".zoo_cache")
+
+
+def main() -> None:
+    print("building trained LLM + distilled SSM (cached after first run)...")
+    zoo = ModelZoo(cache_dir=CACHE_DIR)
+    spec = ZooSpec()
+    llm, ssm = zoo.trained_pair(spec)
+    corpus = zoo.corpus(spec)
+    prompt = list(corpus.sample(10))
+    config = GenerationConfig(max_new_tokens=24, stop_on_eos=False)
+
+    reference = IncrementalEngine(llm).generate(prompt, config)
+
+    static = SpecInferEngine(
+        llm, Speculator([ssm], ExpansionConfig.paper_default())
+    ).generate(prompt, config)
+
+    adaptive_speculator = Speculator(
+        [ssm],
+        adaptive=AdaptiveConfig(max_tokens=12, max_depth=8, max_width=4,
+                                coverage=0.85, min_path_prob=0.01),
+    )
+    adaptive = SpecInferEngine(llm, adaptive_speculator).generate(
+        prompt, config
+    )
+
+    assert reference.tokens == static.tokens == adaptive.tokens
+
+    print("\none adaptively-expanded token tree (next step's speculation):")
+    tree = adaptive_speculator.speculate(int(reference.tokens[-1]))
+    print(tree_stats_line(tree))
+    print(render_tree(tree))
+
+    print(f"\n{'engine':<30} {'LLM steps':>9} {'tokens/step':>12} "
+          f"{'avg tree size':>14}")
+    for name, result in (
+        ("incremental", reference),
+        ("static <1,1,3,1,1,1,1,1>", static),
+        ("adaptive (budget 12)", adaptive),
+    ):
+        sizes = [s.tree_size for s in result.steps if s.tree_size]
+        mean_size = sum(sizes) / len(sizes) if sizes else 0.0
+        print(f"{name:<30} {result.num_llm_steps:>9} "
+              f"{result.mean_tokens_per_step:>12.2f} {mean_size:>14.1f}")
+    print("\nall three outputs identical (lossless); the adaptive policy "
+          "matches the static tree with a smaller token budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Distributed serving: LLaMA-65B across two nodes, Figure-7 style.
+
+Shows the full serving stack for the paper's largest configuration:
+tensor parallelism within each 4-GPU node, pipeline parallelism across the
+two nodes, SSMs replicated data-parallel — with SpecInfer's tree
+verification amortizing the expensive multi-node decoding steps.
+
+Run:  python examples/distributed_serving.py
+"""
+
+import numpy as np
+
+from repro import (
+    CoupledSSM,
+    ExpansionConfig,
+    GenerationConfig,
+    IncrementalEngine,
+    ModelConfig,
+    SpecInferEngine,
+    Speculator,
+    TransformerLM,
+)
+from repro.cluster.cost_model import LatencyModel
+from repro.cluster.hardware import single_node_cluster, two_node_cluster
+from repro.cluster.models import paper_model
+from repro.cluster.parallel import ParallelPlan
+from repro.cluster.simulator import ServingSimulator
+
+
+def main() -> None:
+    cluster = two_node_cluster()
+    llama65b = paper_model("llama-65b")
+
+    # Placement: the auto-planner reproduces the paper's TP=4 x PP=2.
+    plan = ParallelPlan.for_model(llama65b, cluster)
+    print(f"cluster: {cluster.num_nodes} nodes x "
+          f"{cluster.node.gpus_per_node} {cluster.gpu.name} GPUs")
+    print(f"placement for {llama65b.name}: tensor-parallel="
+          f"{plan.tensor_parallel}, pipeline-stages={plan.pipeline_stages} "
+          f"({plan.weight_bytes_per_gpu(llama65b) / 1e9:.1f} GB weights/GPU)\n")
+
+    # Algorithm layer at toy scale.
+    llm = TransformerLM(
+        ModelConfig(vocab_size=96, d_model=48, n_layers=3, n_heads=4,
+                    max_seq_len=160, name="sub-llm"),
+        seed=7,
+    )
+    ssm = CoupledSSM(llm, alignment=0.84, seed=3, noise_scale=2.0)
+    rng = np.random.default_rng(2)
+    prompts = [list(rng.integers(1, 96, size=10)) for _ in range(3)]
+    config = GenerationConfig(max_new_tokens=24, stop_on_eos=False)
+    inc_traces = [IncrementalEngine(llm).generate(p, config)
+                  for p in prompts]
+    engine = SpecInferEngine(
+        llm, Speculator([ssm], ExpansionConfig.paper_default())
+    )
+    spec_traces = [engine.generate(p, config) for p in prompts]
+
+    # Hardware layer: replay at LLaMA-65B scale.
+    simulator = ServingSimulator(
+        LatencyModel(llama65b, plan, cluster),
+        LatencyModel(paper_model("llama-68m"), ParallelPlan(),
+                     single_node_cluster()),
+    )
+    print(f"{'batch size':>10} {'incremental':>12} {'SpecInfer':>10} "
+          f"{'speedup':>8}")
+    for batch_size in (1, 2, 4, 8, 16):
+        inc = simulator.replay_many(inc_traces, batch_size=batch_size)
+        spec = simulator.replay_many(spec_traces, batch_size=batch_size)
+        print(f"{batch_size:>10} {inc.per_token_ms:>10.1f}ms "
+              f"{spec.per_token_ms:>8.1f}ms "
+              f"{inc.per_token_ms / spec.per_token_ms:>7.2f}x")
+    print("\npaper Figure 7 (LLaMA-65B, 2 nodes): 2.4-2.8x at small batch, "
+          "narrowing as the batch grows")
+
+
+if __name__ == "__main__":
+    main()

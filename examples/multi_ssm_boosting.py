@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Merge-based speculation with a boost-tuned SSM pool (paper section 3).
+
+End-to-end demonstration of the learning-based speculator's training path:
+
+1. train a teacher LLM on a synthetic corpus (genuine NumPy backprop),
+2. boost-tune a pool of smaller student SSMs against it — each SSM is
+   fine-tuned, the prompts it now covers are filtered out, and the next
+   SSM specializes on the remainder,
+3. serve with merge-based speculation: each SSM speculates a sequence,
+   the sequences merge into one token tree (Definition 3.2), and the tree
+   verifies in a single LLM pass.
+
+Run:  python examples/multi_ssm_boosting.py   (takes ~1 minute: it trains)
+"""
+
+import numpy as np
+
+from repro import (
+    ExpansionConfig,
+    GenerationConfig,
+    IncrementalEngine,
+    ModelConfig,
+    SpecInferEngine,
+    Speculator,
+)
+from repro.model.trainer import Trainer, TrainingConfig
+from repro.model.transformer import TransformerLM
+from repro.speculate.boost import BoostTuner
+from repro.workloads.corpus import MarkovCorpus
+
+
+def main() -> None:
+    vocab = 48
+    corpus = MarkovCorpus(vocab_size=vocab, branching=3, exponent=0.8,
+                          seed=0)
+
+    # 1. Teacher LLM.
+    teacher = TransformerLM(
+        ModelConfig(vocab_size=vocab, d_model=32, n_layers=2, n_heads=4,
+                    max_seq_len=96, name="teacher"),
+        seed=0,
+    )
+    print("training teacher LLM on the corpus ...")
+    Trainer(teacher, TrainingConfig(max_steps=250,
+                                    learning_rate=3e-3)).train_lm(
+        corpus.sample_many(32, 32)
+    )
+
+    # 2. Boost-tune a pool of students.
+    students = [
+        TransformerLM(
+            ModelConfig(vocab_size=vocab, d_model=16, n_layers=1, n_heads=2,
+                        max_seq_len=96, name=f"student-{i}"),
+            seed=10 + i,
+        )
+        for i in range(2)
+    ]
+    tuner = BoostTuner(
+        teacher,
+        continuation_len=3,
+        match_len=1,
+        training=TrainingConfig(max_steps=120, learning_rate=3e-3),
+    )
+    prompts = corpus.sample_many(16, 12)
+    print("boost-tuning the SSM pool ...")
+    report = tuner.tune(students, prompts)
+    print(f"per-SSM newly covered prompts: {report.per_ssm_covered}")
+    print(f"aggregate pool coverage: {report.coverage:.0%}\n")
+
+    # 3. Merge-based serving.
+    prompt = list(corpus.sample(10))
+    config = GenerationConfig(max_new_tokens=24, stop_on_eos=False)
+    incremental = IncrementalEngine(teacher).generate(prompt, config)
+    merged = SpecInferEngine(
+        teacher,
+        Speculator(students, ExpansionConfig.sequence(6)),
+    ).generate(prompt, config)
+
+    assert merged.tokens == incremental.tokens
+    print(f"{'engine':<24} {'LLM steps':>9} {'tokens/step':>12}")
+    print(f"{'incremental':<24} {incremental.num_llm_steps:>9} "
+          f"{incremental.mean_tokens_per_step:>12.2f}")
+    print(f"{'merge-based (2 SSMs)':<24} {merged.num_llm_steps:>9} "
+          f"{merged.mean_tokens_per_step:>12.2f}")
+    print("\noutputs identical; the boost-tuned pool cut LLM steps by "
+          f"{incremental.num_llm_steps / merged.num_llm_steps:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Offloading-based inference: serving a model bigger than the GPU.
+
+Reproduces the paper's section 6.3 scenario: OPT-30B weights live in CPU
+DRAM and stream over PCIe to a single 24GB A10 every decoding step, so the
+step cost is the weight stream — independent of how many tokens the step
+scores.  SpecInfer's token tree verification turns each stream into several
+committed tokens; FlexGen-style incremental decoding gets one.
+
+The acceptance statistics come from a real run of the algorithm on the toy
+substrate; the OPT-30B/A10 timing comes from the offload cost model.
+
+Run:  python examples/offloading_inference.py
+"""
+
+import numpy as np
+
+from repro import (
+    CoupledSSM,
+    ExpansionConfig,
+    GenerationConfig,
+    IncrementalEngine,
+    ModelConfig,
+    SpecInferEngine,
+    Speculator,
+    TransformerLM,
+)
+from repro.cluster.cost_model import LatencyModel
+from repro.cluster.hardware import AWS_G5_NODE, single_node_cluster
+from repro.cluster.models import paper_model
+from repro.cluster.offload import OffloadLatencyModel, OffloadSpec
+from repro.cluster.parallel import ParallelPlan
+from repro.cluster.simulator import ServingSimulator
+
+
+def main() -> None:
+    llm = TransformerLM(
+        ModelConfig(vocab_size=96, d_model=48, n_layers=3, n_heads=4,
+                    max_seq_len=160, name="sub-llm"),
+        seed=7,
+    )
+    ssm = CoupledSSM(llm, alignment=0.88, seed=3, noise_scale=2.0)
+    prompt = list(np.random.default_rng(1).integers(1, 96, size=10))
+    config = GenerationConfig(max_new_tokens=24, stop_on_eos=False)
+
+    # Algorithm layer: measure how many tokens each step commits.
+    flexgen_trace = IncrementalEngine(llm).generate(prompt, config)
+    spec_trace = SpecInferEngine(
+        llm, Speculator([ssm], ExpansionConfig.paper_default())
+    ).generate(prompt, config)
+
+    # Hardware layer: OPT-30B offloaded onto one A10.
+    opt30b = paper_model("opt-30b")
+    offload = OffloadLatencyModel(opt30b, OffloadSpec(AWS_G5_NODE))
+    ssm_latency = LatencyModel(paper_model("opt-125m"), ParallelPlan(),
+                               single_node_cluster())
+    simulator = ServingSimulator(offload, ssm_latency)
+
+    weights_gb = opt30b.num_parameters() * 2 / 1e9
+    print(f"model: {opt30b.name} ({weights_gb:.0f} GB FP16 weights, "
+          f"A10 has 24 GB) -> offloading required")
+    print(f"weight stream per decoding step: "
+          f"{offload.weight_stream_time():.2f} s\n")
+
+    flexgen = simulator.replay(flexgen_trace)
+    specinfer = simulator.replay(spec_trace)
+    print(f"{'system':<12} {'LLM steps':>9} {'tokens':>7} "
+          f"{'per-token latency':>18}")
+    print(f"{'FlexGen':<12} {flexgen_trace.num_llm_steps:>9} "
+          f"{flexgen.tokens:>7} {flexgen.per_token_seconds:>16.2f} s")
+    print(f"{'SpecInfer':<12} {spec_trace.num_llm_steps:>9} "
+          f"{specinfer.tokens:>7} {specinfer.per_token_seconds:>16.2f} s")
+    print(f"\nspeedup: {flexgen.per_token_seconds / specinfer.per_token_seconds:.1f}x "
+          f"(paper reports 2.6-3.5x for OPT-30B on this hardware)")
+
+
+if __name__ == "__main__":
+    main()

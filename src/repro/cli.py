@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — run the three engines on one prompt and compare LLM steps.
+* ``tree`` — speculate a token tree and render it, with the verified path.
+* ``serve`` — simulate continuous-batching serving under Poisson arrivals.
+* ``models`` — list the paper-scale model descriptors and placements.
+* ``latency`` — query the hardware cost model for a decoding-step latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_toy_pair(alignment: float, seed: int):
+    """The demo substrate: toy LLM + coupled SSM."""
+    from repro.model.config import ModelConfig
+    from repro.model.coupled import CoupledSSM
+    from repro.model.transformer import TransformerLM
+
+    llm = TransformerLM(
+        ModelConfig(vocab_size=96, d_model=48, n_layers=3, n_heads=4,
+                    max_seq_len=256, name="cli-llm"),
+        seed=seed,
+    )
+    ssm = CoupledSSM(llm, alignment=alignment, seed=seed + 1,
+                     noise_scale=2.0)
+    return llm, ssm
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Compare incremental / sequence-spec / tree-spec on one prompt."""
+    from repro.engine.generation import GenerationConfig
+    from repro.engine.incremental import IncrementalEngine
+    from repro.engine.sequence_spec import make_sequence_spec_engine
+    from repro.engine.tree_spec import SpecInferEngine
+    from repro.speculate.expansion import ExpansionConfig
+    from repro.speculate.speculator import Speculator
+
+    llm, ssm = _build_toy_pair(args.alignment, args.seed)
+    rng = np.random.default_rng(args.seed)
+    prompt = [int(t) for t in rng.integers(1, 96, size=8)]
+    config = GenerationConfig(max_new_tokens=args.tokens, stop_on_eos=False)
+    incremental = IncrementalEngine(llm).generate(prompt, config)
+    sequence = make_sequence_spec_engine(llm, ssm).generate(prompt, config)
+    tree = SpecInferEngine(
+        llm,
+        Speculator([ssm], ExpansionConfig.paper_default()),
+    ).generate(prompt, config)
+    lossless = incremental.tokens == sequence.tokens == tree.tokens
+    print(f"{'engine':<28} {'LLM steps':>9} {'tokens/step':>12}")
+    for name, result in (
+        ("incremental decoding", incremental),
+        ("sequence-based speculation", sequence),
+        ("tree-based SpecInfer", tree),
+    ):
+        print(f"{name:<28} {result.num_llm_steps:>9} "
+              f"{result.mean_tokens_per_step:>12.2f}")
+    print(f"outputs identical: {lossless}")
+    return 0 if lossless else 1
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    """Speculate one token tree, verify it, render both."""
+    from repro.model.sampling import SamplingConfig
+    from repro.speculate.expansion import ExpansionConfig
+    from repro.speculate.speculator import Speculator
+    from repro.tree.render import render_tree, tree_stats_line
+    from repro.verify.verifier import TokenTreeVerifier
+
+    llm, ssm = _build_toy_pair(args.alignment, args.seed)
+    rng = np.random.default_rng(args.seed)
+    prompt = rng.integers(1, 96, size=8)
+    speculator = Speculator(
+        [ssm], ExpansionConfig(tuple(args.widths))
+    )
+    speculator.prefill(prompt[:-1])
+    tree = speculator.speculate(int(prompt[-1]))
+    cache = llm.new_cache()
+    llm.prefill(prompt[:-1], cache)
+    verifier = TokenTreeVerifier(llm, SamplingConfig(greedy=True))
+    result = verifier.verify_step(tree, cache)
+    print(tree_stats_line(tree))
+    print(render_tree(tree, accepted_nodes=result.accepted_nodes))
+    print(f"accepted {result.num_accepted_speculated} speculated tokens "
+          f"+ bonus {result.bonus_token}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulate continuous-batching serving under Poisson arrivals."""
+    from repro.engine.generation import GenerationConfig
+    from repro.serving.manager import RequestManager
+    from repro.serving.metrics import report_from_manager
+    from repro.serving.session import SpeculativeSession
+    from repro.speculate.expansion import ExpansionConfig
+    from repro.speculate.speculator import Speculator
+    from repro.model.coupled import CoupledSSM
+    from repro.workloads.arrival import PoissonArrivals, drive_manager
+    from repro.workloads.datasets import make_dataset
+
+    llm, _ = _build_toy_pair(args.alignment, args.seed)
+
+    def factory(request):
+        return SpeculativeSession(
+            request, llm,
+            lambda: Speculator(
+                [CoupledSSM(llm, alignment=args.alignment,
+                            seed=args.seed + 1, noise_scale=2.0)],
+                ExpansionConfig.paper_default(),
+            ),
+        )
+
+    manager = RequestManager(factory, max_batch_size=args.batch)
+    dataset = make_dataset(args.dataset, vocab_size=96)
+    arrivals = PoissonArrivals(rate=args.rate, dataset=dataset,
+                               seed=args.seed,
+                               max_prompt_len=16).schedule(args.requests)
+    drive_manager(
+        manager, arrivals,
+        GenerationConfig(max_new_tokens=args.tokens, stop_on_eos=False),
+    )
+    report = report_from_manager(manager)
+    print(f"requests           : {report.num_requests}")
+    print(f"iterations         : {report.total_iterations}")
+    print(f"tokens generated   : {report.total_tokens}")
+    print(f"tokens/iteration   : {report.tokens_per_iteration:.2f}")
+    print(f"mean TTFT (iters)  : {report.mean_ttft:.2f}")
+    print(f"p95 completion     : {report.p95_completion:.2f}")
+    print(f"batch occupancy    : {report.mean_batch_occupancy:.2f}"
+          f" / {args.batch}")
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List paper-scale model descriptors and default placements."""
+    from repro.cluster.hardware import single_node_cluster, two_node_cluster
+    from repro.cluster.models import PAPER_MODELS
+    from repro.cluster.parallel import ParallelPlan
+
+    print(f"{'model':<12} {'params':>9} {'fp16':>9} {'placement'}")
+    for name, config in PAPER_MODELS.items():
+        params = config.num_parameters()
+        placement = "1 GPU"
+        for cluster, label in (
+            (single_node_cluster(), "node"),
+            (two_node_cluster(), "2 nodes"),
+        ):
+            try:
+                plan = ParallelPlan.for_model(config, cluster)
+                placement = (f"tp={plan.tensor_parallel} "
+                             f"pp={plan.pipeline_stages} ({label})")
+                break
+            except ValueError:
+                continue
+        else:
+            placement = "does not fit"
+        print(f"{name:<12} {params / 1e9:>8.2f}B {params * 2 / 1e9:>7.1f}GB "
+              f"{placement}")
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    """Query the cost model for one decoding-step latency."""
+    from repro.cluster.cost_model import LatencyModel
+    from repro.cluster.hardware import single_node_cluster, two_node_cluster
+    from repro.cluster.models import paper_model
+    from repro.cluster.parallel import ParallelPlan
+
+    cluster = two_node_cluster() if args.pp > 1 else single_node_cluster()
+    model = paper_model(args.model)
+    plan = ParallelPlan(tensor_parallel=args.tp, pipeline_stages=args.pp)
+    latency = LatencyModel(model, plan, cluster)
+    scored = args.batch * args.tree_tokens
+    context = args.batch * (args.context + args.tree_tokens)
+    step = latency.step_latency(scored, context)
+    per_token = step / max(args.tokens_per_step, 1e-9)
+    print(f"model {args.model}, tp={args.tp} pp={args.pp}, "
+          f"batch={args.batch}, tree={args.tree_tokens} tokens")
+    print(f"step latency      : {step * 1e3:.2f} ms")
+    print(f"per-token latency : {per_token * 1e3:.2f} ms "
+          f"(at {args.tokens_per_step} tokens/step)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Planning sweep: per-token latency vs speculation depth."""
+    from repro.cluster.hardware import single_node_cluster, two_node_cluster
+    from repro.cluster.models import paper_model
+    from repro.cluster.sweep import best_point, sweep_speculation_depth
+
+    cluster = two_node_cluster() if args.model == "llama-65b" \
+        else single_node_cluster()
+    points = sweep_speculation_depth(
+        paper_model(args.model),
+        paper_model(args.ssm),
+        cluster,
+        alpha=args.alpha,
+        max_depth=args.max_depth,
+    )
+    best = best_point(points)
+    print(f"speculation-depth sweep: {args.model} + {args.ssm}, "
+          f"alpha={args.alpha}")
+    for point in points:
+        bar = "#" * max(1, int(point.latency * 2e3))
+        marker = "  <- best" if point.x == best.x else ""
+        print(f"depth {int(point.x):>2}: {point.latency * 1e3:6.2f} ms "
+              f"{bar}{marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpecInfer reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="compare the three decoding engines")
+    demo.add_argument("--tokens", type=int, default=32)
+    demo.add_argument("--alignment", type=float, default=0.88)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(handler=cmd_demo)
+
+    tree = sub.add_parser("tree", help="speculate and render a token tree")
+    tree.add_argument("--widths", type=int, nargs="+",
+                      default=[1, 1, 3, 1, 1, 1, 1, 1])
+    tree.add_argument("--alignment", type=float, default=0.88)
+    tree.add_argument("--seed", type=int, default=7)
+    tree.set_defaults(handler=cmd_tree)
+
+    serve = sub.add_parser("serve", help="simulate continuous batching")
+    serve.add_argument("--requests", type=int, default=8)
+    serve.add_argument("--rate", type=float, default=0.5)
+    serve.add_argument("--batch", type=int, default=4)
+    serve.add_argument("--tokens", type=int, default=16)
+    serve.add_argument("--dataset", default="Alpaca")
+    serve.add_argument("--alignment", type=float, default=0.88)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.set_defaults(handler=cmd_serve)
+
+    models = sub.add_parser("models", help="list paper model descriptors")
+    models.set_defaults(handler=cmd_models)
+
+    latency = sub.add_parser("latency", help="query the cost model")
+    latency.add_argument("--model", default="llama-7b")
+    latency.add_argument("--tp", type=int, default=1)
+    latency.add_argument("--pp", type=int, default=1)
+    latency.add_argument("--batch", type=int, default=1)
+    latency.add_argument("--tree-tokens", type=int, default=1)
+    latency.add_argument("--context", type=int, default=128)
+    latency.add_argument("--tokens-per-step", type=float, default=1.0)
+    latency.set_defaults(handler=cmd_latency)
+
+    sweep = sub.add_parser("sweep",
+                           help="speculation-depth planning sweep")
+    sweep.add_argument("--model", default="llama-7b")
+    sweep.add_argument("--ssm", default="llama-68m")
+    sweep.add_argument("--alpha", type=float, default=0.7)
+    sweep.add_argument("--max-depth", type=int, default=12)
+    sweep.set_defaults(handler=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

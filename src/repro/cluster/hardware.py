@@ -1,0 +1,136 @@
+"""Hardware specifications for the simulated serving platform.
+
+Numbers come from public datasheets for the paper's testbed (AWS
+g5.12xlarge: 4x NVIDIA A10 24GB per node, PCIe-attached GPUs, 100 Gbps
+inter-node Ethernet).  Efficiency factors derate peaks to sustained rates, a
+standard first-order correction for roofline models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+GBPS = 1e9  # bytes per second
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU's datasheet plus sustained-efficiency derating.
+
+    Attributes:
+        name: Marketing name.
+        mem_bandwidth: Peak device-memory bandwidth, bytes/s.
+        fp16_flops: Peak FP16 tensor throughput, FLOP/s.
+        hbm_bytes: Device memory capacity, bytes.
+        mem_efficiency: Sustained fraction of peak bandwidth.
+        compute_efficiency: Sustained fraction of peak FLOPs for decoding
+            GEMMs (batched verification reaches decent tensor-core MFU;
+            calibrated so the Figure 7 batch-size crossovers land where the
+            paper's do).
+        kernel_overhead: Fixed per-kernel-launch cost, seconds.
+    """
+
+    name: str
+    mem_bandwidth: float
+    fp16_flops: float
+    hbm_bytes: float
+    mem_efficiency: float = 0.8
+    compute_efficiency: float = 0.65
+    kernel_overhead: float = 8e-6
+
+    def __post_init__(self) -> None:
+        if self.mem_bandwidth <= 0 or self.fp16_flops <= 0:
+            raise ValueError("bandwidth and flops must be positive")
+        if not 0 < self.mem_efficiency <= 1:
+            raise ValueError("mem_efficiency must be in (0, 1]")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        return self.mem_bandwidth * self.mem_efficiency
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.fp16_flops * self.compute_efficiency
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Attributes:
+        gpu: GPU model installed.
+        gpus_per_node: GPU count.
+        intra_node_bandwidth: Effective GPU-to-GPU bandwidth within the
+            node (PCIe switch on g5 instances — no NVLink), bytes/s.
+        intra_node_latency: Per-collective latency within a node, seconds.
+        cpu_gpu_bandwidth: Host-to-device PCIe bandwidth (offloading path),
+            bytes/s.
+        dram_bytes: Host DRAM capacity, bytes.
+    """
+
+    gpu: GpuSpec
+    gpus_per_node: int = 4
+    intra_node_bandwidth: float = 20 * GBPS
+    intra_node_latency: float = 12e-6
+    cpu_gpu_bandwidth: float = 20 * GBPS
+    dram_bytes: float = 192 * GB
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes.
+
+    Attributes:
+        node: Per-node spec.
+        num_nodes: Node count.
+        inter_node_bandwidth: Network bandwidth between nodes, bytes/s
+            (100 Gbps Ethernet = 12.5 GB/s).
+        inter_node_latency: Per-message network latency, seconds.
+    """
+
+    node: NodeSpec
+    num_nodes: int = 1
+    inter_node_bandwidth: float = 12.5 * GBPS
+    inter_node_latency: float = 30e-6
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    @property
+    def gpu(self) -> GpuSpec:
+        return self.node.gpu
+
+
+#: NVIDIA A10: 24 GB GDDR6 @ 600 GB/s, 125 TFLOPS FP16 tensor.
+A10_GPU = GpuSpec(
+    name="A10",
+    mem_bandwidth=600 * GBPS,
+    fp16_flops=125 * TFLOPS,
+    hbm_bytes=24 * GB,
+)
+
+#: AWS g5.12xlarge: 4x A10, PCIe interconnect, 192 GB DRAM.
+AWS_G5_NODE = NodeSpec(gpu=A10_GPU)
+
+
+def single_node_cluster() -> ClusterSpec:
+    """One g5.12xlarge node (LLaMA-7B and OPT-30B experiments)."""
+    return ClusterSpec(node=AWS_G5_NODE, num_nodes=1)
+
+
+def two_node_cluster() -> ClusterSpec:
+    """Two g5.12xlarge nodes over 100 Gbps (LLaMA-65B experiments)."""
+    return ClusterSpec(node=AWS_G5_NODE, num_nodes=2)

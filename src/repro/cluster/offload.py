@@ -1,0 +1,83 @@
+"""Offloading-based inference latency model (paper section 6.3, Figure 8).
+
+FlexGen-style serving keeps all weights in CPU DRAM and streams them to a
+single GPU layer-by-layer each decoding step, so per-step latency is
+dominated by host-to-device PCIe traffic — which is *independent of how many
+tokens the step scores*.  That is exactly why SpecInfer helps most here
+(2.6-3.5x in the paper): verifying a whole token tree costs one weight
+stream, the same as decoding one token, while committing several tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.models import kv_bytes_per_token
+from repro.model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class OffloadSpec:
+    """Offloading configuration.
+
+    Attributes:
+        node: Host node (provides the GPU and the CPU-GPU link).
+        bytes_per_param: Serving precision.
+        overlap_efficiency: Fraction of the weight stream hidden behind
+            compute via pipelined prefetching (FlexGen overlaps transfers
+            of layer i+1 with compute of layer i).
+    """
+
+    node: NodeSpec
+    bytes_per_param: int = 2
+    overlap_efficiency: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.overlap_efficiency < 1:
+            raise ValueError("overlap_efficiency must be in [0, 1)")
+
+    def validate(self, model: ModelConfig) -> None:
+        """The model must fit in host DRAM but *not* in GPU HBM (otherwise
+        offloading is pointless and the distributed path applies)."""
+        weights = model.num_parameters() * self.bytes_per_param
+        if weights > self.node.dram_bytes:
+            raise ValueError(
+                f"{model.name} ({weights / 1e9:.0f} GB) exceeds host DRAM"
+            )
+
+
+class OffloadLatencyModel:
+    """Per-step latency for single-GPU offloaded decoding."""
+
+    def __init__(self, model: ModelConfig, spec: OffloadSpec):
+        spec.validate(model)
+        self.model = model
+        self.spec = spec
+
+    def weight_stream_time(self) -> float:
+        """Seconds to move all weights CPU -> GPU once (one decoding step)."""
+        weights = self.model.num_parameters() * self.spec.bytes_per_param
+        effective = weights * (1 - self.spec.overlap_efficiency)
+        return effective / self.spec.node.cpu_gpu_bandwidth
+
+    def step_latency(self, scored_tokens: int, context_tokens: int) -> float:
+        """One offloaded decoding step.
+
+        The weight stream dominates; GPU-side compute and KV reads are
+        modeled and overlap with the stream (max), kernel overhead adds.
+        """
+        if scored_tokens < 1:
+            raise ValueError("scored_tokens must be >= 1")
+        gpu = self.spec.node.gpu
+        compute = (
+            2.0 * self.model.num_parameters() * scored_tokens
+            / gpu.sustained_flops
+        )
+        kv = (
+            context_tokens
+            * kv_bytes_per_token(self.model, self.spec.bytes_per_param)
+            / gpu.sustained_bandwidth
+        )
+        overhead = self.model.n_layers * 6 * gpu.kernel_overhead
+        return max(self.weight_stream_time(), compute + kv) + overhead

@@ -1,0 +1,152 @@
+"""Beam search decoding.
+
+Paper section 7: "SpecInfer supports beam search, top-k sampling, and top-p
+sampling.  These techniques are orthogonal decoding optimizations and can
+be combined with tree-based speculative decoding."  This module provides
+the beam-search side of that claim: a standard length-normalized beam
+decoder over the same transformer/KV-cache substrate.  (Top-k / top-p are
+already first-class in :class:`~repro.model.sampling.SamplingConfig`.)
+
+Each live beam owns a KV cache; at every step each beam proposes its
+``beam_width`` best continuations, the global top ``beam_width``
+hypotheses survive, and finished (EOS) hypotheses retire to a completed
+pool scored with a length penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.layers import stable_softmax
+from repro.model.transformer import TransformerLM
+
+
+@dataclass
+class BeamHypothesis:
+    """One (possibly finished) beam."""
+
+    tokens: List[int]
+    log_prob: float
+    finished: bool = False
+
+    def score(self, length_penalty: float) -> float:
+        """Length-normalized score: ``log_prob / len^penalty``."""
+        denominator = max(1, len(self.tokens)) ** length_penalty
+        return self.log_prob / denominator
+
+
+@dataclass
+class BeamSearchResult:
+    """Outcome of one beam-search generation.
+
+    Attributes:
+        best: The highest-scoring hypothesis.
+        hypotheses: All finished/surviving hypotheses, best first.
+        num_llm_steps: Decoding iterations consumed.
+    """
+
+    best: BeamHypothesis
+    hypotheses: List[BeamHypothesis] = field(default_factory=list)
+    num_llm_steps: int = 0
+
+    @property
+    def tokens(self) -> List[int]:
+        return self.best.tokens
+
+
+class BeamSearchEngine:
+    """Length-normalized beam search over a :class:`TransformerLM`."""
+
+    def __init__(self, model: TransformerLM, beam_width: int = 4,
+                 length_penalty: float = 1.0):
+        if beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        self.model = model
+        self.beam_width = beam_width
+        self.length_penalty = length_penalty
+
+    def generate(self, prompt: Sequence[int],
+                 max_new_tokens: int = 32) -> BeamSearchResult:
+        """Run beam search; returns the best hypothesis and the full pool."""
+        prompt_arr = np.asarray(list(prompt), dtype=np.intp)
+        if prompt_arr.size == 0:
+            raise ValueError("prompt must be non-empty")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        eos = self.model.config.eos_token_id
+        width = self.beam_width
+
+        # Live beams: (tokens, log_prob, cache, pending_token).
+        cache = self.model.new_cache()
+        if prompt_arr.size > 1:
+            self.model.prefill(prompt_arr[:-1], cache)
+        live = [([], 0.0, cache, int(prompt_arr[-1]))]
+        completed: List[BeamHypothesis] = []
+        steps = 0
+
+        for _ in range(max_new_tokens):
+            if not live:
+                break
+            steps += 1
+            candidates = []
+            for tokens, log_prob, beam_cache, pending in live:
+                if beam_cache.length + 1 > beam_cache.capacity:
+                    completed.append(
+                        BeamHypothesis(tokens=tokens, log_prob=log_prob,
+                                       finished=False)
+                    )
+                    continue
+                logits = self.model.decode(pending, beam_cache)
+                log_probs = np.log(
+                    np.clip(stable_softmax(logits), 1e-30, None)
+                )
+                top = np.argsort(log_probs)[::-1][:width]
+                for token in top:
+                    candidates.append(
+                        (tokens, log_prob + float(log_probs[token]),
+                         beam_cache, pending, int(token))
+                    )
+            if not candidates:
+                break
+            candidates.sort(key=lambda c: c[1], reverse=True)
+            next_live = []
+            # Group candidates per parent so each beam cache is forked the
+            # minimal number of times (snapshot = the cache after decode).
+            for tokens, log_prob, beam_cache, pending, token in \
+                    candidates[: width * 2]:
+                if len(next_live) >= width:
+                    break
+                new_tokens = tokens + [token]
+                hypothesis_cache = self._fork(beam_cache)
+                if token == eos:
+                    completed.append(
+                        BeamHypothesis(tokens=new_tokens, log_prob=log_prob,
+                                       finished=True)
+                    )
+                    continue
+                next_live.append((new_tokens, log_prob, hypothesis_cache,
+                                  token))
+            live = next_live
+            if len(completed) >= width and not live:
+                break
+
+        completed.extend(
+            BeamHypothesis(tokens=tokens, log_prob=log_prob)
+            for tokens, log_prob, _, _ in live
+        )
+        if not completed:
+            raise RuntimeError("beam search produced no hypotheses")
+        completed.sort(key=lambda h: h.score(self.length_penalty),
+                       reverse=True)
+        return BeamSearchResult(
+            best=completed[0], hypotheses=completed, num_llm_steps=steps
+        )
+
+    def _fork(self, cache) -> object:
+        """Deep-copy a beam's KV cache (beams diverge after this step)."""
+        import copy
+
+        return copy.deepcopy(cache)

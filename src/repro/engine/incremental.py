@@ -1,0 +1,65 @@
+"""Incremental decoding engine (Algorithm 1).
+
+The baseline every existing serving system implements: prefill the prompt,
+then generate one token per LLM step.  This is also the reference whose
+output SpecInfer must reproduce exactly under greedy decoding (and in
+distribution under stochastic decoding).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engine.generation import GenerationConfig, GenerationResult, StepTrace
+from repro.model.sampling import sample_token
+from repro.model.transformer import TransformerLM
+
+
+class IncrementalEngine:
+    """Serves requests with plain autoregressive decoding."""
+
+    def __init__(self, model: TransformerLM):
+        self.model = model
+
+    def generate(
+        self,
+        prompt: Sequence[int],
+        config: Optional[GenerationConfig] = None,
+    ) -> GenerationResult:
+        """Generate a completion for ``prompt`` (Algorithm 1).
+
+        The prompt's last token is held out as the first "pending" token so
+        prefill and decode stages mirror the speculative engines exactly.
+        """
+        config = config or GenerationConfig()
+        prompt_arr = np.asarray(list(prompt), dtype=np.intp)
+        if prompt_arr.size == 0:
+            raise ValueError("prompt must be non-empty")
+        rng = np.random.default_rng(config.seed)
+        result = GenerationResult(prompt=prompt_arr)
+        cache = self.model.new_cache()
+        if prompt_arr.size > 1:
+            self.model.prefill(prompt_arr[:-1], cache)
+        pending = int(prompt_arr[-1])
+        eos = self.model.config.eos_token_id
+        while len(result.tokens) < config.max_new_tokens:
+            if cache.length + 1 >= cache.capacity:
+                break
+            prefix_len = cache.length
+            logits = self.model.decode(pending, cache)
+            token = sample_token(logits, config.sampling, rng)
+            result.tokens.append(token)
+            result.steps.append(
+                StepTrace(
+                    llm_tokens_scored=1,
+                    tokens_emitted=1,
+                    prefix_len=prefix_len,
+                )
+            )
+            if config.stop_on_eos and token == eos:
+                result.finished_by_eos = True
+                break
+            pending = token
+        return result

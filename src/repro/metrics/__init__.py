@@ -1,0 +1,19 @@
+"""Metrics helpers: CDFs, summary statistics, speedups."""
+
+from repro.metrics.stats import (
+    Cdf,
+    SummaryStats,
+    empirical_cdf,
+    speedup,
+    summarize,
+    total_variation_distance,
+)
+
+__all__ = [
+    "Cdf",
+    "SummaryStats",
+    "empirical_cdf",
+    "speedup",
+    "summarize",
+    "total_variation_distance",
+]

@@ -1,0 +1,113 @@
+"""Output-quality metrics: perplexity and distributional equivalence.
+
+The paper claims SpecInfer "preserves the same generative performance" —
+the strongest form is token-identity (greedy) or distribution-identity
+(stochastic, Theorem 4.2).  These utilities measure quality directly so
+experiments can *show* equivalence rather than assert it:
+
+* :func:`sequence_log_likelihood` / :func:`perplexity` score any emitted
+  sequence under any model,
+* :func:`compare_outputs` summarizes two engines' outputs on the same
+  prompts (exact-match rate, per-model perplexities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.model.layers import stable_softmax
+from repro.model.transformer import TransformerLM
+
+
+def sequence_log_likelihood(
+    model: TransformerLM,
+    prompt: Sequence[int],
+    continuation: Sequence[int],
+) -> float:
+    """Log-likelihood of ``continuation`` given ``prompt`` under ``model``."""
+    prompt = list(prompt)
+    continuation = list(continuation)
+    if not prompt:
+        raise ValueError("prompt must be non-empty")
+    if not continuation:
+        raise ValueError("continuation must be non-empty")
+    cache = model.new_cache()
+    if len(prompt) > 1:
+        model.prefill(np.asarray(prompt[:-1]), cache)
+    pending = int(prompt[-1])
+    total = 0.0
+    for token in continuation:
+        probs = stable_softmax(model.decode(pending, cache))
+        total += float(np.log(max(float(probs[token]), 1e-300)))
+        pending = int(token)
+    return total
+
+
+def perplexity(
+    model: TransformerLM,
+    prompt: Sequence[int],
+    continuation: Sequence[int],
+) -> float:
+    """Perplexity of ``continuation`` given ``prompt``: ``exp(-ll / n)``."""
+    ll = sequence_log_likelihood(model, prompt, continuation)
+    return float(np.exp(-ll / len(list(continuation))))
+
+
+@dataclass(frozen=True)
+class OutputComparison:
+    """Quality comparison of two engines on the same prompt set.
+
+    Attributes:
+        exact_match_rate: Fraction of prompts with identical outputs.
+        mean_perplexity_a: Mean perplexity of engine A's outputs.
+        mean_perplexity_b: Mean perplexity of engine B's outputs.
+        num_prompts: Prompts compared.
+    """
+
+    exact_match_rate: float
+    mean_perplexity_a: float
+    mean_perplexity_b: float
+    num_prompts: int
+
+    @property
+    def perplexity_gap(self) -> float:
+        """Relative perplexity difference (0 = identical quality)."""
+        denom = max(self.mean_perplexity_a, 1e-12)
+        return abs(self.mean_perplexity_a - self.mean_perplexity_b) / denom
+
+
+def compare_outputs(
+    model: TransformerLM,
+    prompts: Sequence[Sequence[int]],
+    outputs_a: Sequence[Sequence[int]],
+    outputs_b: Sequence[Sequence[int]],
+) -> OutputComparison:
+    """Summarize two engines' outputs on shared prompts.
+
+    Args:
+        model: The reference model used for perplexity scoring (normally
+            the LLM both engines served).
+        prompts: The shared prompts.
+        outputs_a: Engine A's generated tokens per prompt.
+        outputs_b: Engine B's generated tokens per prompt.
+    """
+    if not (len(prompts) == len(outputs_a) == len(outputs_b)):
+        raise ValueError("prompts and outputs must be parallel sequences")
+    if not prompts:
+        raise ValueError("no prompts to compare")
+    matches = 0
+    ppl_a: List[float] = []
+    ppl_b: List[float] = []
+    for prompt, a, b in zip(prompts, outputs_a, outputs_b):
+        matches += int(list(a) == list(b))
+        ppl_a.append(perplexity(model, prompt, a))
+        ppl_b.append(perplexity(model, prompt, b))
+    return OutputComparison(
+        exact_match_rate=matches / len(prompts),
+        mean_perplexity_a=float(np.mean(ppl_a)),
+        mean_perplexity_b=float(np.mean(ppl_b)),
+        num_prompts=len(prompts),
+    )

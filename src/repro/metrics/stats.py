@@ -1,0 +1,85 @@
+"""Statistics helpers used by tests, benchmarks and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+    count: int
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of ``values``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF: ``P(X <= xs[i]) = ps[i]`` (Figure 9's plot data)."""
+
+    xs: np.ndarray
+    ps: np.ndarray
+
+    def quantile(self, p: float) -> float:
+        """Smallest x with CDF(x) >= p."""
+        if not 0 <= p <= 1:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        idx = int(np.searchsorted(self.ps, p))
+        idx = min(idx, len(self.xs) - 1)
+        return float(self.xs[idx])
+
+    def at(self, x: float) -> float:
+        """CDF evaluated at ``x``."""
+        idx = int(np.searchsorted(self.xs, x, side="right"))
+        if idx == 0:
+            return 0.0
+        return float(self.ps[idx - 1])
+
+
+def empirical_cdf(values: Sequence[float]) -> Cdf:
+    """Empirical CDF of ``values``."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    ps = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return Cdf(xs=arr, ps=ps)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` — how many times faster the improved system is."""
+    if improved <= 0:
+        raise ValueError("improved latency must be positive")
+    return baseline / improved
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """TV distance between two distributions (distribution-equality tests)."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return float(0.5 * np.abs(p - q).sum())

@@ -1,0 +1,182 @@
+"""Multi-head self-attention with arbitrary additive masks.
+
+This is the hook tree attention (paper section 4.1) plugs into: the attention
+primitive takes an *additive* mask of shape ``(n_query, n_key)`` whose entries
+are ``0`` (attend) or ``-inf`` (do not attend).  Sequence decoding passes the
+ordinary causal mask; tree-parallel decoding passes the *topology-aware
+causal mask* built from the token tree (see :mod:`repro.tree.masks`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.model.layers import (
+    LayerCache,
+    linear_backward,
+    linear_forward,
+    merge_grad,
+    stable_softmax,
+)
+
+NEG_INF = float("-inf")
+
+
+def causal_mask(n: int, dtype: str = "float64") -> np.ndarray:
+    """Standard lower-triangular causal mask (Equation 4 in the paper).
+
+    Entry ``[j, k]`` is ``0`` when ``j >= k`` (token ``j`` may attend to
+    token ``k``) and ``-inf`` otherwise.
+    """
+    mask = np.zeros((n, n), dtype=dtype)
+    mask[np.triu_indices(n, k=1)] = NEG_INF
+    return mask
+
+
+def cross_mask(n_query: int, n_key: int, query_offset: int,
+               dtype: str = "float64") -> np.ndarray:
+    """Causal mask for queries appended after ``query_offset`` cached keys.
+
+    Query ``j`` (absolute position ``query_offset + j``) may attend to keys
+    ``0 .. query_offset + j``.
+    """
+    mask = np.zeros((n_query, n_key), dtype=dtype)
+    cols = np.arange(n_key)[None, :]
+    rows = np.arange(n_query)[:, None] + query_offset
+    mask[cols > rows] = NEG_INF
+    return mask
+
+
+def scaled_dot_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Masked scaled-dot-product attention (inference path, no grad).
+
+    Args:
+        q: ``(n_q, h, d_head)`` queries.
+        k: ``(n_k, h, d_head)`` keys.
+        v: ``(n_k, h, d_head)`` values.
+        mask: ``(n_q, n_k)`` additive mask.
+
+    Returns:
+        ``(n_q, h, d_head)`` attention outputs.
+    """
+    d_head = q.shape[-1]
+    # (h, n_q, n_k) scores
+    scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(d_head)
+    scores = scores + mask[None, :, :]
+    weights = stable_softmax(scores, axis=-1)
+    return np.einsum("hqk,khd->qhd", weights, v)
+
+
+def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """Reshape ``(n, d_model)`` to ``(n, h, d_head)``."""
+    n, d = x.shape
+    return x.reshape(n, n_heads, d // n_heads)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_heads`."""
+    n, h, dh = x.shape
+    return x.reshape(n, h * dh)
+
+
+# -- training path (forward + backward over a full sequence) --------------------
+
+
+def mha_forward(
+    x: np.ndarray,
+    params: Dict[str, np.ndarray],
+    prefix: str,
+    n_heads: int,
+    mask: np.ndarray,
+    positions: np.ndarray = None,
+    use_rope: bool = False,
+) -> Tuple[np.ndarray, LayerCache]:
+    """Full multi-head self-attention over a sequence, differentiable.
+
+    Args:
+        x: ``(n, d_model)`` input activations.
+        params: parameter mapping (a :class:`ParameterStore` works).
+        prefix: name prefix, e.g. ``"layer0.attn"``.
+        n_heads: number of heads.
+        mask: ``(n, n)`` additive mask.
+        positions: ``(n,)`` absolute positions (required for RoPE).
+        use_rope: apply rotary embeddings to queries and keys.
+    """
+    q, q_cache = linear_forward(x, params[f"{prefix}.wq"], params[f"{prefix}.bq"])
+    k, k_cache = linear_forward(x, params[f"{prefix}.wk"], params[f"{prefix}.bk"])
+    v, v_cache = linear_forward(x, params[f"{prefix}.wv"], params[f"{prefix}.bv"])
+    qh, kh, vh = (split_heads(t, n_heads) for t in (q, k, v))
+    if use_rope:
+        from repro.model.rope import rope_rotate
+
+        if positions is None:
+            raise ValueError("RoPE attention requires explicit positions")
+        qh = rope_rotate(qh, positions)
+        kh = rope_rotate(kh, positions)
+    d_head = qh.shape[-1]
+    scores = np.einsum("qhd,khd->hqk", qh, kh) / np.sqrt(d_head)
+    scores = scores + mask[None, :, :]
+    weights = stable_softmax(scores, axis=-1)
+    attn = np.einsum("hqk,khd->qhd", weights, vh)
+    merged = merge_heads(attn)
+    out, o_cache = linear_forward(
+        merged, params[f"{prefix}.wo"], params[f"{prefix}.bo"]
+    )
+    cache = (q_cache, k_cache, v_cache, o_cache, qh, kh, vh, weights, n_heads,
+             positions if use_rope else None)
+    return out, cache
+
+
+def mha_backward(
+    grad: np.ndarray,
+    cache: LayerCache,
+    prefix: str,
+    grads: Dict[str, np.ndarray],
+) -> np.ndarray:
+    """Backward for :func:`mha_forward`; accumulates into ``grads``.
+
+    Returns the gradient w.r.t. the layer input ``x``.
+    """
+    (q_cache, k_cache, v_cache, o_cache, qh, kh, vh, weights, n_heads,
+     rope_positions) = cache
+    d_head = qh.shape[-1]
+
+    dmerged, dwo, dbo = linear_backward(grad, o_cache)
+    merge_grad(grads, f"{prefix}.wo", dwo)
+    merge_grad(grads, f"{prefix}.bo", dbo)
+
+    dattn = dmerged.reshape(dmerged.shape[0], n_heads, d_head)
+    # attn = weights @ vh
+    dweights = np.einsum("qhd,khd->hqk", dattn, vh)
+    dvh = np.einsum("hqk,qhd->khd", weights, dattn)
+    # softmax backward (rows of weights sum to 1)
+    dscores = weights * (dweights - (dweights * weights).sum(axis=-1, keepdims=True))
+    dscores /= np.sqrt(d_head)
+    dqh = np.einsum("hqk,khd->qhd", dscores, kh)
+    dkh = np.einsum("hqk,qhd->khd", dscores, qh)
+
+    if rope_positions is not None:
+        # The rotation is orthogonal: its adjoint is the inverse rotation.
+        from repro.model.rope import rope_rotate
+
+        dqh = rope_rotate(dqh, rope_positions, inverse=True)
+        dkh = rope_rotate(dkh, rope_positions, inverse=True)
+
+    dq = merge_heads(dqh)
+    dk = merge_heads(dkh)
+    dv = merge_heads(dvh)
+
+    dx_q, dwq, dbq = linear_backward(dq, q_cache)
+    dx_k, dwk, dbk = linear_backward(dk, k_cache)
+    dx_v, dwv, dbv = linear_backward(dv, v_cache)
+    merge_grad(grads, f"{prefix}.wq", dwq)
+    merge_grad(grads, f"{prefix}.bq", dbq)
+    merge_grad(grads, f"{prefix}.wk", dwk)
+    merge_grad(grads, f"{prefix}.bk", dbk)
+    merge_grad(grads, f"{prefix}.wv", dwv)
+    merge_grad(grads, f"{prefix}.bv", dbv)
+    return dx_q + dx_k + dx_v

@@ -1,0 +1,178 @@
+"""Primitive neural-network layers with manual forward/backward passes.
+
+Each primitive exposes ``*_forward`` returning ``(output, cache)`` and a
+matching ``*_backward`` taking the upstream gradient plus the cache and
+returning gradients for inputs and parameters.  The training path (used by
+SSM distillation and boost-tuning, paper section 3) composes these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+LayerCache = Tuple
+
+
+# -- linear --------------------------------------------------------------------
+
+
+def linear_forward(
+    x: np.ndarray, w: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, LayerCache]:
+    """Affine map ``y = x @ w + b`` over the last axis.
+
+    Args:
+        x: ``(..., d_in)`` input activations.
+        w: ``(d_in, d_out)`` weight.
+        b: ``(d_out,)`` bias.
+    """
+    return x @ w + b, (x, w)
+
+
+def linear_backward(
+    grad: np.ndarray, cache: LayerCache
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward for :func:`linear_forward`; returns ``(dx, dw, db)``."""
+    x, w = cache
+    dx = grad @ w.T
+    flat_x = x.reshape(-1, x.shape[-1])
+    flat_g = grad.reshape(-1, grad.shape[-1])
+    dw = flat_x.T @ flat_g
+    db = flat_g.sum(axis=0)
+    return dx, dw, db
+
+
+# -- layer norm -----------------------------------------------------------------
+
+
+def layernorm_forward(
+    x: np.ndarray, scale: np.ndarray, bias: np.ndarray, eps: float = 1e-5
+) -> Tuple[np.ndarray, LayerCache]:
+    """LayerNorm over the last axis: ``scale * (x - mu) / sigma + bias``."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mu) * inv_std
+    return scale * x_hat + bias, (x_hat, inv_std, scale)
+
+
+def layernorm_backward(
+    grad: np.ndarray, cache: LayerCache
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward for :func:`layernorm_forward`; returns ``(dx, dscale, dbias)``."""
+    x_hat, inv_std, scale = cache
+    d = x_hat.shape[-1]
+    dbias = grad.reshape(-1, d).sum(axis=0)
+    dscale = (grad * x_hat).reshape(-1, d).sum(axis=0)
+    dx_hat = grad * scale
+    # Standard LayerNorm backward over the normalized axis.
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dscale, dbias
+
+
+# -- GELU -------------------------------------------------------------------------
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu_forward(x: np.ndarray) -> Tuple[np.ndarray, LayerCache]:
+    """Tanh-approximation GELU (as used by GPT-2/OPT)."""
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t), (x, t)
+
+
+def gelu_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
+    """Backward for :func:`gelu_forward`."""
+    x, t = cache
+    dt_dx = (1.0 - t**2) * _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return grad * (0.5 * (1.0 + t) + 0.5 * x * dt_dx)
+
+
+# -- embedding ---------------------------------------------------------------------
+
+
+def embedding_forward(
+    token_ids: np.ndarray, table: np.ndarray
+) -> Tuple[np.ndarray, LayerCache]:
+    """Row lookup ``table[token_ids]``."""
+    return table[token_ids], (token_ids, table.shape)
+
+
+def embedding_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
+    """Scatter-add gradient back into an embedding-table-shaped buffer."""
+    token_ids, shape = cache
+    dtable = np.zeros(shape, dtype=grad.dtype)
+    np.add.at(dtable, token_ids.reshape(-1), grad.reshape(-1, shape[1]))
+    return dtable
+
+
+# -- softmax / cross-entropy -----------------------------------------------------
+
+
+def stable_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. ``logits``.
+
+    Args:
+        logits: ``(n, vocab)`` unnormalized scores.
+        targets: ``(n,)`` integer class labels; entries equal to ``-1`` are
+            ignored (padding positions).
+
+    Returns:
+        ``(loss, dlogits)`` where loss is averaged over non-ignored positions.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    mask = targets >= 0
+    n_valid = int(mask.sum())
+    probs = stable_softmax(logits)
+    dlogits = probs.copy()
+    if n_valid == 0:
+        return 0.0, np.zeros_like(logits)
+    safe_targets = np.where(mask, targets, 0)
+    rows = np.arange(logits.shape[0])
+    log_probs = np.log(np.clip(probs[rows, safe_targets], 1e-30, None))
+    loss = float(-(log_probs * mask).sum() / n_valid)
+    dlogits[rows, safe_targets] -= 1.0
+    dlogits *= (mask / n_valid)[:, None]
+    return loss, dlogits
+
+
+def kl_divergence_loss(
+    student_logits: np.ndarray, teacher_probs: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean KL(teacher || student) and gradient w.r.t. student logits.
+
+    Used by distillation: aligning an SSM's distribution with the LLM's.
+    """
+    student_probs = stable_softmax(student_logits)
+    ratio = np.log(np.clip(teacher_probs, 1e-30, None)) - np.log(
+        np.clip(student_probs, 1e-30, None)
+    )
+    n = student_logits.shape[0]
+    loss = float((teacher_probs * ratio).sum() / n)
+    dlogits = (student_probs - teacher_probs) / n
+    return loss, dlogits
+
+
+def merge_grad(grads: Dict[str, np.ndarray], name: str, value: np.ndarray) -> None:
+    """Accumulate ``value`` into ``grads[name]`` (creating it if absent)."""
+    if name in grads:
+        grads[name] += value
+    else:
+        grads[name] = value

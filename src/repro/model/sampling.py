@@ -1,0 +1,131 @@
+"""Token sampling utilities: greedy, temperature, top-k and top-p.
+
+The paper's verifier supports both greedy decoding and stochastic decoding
+(section 4.3); these helpers define the distributions both the LLM and the
+SSMs sample from.  ``softmax`` is re-exported here as the canonical way to
+turn logits into the distributions consumed by multi-step speculative
+sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.model.layers import stable_softmax as softmax
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """How to turn logits into a next-token distribution.
+
+    Attributes:
+        temperature: Softmax temperature; values < 1 sharpen.
+        top_k: If > 0, keep only the k most likely tokens.
+        top_p: If < 1, keep the smallest prefix of tokens whose cumulative
+            probability reaches ``top_p`` (nucleus sampling).
+        greedy: If True, sampling degenerates to argmax and the other knobs
+            are ignored.
+    """
+
+    temperature: float = 1.0
+    top_k: int = 0
+    top_p: float = 1.0
+    greedy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {self.temperature}")
+        if self.top_k < 0:
+            raise ValueError(f"top_k must be >= 0, got {self.top_k}")
+        if not 0 < self.top_p <= 1.0:
+            raise ValueError(f"top_p must be in (0, 1], got {self.top_p}")
+
+
+def top_k_filter(probs: np.ndarray, k: int) -> np.ndarray:
+    """Zero all but the ``k`` largest probabilities and renormalize."""
+    if k <= 0 or k >= probs.shape[-1]:
+        return probs
+    kept = np.zeros_like(probs)
+    idx = np.argpartition(probs, -k)[-k:]
+    kept[idx] = probs[idx]
+    total = kept.sum()
+    if total <= 0:
+        raise ValueError("top-k filtering removed all probability mass")
+    return kept / total
+
+
+def top_p_filter(probs: np.ndarray, p: float) -> np.ndarray:
+    """Nucleus filtering: keep the smallest set with cumulative mass >= p."""
+    if p >= 1.0:
+        return probs
+    order = np.argsort(probs)[::-1]
+    cumulative = np.cumsum(probs[order])
+    # Keep every token up to and including the first that crosses p.
+    cutoff = int(np.searchsorted(cumulative, p)) + 1
+    kept = np.zeros_like(probs)
+    keep_idx = order[:cutoff]
+    kept[keep_idx] = probs[keep_idx]
+    return kept / kept.sum()
+
+
+def distribution_from_logits(
+    logits: np.ndarray, config: SamplingConfig
+) -> np.ndarray:
+    """The next-token distribution implied by ``logits`` under ``config``.
+
+    For greedy configs this is a one-hot distribution on the argmax, which
+    makes greedy decoding a special case of stochastic verification.
+    """
+    if config.greedy:
+        probs = np.zeros(logits.shape[-1], dtype=np.float64)
+        probs[int(np.argmax(logits))] = 1.0
+        return probs
+    probs = softmax(logits / config.temperature)
+    if config.top_k:
+        probs = top_k_filter(probs, config.top_k)
+    if config.top_p < 1.0:
+        probs = top_p_filter(probs, config.top_p)
+    return probs
+
+
+def greedy_token(logits: np.ndarray) -> int:
+    """Argmax token id."""
+    return int(np.argmax(logits))
+
+
+def sample_token(
+    logits: np.ndarray,
+    config: SamplingConfig,
+    rng: np.random.Generator,
+) -> int:
+    """Sample a token id from ``logits`` under ``config``."""
+    if config.greedy:
+        return greedy_token(logits)
+    probs = distribution_from_logits(logits, config)
+    return int(rng.choice(probs.shape[-1], p=probs))
+
+
+def sample_from_probs(probs: np.ndarray, rng: np.random.Generator) -> int:
+    """Sample a token id from an explicit probability vector."""
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError(f"invalid probability vector (sum={total})")
+    return int(rng.choice(probs.shape[-1], p=probs / total))
+
+
+def top_k_tokens(probs: np.ndarray, k: int) -> np.ndarray:
+    """Ids of the ``k`` most likely tokens, most likely first."""
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    k = min(k, probs.shape[-1])
+    idx = np.argpartition(probs, -k)[-k:]
+    return idx[np.argsort(probs[idx])[::-1]]
+
+
+def entropy(probs: np.ndarray, eps: float = 1e-12) -> float:
+    """Shannon entropy in nats (used by workload characterization)."""
+    clipped = np.clip(probs, eps, None)
+    return float(-(probs * np.log(clipped)).sum())

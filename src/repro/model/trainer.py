@@ -1,0 +1,155 @@
+"""Training loop (Adam) for the NumPy transformer.
+
+Supports two losses:
+
+* next-token cross-entropy against a corpus (pre-training a toy LM), and
+* KL distillation against a teacher's distributions (aligning an SSM with
+  the LLM — the core operation of the paper's boost-tuning, section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.layers import kl_divergence_loss, softmax_cross_entropy, stable_softmax
+from repro.model.transformer import TransformerLM
+
+
+@dataclass
+class TrainingConfig:
+    """Optimizer and loop hyper-parameters."""
+
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    grad_clip: float = 1.0
+    max_steps: int = 100
+    log_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= self.beta1 < 1 or not 0 <= self.beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+
+
+class AdamOptimizer:
+    """Adam with bias correction and optional global-norm gradient clipping."""
+
+    def __init__(self, config: TrainingConfig):
+        self.config = config
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._step = 0
+
+    def apply(self, params, grads: Dict[str, np.ndarray]) -> None:
+        """Apply one update to ``params`` (a :class:`ParameterStore`)."""
+        cfg = self.config
+        if cfg.grad_clip > 0:
+            norm = float(
+                np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+            )
+            if norm > cfg.grad_clip:
+                scale = cfg.grad_clip / (norm + 1e-12)
+                grads = {k: g * scale for k, g in grads.items()}
+        self._step += 1
+        t = self._step
+        for name, grad in grads.items():
+            if name not in self._m:
+                self._m[name] = np.zeros_like(grad)
+                self._v[name] = np.zeros_like(grad)
+            m = self._m[name]
+            v = self._v[name]
+            m *= cfg.beta1
+            m += (1 - cfg.beta1) * grad
+            v *= cfg.beta2
+            v += (1 - cfg.beta2) * grad**2
+            m_hat = m / (1 - cfg.beta1**t)
+            v_hat = v / (1 - cfg.beta2**t)
+            params[name] = params[name] - cfg.learning_rate * m_hat / (
+                np.sqrt(v_hat) + cfg.eps
+            )
+
+
+@dataclass
+class TrainingReport:
+    """Loss trajectory of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0] if self.losses else float("nan")
+
+
+class Trainer:
+    """Trains a :class:`TransformerLM` on token sequences."""
+
+    def __init__(self, model: TransformerLM, config: Optional[TrainingConfig] = None):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.optimizer = AdamOptimizer(self.config)
+
+    def train_lm(
+        self,
+        sequences: Sequence[np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+    ) -> TrainingReport:
+        """Next-token language-model training over ``sequences``.
+
+        Each step draws one sequence (cyclically or at random) and performs a
+        full-sequence forward/backward with the causal mask.
+        """
+        report = TrainingReport()
+        rng = rng or np.random.default_rng(0)
+        for step in range(self.config.max_steps):
+            seq = np.asarray(sequences[int(rng.integers(len(sequences)))])
+            seq = seq[: self.model.config.max_seq_len]
+            if len(seq) < 2:
+                continue
+            logits, caches = self.model.forward_train(seq)
+            targets = np.concatenate([seq[1:], [-1]])
+            loss, dlogits = softmax_cross_entropy(logits, targets)
+            grads = self.model.backward(dlogits, caches)
+            self.optimizer.apply(self.model.params, grads)
+            report.losses.append(loss)
+        return report
+
+    def distill(
+        self,
+        teacher: TransformerLM,
+        sequences: Sequence[np.ndarray],
+        rng: Optional[np.random.Generator] = None,
+        temperature: float = 1.0,
+    ) -> TrainingReport:
+        """KL-distill the student toward ``teacher`` on ``sequences``.
+
+        This is the alignment mechanism the paper gets for free from
+        same-corpus pre-training (OPT-125M vs OPT-175B) and explicitly via
+        boost-tuning: the SSM learns to match the LLM's next-token
+        distribution at every position of the corpus.
+        """
+        report = TrainingReport()
+        rng = rng or np.random.default_rng(0)
+        for step in range(self.config.max_steps):
+            seq = np.asarray(sequences[int(rng.integers(len(sequences)))])
+            seq = seq[: min(self.model.config.max_seq_len,
+                            teacher.config.max_seq_len)]
+            if len(seq) < 2:
+                continue
+            teacher_logits = teacher.logits_for_sequence(seq)
+            teacher_probs = stable_softmax(teacher_logits / temperature)
+            logits, caches = self.model.forward_train(seq)
+            loss, dlogits = kl_divergence_loss(logits, teacher_probs)
+            grads = self.model.backward(dlogits, caches)
+            self.optimizer.apply(self.model.params, grads)
+            report.losses.append(loss)
+        return report

@@ -1,0 +1,268 @@
+"""Decoder-only transformer language model (NumPy, from scratch).
+
+Provides the three entry points SpecInfer needs (paper sections 2 and 4):
+
+* :meth:`TransformerLM.prefill` -- process a prompt in one pass, populating
+  the KV cache (the "compute activations for all prompt tokens in a single
+  step" of incremental decoding, Alg. 1),
+* :meth:`TransformerLM.decode` -- one autoregressive step with cache,
+* :meth:`TransformerLM.forward_masked` -- the general primitive: score a
+  batch of new tokens at *explicit positions* under an *arbitrary additive
+  mask* over (cached + new) keys.  Tree-parallel decoding (section 4.2) is
+  this primitive fed with the topology-aware causal mask.
+
+A differentiable pass (:meth:`forward_train` / :meth:`backward`) supports the
+distillation and boost-tuning paths of the learning-based speculator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.model.attention import (
+    causal_mask,
+    cross_mask,
+    mha_backward,
+    mha_forward,
+    scaled_dot_attention,
+    split_heads,
+)
+from repro.model.config import ModelConfig
+from repro.model.kv_cache import KVCache
+from repro.model.layers import (
+    embedding_backward,
+    gelu_backward,
+    gelu_forward,
+    layernorm_backward,
+    layernorm_forward,
+    linear_backward,
+    linear_forward,
+    merge_grad,
+    stable_softmax,
+)
+from repro.model.parameters import ParameterStore
+
+
+class TransformerLM:
+    """A GPT-style decoder-only language model.
+
+    Pre-LayerNorm residual blocks, learned absolute position embeddings,
+    tied nothing (separate ``lm_head``), GELU MLP.
+    """
+
+    def __init__(self, config: ModelConfig, params: Optional[ParameterStore] = None,
+                 seed: int = 0):
+        self.config = config
+        self.params = params if params is not None else ParameterStore.initialize(
+            config, seed=seed
+        )
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def new_cache(self, capacity: int = 0) -> KVCache:
+        """Allocate a fresh KV cache sized for this model."""
+        return KVCache(self.config, capacity=capacity)
+
+    def num_parameters(self) -> int:
+        return self.params.num_parameters()
+
+    # -- inference -------------------------------------------------------------
+
+    def forward_masked(
+        self,
+        tokens: np.ndarray,
+        positions: np.ndarray,
+        mask: np.ndarray,
+        cache: KVCache,
+    ) -> np.ndarray:
+        """Score ``tokens`` under ``mask``, appending their KVs to ``cache``.
+
+        This is the generic decoding primitive.  The mask has shape
+        ``(n_new, prior + n_new)`` where ``prior`` is the cache length on
+        entry; entry ``[j, k]`` is ``0`` if new token ``j`` may attend to
+        (cached or new) token ``k`` and ``-inf`` otherwise.
+
+        Args:
+            tokens: ``(n_new,)`` token ids.
+            positions: ``(n_new,)`` absolute positions for position embeddings
+                (tree tokens use ``prefix_len + depth``).
+            mask: ``(n_new, prior + n_new)`` additive attention mask.
+            cache: KV cache; mutated (new keys/values appended).
+
+        Returns:
+            ``(n_new, vocab)`` logits, one row per new token.
+        """
+        tokens = np.asarray(tokens, dtype=np.intp)
+        positions = np.asarray(positions, dtype=np.intp)
+        n_new = tokens.shape[0]
+        prior = cache.length
+        if mask.shape != (n_new, prior + n_new):
+            raise ValueError(
+                f"mask shape {mask.shape} != expected {(n_new, prior + n_new)}"
+            )
+        if positions.max(initial=0) >= self.config.max_seq_len:
+            raise ValueError(
+                f"position {int(positions.max())} exceeds max_seq_len "
+                f"{self.config.max_seq_len}"
+            )
+        p = self.params
+        use_rope = self.config.position_encoding == "rope"
+        x = p["tok_embed"][tokens]
+        if not use_rope:
+            x = x + p["pos_embed"][positions]
+        n_heads = self.config.n_heads
+        for i in range(self.config.n_layers):
+            pre = f"layer{i}"
+            h, _ = layernorm_forward(x, p[f"{pre}.ln1.scale"], p[f"{pre}.ln1.bias"])
+            q, _ = linear_forward(h, p[f"{pre}.attn.wq"], p[f"{pre}.attn.bq"])
+            k, _ = linear_forward(h, p[f"{pre}.attn.wk"], p[f"{pre}.attn.bk"])
+            v, _ = linear_forward(h, p[f"{pre}.attn.wv"], p[f"{pre}.attn.bv"])
+            qh = split_heads(q, n_heads)
+            kh = split_heads(k, n_heads)
+            if use_rope:
+                from repro.model.rope import rope_rotate
+
+                qh = rope_rotate(qh, positions)
+                kh = rope_rotate(kh, positions)
+            layer_kv = cache.layers[i]
+            layer_kv.append(kh, split_heads(v, n_heads))
+            keys, values = layer_kv.view()
+            attn = scaled_dot_attention(qh, keys, values, mask)
+            attn_out, _ = linear_forward(
+                attn.reshape(n_new, -1), p[f"{pre}.attn.wo"], p[f"{pre}.attn.bo"]
+            )
+            x = x + attn_out
+            h2, _ = layernorm_forward(
+                x, p[f"{pre}.ln2.scale"], p[f"{pre}.ln2.bias"]
+            )
+            up, _ = linear_forward(h2, p[f"{pre}.mlp.w1"], p[f"{pre}.mlp.b1"])
+            act, _ = gelu_forward(up)
+            down, _ = linear_forward(act, p[f"{pre}.mlp.w2"], p[f"{pre}.mlp.b2"])
+            x = x + down
+        final, _ = layernorm_forward(x, p["final_ln.scale"], p["final_ln.bias"])
+        return final @ p["lm_head"]
+
+    def prefill(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Process a prompt, filling ``cache``; returns ``(n, vocab)`` logits."""
+        tokens = np.asarray(tokens, dtype=np.intp)
+        n = tokens.shape[0]
+        prior = cache.length
+        positions = np.arange(prior, prior + n)
+        mask = cross_mask(n, prior + n, prior, dtype=self.config.dtype)
+        return self.forward_masked(tokens, positions, mask, cache)
+
+    def decode(self, token: int, cache: KVCache) -> np.ndarray:
+        """One incremental decoding step; returns ``(vocab,)`` logits."""
+        prior = cache.length
+        mask = np.zeros((1, prior + 1), dtype=self.config.dtype)
+        logits = self.forward_masked(
+            np.array([token]), np.array([prior]), mask, cache
+        )
+        return logits[0]
+
+    def next_distribution(
+        self, token: int, cache: KVCache, temperature: float = 1.0
+    ) -> np.ndarray:
+        """Probability distribution over the next token after ``token``."""
+        logits = self.decode(token, cache)
+        return stable_softmax(logits / max(temperature, 1e-8))
+
+    def logits_for_sequence(self, tokens: np.ndarray) -> np.ndarray:
+        """Stateless full-sequence logits (used by tests and baselines)."""
+        cache = self.new_cache(capacity=min(len(tokens), self.config.max_seq_len))
+        return self.prefill(np.asarray(tokens), cache)
+
+    # -- training --------------------------------------------------------------
+
+    def forward_train(self, tokens: np.ndarray) -> Tuple[np.ndarray, List]:
+        """Differentiable full-sequence forward pass (causal mask).
+
+        Returns ``(logits, caches)`` where ``caches`` feed :meth:`backward`.
+        """
+        tokens = np.asarray(tokens, dtype=np.intp)
+        n = tokens.shape[0]
+        if n > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {n} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        p = self.params
+        use_rope = self.config.position_encoding == "rope"
+        positions = np.arange(n)
+        x = p["tok_embed"][tokens]
+        if not use_rope:
+            x = x + p["pos_embed"][positions]
+        mask = causal_mask(n, dtype=self.config.dtype)
+        caches: List = [(tokens, positions)]
+        for i in range(self.config.n_layers):
+            pre = f"layer{i}"
+            h, ln1_c = layernorm_forward(
+                x, p[f"{pre}.ln1.scale"], p[f"{pre}.ln1.bias"]
+            )
+            attn_out, attn_c = mha_forward(
+                h, p, f"{pre}.attn", self.config.n_heads, mask,
+                positions=positions, use_rope=use_rope,
+            )
+            x = x + attn_out
+            h2, ln2_c = layernorm_forward(
+                x, p[f"{pre}.ln2.scale"], p[f"{pre}.ln2.bias"]
+            )
+            up, up_c = linear_forward(h2, p[f"{pre}.mlp.w1"], p[f"{pre}.mlp.b1"])
+            act, act_c = gelu_forward(up)
+            down, down_c = linear_forward(act, p[f"{pre}.mlp.w2"], p[f"{pre}.mlp.b2"])
+            x = x + down
+            caches.append((ln1_c, attn_c, ln2_c, up_c, act_c, down_c))
+        final, final_c = layernorm_forward(x, p["final_ln.scale"], p["final_ln.bias"])
+        logits = final @ p["lm_head"]
+        caches.append((final_c, final))
+        return logits, caches
+
+    def backward(
+        self, dlogits: np.ndarray, caches: List
+    ) -> Dict[str, np.ndarray]:
+        """Backward pass for :meth:`forward_train`; returns named gradients."""
+        p = self.params
+        grads: Dict[str, np.ndarray] = {}
+        final_c, final = caches[-1]
+        merge_grad(grads, "lm_head", final.T @ dlogits)
+        dfinal = dlogits @ p["lm_head"].T
+        dx, dscale, dbias = layernorm_backward(dfinal, final_c)
+        merge_grad(grads, "final_ln.scale", dscale)
+        merge_grad(grads, "final_ln.bias", dbias)
+        for i in reversed(range(self.config.n_layers)):
+            pre = f"layer{i}"
+            ln1_c, attn_c, ln2_c, up_c, act_c, down_c = caches[1 + i]
+            dact, dw2, db2 = linear_backward(dx, down_c)
+            merge_grad(grads, f"{pre}.mlp.w2", dw2)
+            merge_grad(grads, f"{pre}.mlp.b2", db2)
+            dup = gelu_backward(dact, act_c)
+            dh2, dw1, db1 = linear_backward(dup, up_c)
+            merge_grad(grads, f"{pre}.mlp.w1", dw1)
+            merge_grad(grads, f"{pre}.mlp.b1", db1)
+            dres, dscale2, dbias2 = layernorm_backward(dh2, ln2_c)
+            merge_grad(grads, f"{pre}.ln2.scale", dscale2)
+            merge_grad(grads, f"{pre}.ln2.bias", dbias2)
+            dx = dx + dres
+            dh = mha_backward(dx, attn_c, f"{pre}.attn", grads)
+            dres1, dscale1, dbias1 = layernorm_backward(dh, ln1_c)
+            merge_grad(grads, f"{pre}.ln1.scale", dscale1)
+            merge_grad(grads, f"{pre}.ln1.bias", dbias1)
+            dx = dx + dres1
+        tokens, positions = caches[0]
+        merge_grad(
+            grads,
+            "tok_embed",
+            embedding_backward(dx, (tokens, p["tok_embed"].shape)),
+        )
+        if self.config.position_encoding == "learned":
+            merge_grad(
+                grads,
+                "pos_embed",
+                embedding_backward(dx, (positions, p["pos_embed"].shape)),
+            )
+        return grads

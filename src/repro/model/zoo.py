@@ -1,0 +1,138 @@
+"""Model zoo: trained LLM/SSM pairs with on-disk weight caching.
+
+The paper's model pairs (OPT-175B with OPT-125M, LLaMA-7B with LLaMA-68M)
+align because they were pre-trained on the same corpus.  The zoo reproduces
+that recipe end-to-end at toy scale: train a 'large' model on a Markov
+corpus, then KL-distill genuinely smaller students toward it.  Weights are
+cached as ``.npz`` checkpoints so examples and benchmarks pay the training
+cost once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.model.config import ModelConfig
+from repro.model.parameters import ParameterStore
+from repro.model.trainer import Trainer, TrainingConfig
+from repro.model.transformer import TransformerLM
+from repro.workloads.corpus import MarkovCorpus
+
+
+@dataclass(frozen=True)
+class ZooSpec:
+    """Recipe for one trained LLM + distilled SSM pair.
+
+    Attributes:
+        vocab_size: Shared vocabulary size.
+        llm_config: Architecture of the large model.
+        ssm_config: Architecture of the small model (same vocab).
+        corpus_branching: Markov corpus branching factor (lower = more
+            predictable text = higher acceptance rates).
+        corpus_seed: Corpus seed.
+        llm_steps: LLM pre-training steps.
+        distill_steps: SSM distillation steps.
+        seed: Weight-init seed.
+    """
+
+    vocab_size: int = 64
+    llm_config: ModelConfig = field(default_factory=lambda: ModelConfig(
+        vocab_size=64, d_model=48, n_layers=3, n_heads=4, max_seq_len=128,
+        name="zoo-llm",
+    ))
+    ssm_config: ModelConfig = field(default_factory=lambda: ModelConfig(
+        vocab_size=64, d_model=16, n_layers=1, n_heads=2, max_seq_len=128,
+        name="zoo-ssm",
+    ))
+    corpus_branching: int = 4
+    corpus_seed: int = 99
+    llm_steps: int = 300
+    distill_steps: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.llm_config.vocab_size != self.vocab_size:
+            raise ValueError("llm_config vocab must match spec vocab")
+        if self.ssm_config.vocab_size != self.vocab_size:
+            raise ValueError("ssm_config vocab must match spec vocab")
+
+    def cache_key(self) -> str:
+        """Deterministic key for the on-disk checkpoint."""
+        digest = hashlib.blake2b(repr(self).encode(), digest_size=8)
+        return digest.hexdigest()
+
+
+class ModelZoo:
+    """Builds and caches trained model pairs.
+
+    Args:
+        cache_dir: Directory for ``.npz`` checkpoints (created on demand);
+            ``None`` disables disk caching (always retrains).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+
+    def corpus(self, spec: ZooSpec) -> MarkovCorpus:
+        """The spec's training corpus."""
+        return MarkovCorpus(
+            vocab_size=spec.vocab_size,
+            branching=spec.corpus_branching,
+            seed=spec.corpus_seed,
+        )
+
+    def trained_pair(self, spec: ZooSpec) -> Tuple[TransformerLM,
+                                                   TransformerLM]:
+        """A trained LLM and a distilled SSM for ``spec`` (cached)."""
+        llm = self._load_or_train_llm(spec)
+        ssm = self._load_or_distill_ssm(spec, llm)
+        return llm, ssm
+
+    # -- internals -------------------------------------------------------------------
+
+    def _checkpoint_path(self, spec: ZooSpec, role: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(
+            self.cache_dir, f"zoo-{spec.cache_key()}-{role}.npz"
+        )
+
+    def _load_or_train_llm(self, spec: ZooSpec) -> TransformerLM:
+        path = self._checkpoint_path(spec, "llm")
+        if path and os.path.exists(path):
+            return TransformerLM(spec.llm_config,
+                                 params=ParameterStore.load(path))
+        model = TransformerLM(spec.llm_config, seed=spec.seed)
+        corpus = self.corpus(spec)
+        trainer = Trainer(
+            model,
+            TrainingConfig(max_steps=spec.llm_steps, learning_rate=3e-3),
+        )
+        trainer.train_lm(corpus.sample_many(48, 40))
+        self._save(model, path)
+        return model
+
+    def _load_or_distill_ssm(self, spec: ZooSpec,
+                             llm: TransformerLM) -> TransformerLM:
+        path = self._checkpoint_path(spec, "ssm")
+        if path and os.path.exists(path):
+            return TransformerLM(spec.ssm_config,
+                                 params=ParameterStore.load(path))
+        model = TransformerLM(spec.ssm_config, seed=spec.seed + 1)
+        corpus = self.corpus(spec)
+        trainer = Trainer(
+            model,
+            TrainingConfig(max_steps=spec.distill_steps, learning_rate=3e-3),
+        )
+        trainer.distill(llm, corpus.sample_many(48, 40))
+        self._save(model, path)
+        return model
+
+    def _save(self, model: TransformerLM, path: Optional[str]) -> None:
+        if path is None:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        model.params.save(path)

@@ -1,0 +1,5 @@
+"""Reporting: ASCII tables and figure-series renderers matching the paper."""
+
+from repro.reporting.tables import AsciiTable, format_float, render_series
+
+__all__ = ["AsciiTable", "format_float", "render_series"]

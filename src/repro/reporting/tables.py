@@ -1,0 +1,65 @@
+"""Minimal ASCII table/series rendering for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep the output alignment stable so
+EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Fixed-point format used throughout the benchmark reports."""
+    return f"{value:.{digits}f}"
+
+
+class AsciiTable:
+    """A fixed-header ASCII table accumulated row by row."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        if not headers:
+            raise ValueError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cell count must match the header."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_series(
+    name: str, xs: Iterable[object], ys: Iterable[float], digits: int = 2
+) -> str:
+    """One figure series as ``name: x=y, x=y, ...`` (figure reproductions)."""
+    pairs = ", ".join(
+        f"{x}={format_float(float(y), digits)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

@@ -1,0 +1,59 @@
+"""Serving runtime (paper section 5.1).
+
+* :mod:`repro.serving.request` -- request lifecycle types.
+* :mod:`repro.serving.session` -- per-request decode state machines
+  (incremental and speculative), advanced one iteration at a time.
+* :mod:`repro.serving.manager` -- the request manager: iteration-level
+  (Orca-style) scheduling with continuous batching; finished requests leave
+  and waiting requests join the batch between iterations.
+* :mod:`repro.serving.policies` -- admission-ordering policies (FCFS, SJF,
+  priority).
+* :mod:`repro.serving.memory` -- KV-cache memory pool and admission control.
+* :mod:`repro.serving.metrics` -- TTFT / TPOT / throughput reporting.
+"""
+
+from repro.serving.request import Request, RequestOutput, RequestState
+from repro.serving.session import (
+    DecodeSession,
+    IncrementalSession,
+    SpeculativeSession,
+)
+from repro.serving.batched_manager import BatchedRequestManager
+from repro.serving.manager import IterationStats, RequestManager
+from repro.serving.memory import KvMemoryPool, KvReservation
+from repro.serving.metrics import (
+    RequestLatency,
+    ServingReport,
+    build_report,
+    report_from_manager,
+    request_latency,
+)
+from repro.serving.policies import (
+    fcfs,
+    longest_job_first,
+    make_priority_policy,
+    shortest_job_first,
+)
+
+__all__ = [
+    "Request",
+    "RequestOutput",
+    "RequestState",
+    "DecodeSession",
+    "IncrementalSession",
+    "SpeculativeSession",
+    "RequestManager",
+    "BatchedRequestManager",
+    "IterationStats",
+    "KvMemoryPool",
+    "KvReservation",
+    "RequestLatency",
+    "ServingReport",
+    "build_report",
+    "report_from_manager",
+    "request_latency",
+    "fcfs",
+    "shortest_job_first",
+    "longest_job_first",
+    "make_priority_policy",
+]

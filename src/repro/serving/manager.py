@@ -1,0 +1,262 @@
+"""Request manager: iteration-level scheduling with continuous batching.
+
+Adapted from Orca's iteration-level scheduling (paper section 5.1): the
+manager schedules *iterations*, not requests.  Each iteration it (1) admits
+waiting requests into free batch slots, (2) advances every running session
+by one LLM decoding iteration, and (3) retires finished requests — so new
+requests start without waiting for the current batch to drain, and finished
+requests stop consuming slots immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.generation import GenerationConfig
+from repro.serving.request import Request, RequestOutput, RequestState
+from repro.serving.session import DecodeSession
+
+
+@dataclass
+class IterationStats:
+    """What one scheduler iteration did (consumed by the cost model).
+
+    Attributes:
+        iteration: Iteration index.
+        batch_size: Sessions advanced this iteration.
+        tokens_emitted: Tokens emitted across the batch.
+        llm_tokens_scored: Token positions scored across the batch.
+        admitted: Requests admitted this iteration.
+        finished: Requests retired this iteration.
+    """
+
+    iteration: int
+    batch_size: int
+    tokens_emitted: int
+    llm_tokens_scored: int
+    admitted: int
+    finished: int
+
+
+@dataclass
+class _Tracked:
+    request: Request
+    session: Optional[DecodeSession] = None
+    output: Optional[RequestOutput] = None
+
+
+class RequestManager:
+    """Continuous-batching scheduler over per-request decode sessions.
+
+    Args:
+        session_factory: Builds a :class:`DecodeSession` for a request —
+            this is where incremental vs speculative serving is chosen.
+        max_batch_size: Maximum concurrently running requests.
+        policy: Admission-ordering policy over the waiting queue
+            (default FCFS; see :mod:`repro.serving.policies`).
+        memory_pool: Optional :class:`~repro.serving.memory.KvMemoryPool`.
+            When set, a request is only admitted if its worst-case KV
+            footprint (prompt + generation budget + ``kv_headroom``) fits;
+            requests that do not fit are skipped this iteration (no
+            head-of-line blocking) and retried once memory frees up.
+        kv_headroom: Extra KV tokens reserved per request for transient
+            tree-verification rows (section 5.3's memory overhead).
+    """
+
+    def __init__(
+        self,
+        session_factory: Callable[[Request], DecodeSession],
+        max_batch_size: int = 8,
+        policy: Optional[Callable] = None,
+        memory_pool: Optional["KvMemoryPool"] = None,
+        kv_headroom: int = 0,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if kv_headroom < 0:
+            raise ValueError("kv_headroom must be >= 0")
+        from repro.serving.policies import fcfs
+
+        self.session_factory = session_factory
+        self.max_batch_size = max_batch_size
+        self.policy = policy or fcfs
+        self.memory_pool = memory_pool
+        self.kv_headroom = kv_headroom
+        self.iteration = 0
+        self.iteration_stats: List[IterationStats] = []
+        self._next_id = 0
+        self._tracked: Dict[int, _Tracked] = {}
+        self._waiting: List[int] = []
+        self._running: List[int] = []
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        prompt: Sequence[int],
+        config: Optional[GenerationConfig] = None,
+    ) -> int:
+        """Enqueue a request; returns its id."""
+        request = Request(
+            request_id=self._next_id,
+            prompt=np.asarray(list(prompt), dtype=np.intp),
+            config=config or GenerationConfig(),
+            arrival_iteration=self.iteration,
+        )
+        self._next_id += 1
+        self._tracked[request.request_id] = _Tracked(request=request)
+        self._waiting.append(request.request_id)
+        return request.request_id
+
+    # -- scheduling ---------------------------------------------------------------
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    def run_iteration(self) -> IterationStats:
+        """One scheduler iteration: admit, advance, retire."""
+        admitted = self._admit()
+        tokens_emitted = 0
+        llm_tokens = 0
+        finished_ids: List[int] = []
+        for request_id in self._running:
+            tracked = self._tracked[request_id]
+            session = tracked.session
+            emitted = session.step()
+            tokens_emitted += len(emitted)
+            if session.steps:
+                llm_tokens += session.steps[-1].llm_tokens_scored
+            output = tracked.output
+            if emitted and output.first_token_iteration is None:
+                output.first_token_iteration = self.iteration
+            if session.finished:
+                finished_ids.append(request_id)
+        for request_id in finished_ids:
+            self._retire(request_id)
+        stats = IterationStats(
+            iteration=self.iteration,
+            batch_size=len(self._running) + len(finished_ids),
+            tokens_emitted=tokens_emitted,
+            llm_tokens_scored=llm_tokens,
+            admitted=admitted,
+            finished=len(finished_ids),
+        )
+        self.iteration_stats.append(stats)
+        self.iteration += 1
+        return stats
+
+    def run_until_complete(self, max_iterations: int = 100000) -> List[RequestOutput]:
+        """Drain the queue; returns finished outputs in completion order."""
+        start = self.iteration
+        while self.has_work:
+            if self.iteration - start >= max_iterations:
+                raise RuntimeError(
+                    f"exceeded {max_iterations} iterations without draining"
+                )
+            self.run_iteration()
+            if self._waiting and not self._running:
+                stuck = [
+                    rid for rid in self._waiting
+                    if not self._try_fits_alone(rid)
+                ]
+                if stuck:
+                    raise MemoryError(
+                        f"requests {stuck} can never fit in the KV memory "
+                        f"pool even with an empty batch"
+                    )
+        return self.finished_outputs()
+
+    def _try_fits_alone(self, request_id: int) -> bool:
+        """Could this request be admitted into an otherwise empty pool?"""
+        if self.memory_pool is None:
+            return True
+        request = self._tracked[request_id].request
+        tokens = (
+            len(request.prompt)
+            + request.config.max_new_tokens
+            + self.kv_headroom
+        )
+        return self.memory_pool.tokens_to_bytes(tokens) <= \
+            self.memory_pool.budget_bytes
+
+    def finished_outputs(self) -> List[RequestOutput]:
+        """Outputs of all finished requests, ordered by finish iteration."""
+        outputs = [
+            t.output
+            for t in self._tracked.values()
+            if t.request.state is RequestState.FINISHED
+        ]
+        return sorted(outputs, key=lambda o: (o.finish_iteration, o.request_id))
+
+    def output_for(self, request_id: int) -> RequestOutput:
+        """The output of one finished request."""
+        tracked = self._tracked.get(request_id)
+        if tracked is None:
+            raise KeyError(f"unknown request id {request_id}")
+        if tracked.request.state is not RequestState.FINISHED:
+            raise ValueError(f"request {request_id} has not finished")
+        return tracked.output
+
+    # -- internals -----------------------------------------------------------------
+
+    def _admit(self) -> int:
+        admitted = 0
+        ordered = self.policy(
+            [self._tracked[rid].request for rid in self._waiting]
+        )
+        for request in ordered:
+            if len(self._running) >= self.max_batch_size:
+                break
+            if not self._try_reserve(request):
+                continue  # does not fit in KV memory right now; skip ahead
+            request_id = request.request_id
+            self._waiting.remove(request_id)
+            tracked = self._tracked[request_id]
+            tracked.session = self.session_factory(tracked.request)
+            tracked.output = RequestOutput(request_id=request_id)
+            tracked.request.state = RequestState.RUNNING
+            self._running.append(request_id)
+            admitted += 1
+        return admitted
+
+    def _try_reserve(self, request: Request) -> bool:
+        if self.memory_pool is None:
+            return True
+        tokens = (
+            len(request.prompt)
+            + request.config.max_new_tokens
+            + self.kv_headroom
+        )
+        if not self.memory_pool.can_admit(tokens):
+            return False
+        self.memory_pool.reserve(request.request_id, tokens)
+        return True
+
+    def _retire(self, request_id: int) -> None:
+        if self.memory_pool is not None:
+            self.memory_pool.release(request_id)
+        tracked = self._tracked[request_id]
+        session = tracked.session
+        output = tracked.output
+        output.tokens = list(session.tokens)
+        output.finished_by_eos = session.finished_by_eos
+        output.finish_iteration = self.iteration
+        output.num_llm_steps = len(session.steps)
+        tracked.request.state = RequestState.FINISHED
+        release = getattr(session, "release", None)
+        if callable(release):
+            release()  # paged caches return their blocks to the pool
+        tracked.session = None  # free the KV cache
+        self._running.remove(request_id)

@@ -1,0 +1,117 @@
+"""KV-cache memory accounting and admission control.
+
+Paper section 2: "caching keys and values introduces significant memory
+overhead, which prevents existing systems from serving a large number of
+requests in parallel".  This module makes that constraint explicit for the
+serving runtime: a :class:`KvMemoryPool` tracks the device-memory budget
+available for KV caches, and the request manager consults it before
+admitting a request — a request only starts when its worst-case cache
+footprint (prompt + generation budget + speculation headroom) fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cluster.models import kv_bytes_per_token
+from repro.model.config import ModelConfig
+
+
+@dataclass
+class KvReservation:
+    """One request's reserved KV budget."""
+
+    request_id: int
+    tokens: int
+    bytes: int
+
+
+class KvMemoryPool:
+    """Fixed-budget allocator for per-request KV-cache reservations.
+
+    Reservations are worst-case (made at admission, released at retirement),
+    matching how conservative serving systems avoid mid-flight OOM.
+
+    Args:
+        budget_bytes: Device memory available for KV caches.
+        model: Architecture whose per-token KV footprint applies.
+        bytes_per_value: Cache precision (2 = FP16).
+    """
+
+    def __init__(self, budget_bytes: float, model: ModelConfig,
+                 bytes_per_value: int = 2):
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = float(budget_bytes)
+        self.model = model
+        self.bytes_per_token = kv_bytes_per_token(model, bytes_per_value)
+        self._reservations: Dict[int, KvReservation] = {}
+        self._reserved_bytes = 0.0
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def reserved_bytes(self) -> float:
+        return self._reserved_bytes
+
+    @property
+    def available_bytes(self) -> float:
+        return self.budget_bytes - self._reserved_bytes
+
+    @property
+    def num_reservations(self) -> int:
+        return len(self._reservations)
+
+    def tokens_to_bytes(self, tokens: int) -> int:
+        return tokens * self.bytes_per_token
+
+    def max_concurrent_requests(self, tokens_per_request: int) -> int:
+        """How many same-shaped requests the budget can hold at once."""
+        per_request = self.tokens_to_bytes(tokens_per_request)
+        if per_request <= 0:
+            raise ValueError("tokens_per_request must be positive")
+        return int(self.budget_bytes // per_request)
+
+    # -- reserve / release -----------------------------------------------------------
+
+    def can_admit(self, tokens: int) -> bool:
+        """Would a reservation of ``tokens`` fit right now?"""
+        return self.tokens_to_bytes(tokens) <= self.available_bytes
+
+    def reserve(self, request_id: int, tokens: int) -> KvReservation:
+        """Reserve KV memory for a request; raises if it does not fit."""
+        if request_id in self._reservations:
+            raise ValueError(f"request {request_id} already has a reservation")
+        nbytes = self.tokens_to_bytes(tokens)
+        if nbytes > self.available_bytes:
+            raise MemoryError(
+                f"KV pool exhausted: need {nbytes / 1e6:.1f} MB, have "
+                f"{self.available_bytes / 1e6:.1f} MB"
+            )
+        reservation = KvReservation(request_id=request_id, tokens=tokens,
+                                    bytes=nbytes)
+        self._reservations[request_id] = reservation
+        self._reserved_bytes += nbytes
+        return reservation
+
+    def release(self, request_id: int) -> None:
+        """Release a request's reservation (idempotent for unknown ids is
+        an error — releasing twice indicates a scheduler bug)."""
+        reservation = self._reservations.pop(request_id, None)
+        if reservation is None:
+            raise KeyError(f"no reservation for request {request_id}")
+        self._reserved_bytes -= reservation.bytes
+
+
+def speculation_headroom(tree_budget: int) -> int:
+    """Extra KV rows a speculative session can transiently occupy.
+
+    During verification the cache holds the verified prefix *plus* every
+    tree token until compaction, so admission must reserve the tree budget
+    on top of prompt + generation tokens (the paper's section 5.3 'memory
+    overhead of token tree verification' — small but nonzero).
+    """
+    if tree_budget < 0:
+        raise ValueError("tree_budget must be >= 0")
+    return tree_budget

@@ -1,0 +1,64 @@
+"""Admission-ordering policies for the request manager.
+
+Orca-style iteration-level scheduling decides *when* requests join the
+batch; a policy decides *which* waiting request joins first.  The paper
+uses FCFS; shortest-job-first and priority policies are provided for
+latency studies (SJF minimizes mean completion time when job lengths are
+known, a standard scheduling result that holds per-iteration here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Protocol, Sequence
+
+from repro.serving.request import Request
+
+#: A policy orders the waiting queue; the manager admits from the front.
+SchedulingPolicy = Callable[[Sequence[Request]], List[Request]]
+
+
+def fcfs(waiting: Sequence[Request]) -> List[Request]:
+    """First-come-first-served (the paper's policy)."""
+    return sorted(waiting, key=lambda r: (r.arrival_iteration, r.request_id))
+
+
+def shortest_job_first(waiting: Sequence[Request]) -> List[Request]:
+    """Admit the smallest total work first (prompt + generation budget).
+
+    Ties break FCFS so the policy stays deterministic and starvation-free
+    among equal-length jobs.
+    """
+    return sorted(
+        waiting,
+        key=lambda r: (
+            len(r.prompt) + r.config.max_new_tokens,
+            r.arrival_iteration,
+            r.request_id,
+        ),
+    )
+
+
+def longest_job_first(waiting: Sequence[Request]) -> List[Request]:
+    """Admit the largest total work first (throughput-packing heuristic)."""
+    return sorted(
+        waiting,
+        key=lambda r: (
+            -(len(r.prompt) + r.config.max_new_tokens),
+            r.arrival_iteration,
+            r.request_id,
+        ),
+    )
+
+
+def make_priority_policy(
+    priority_of: Callable[[Request], float]
+) -> SchedulingPolicy:
+    """Build a policy from a priority function (lower value = sooner)."""
+
+    def policy(waiting: Sequence[Request]) -> List[Request]:
+        return sorted(
+            waiting,
+            key=lambda r: (priority_of(r), r.arrival_iteration, r.request_id),
+        )
+
+    return policy

@@ -1,0 +1,64 @@
+"""Request lifecycle types for the serving runtime."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.generation import GenerationConfig
+
+
+class RequestState(enum.Enum):
+    """Where a request is in its lifecycle."""
+
+    WAITING = "waiting"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One LLM serving request.
+
+    Attributes:
+        request_id: Unique id assigned by the request manager.
+        prompt: Input token ids.
+        config: Generation bounds/decoding mode.
+        arrival_iteration: Manager iteration at which the request arrived.
+        state: Lifecycle state (managed by the request manager).
+    """
+
+    request_id: int
+    prompt: np.ndarray
+    config: GenerationConfig
+    arrival_iteration: int = 0
+    state: RequestState = RequestState.WAITING
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt, dtype=np.intp)
+        if self.prompt.size == 0:
+            raise ValueError("prompt must be non-empty")
+
+
+@dataclass
+class RequestOutput:
+    """A finished request's result.
+
+    Attributes:
+        request_id: The request this output belongs to.
+        tokens: Generated tokens.
+        finished_by_eos: Whether generation hit EOS (vs the token budget).
+        first_token_iteration: Iteration at which the first token appeared.
+        finish_iteration: Iteration at which the request completed.
+        num_llm_steps: LLM decoding iterations the request consumed.
+    """
+
+    request_id: int
+    tokens: List[int] = field(default_factory=list)
+    finished_by_eos: bool = False
+    first_token_iteration: Optional[int] = None
+    finish_iteration: Optional[int] = None
+    num_llm_steps: int = 0

@@ -1,0 +1,191 @@
+"""Per-request decode sessions: incremental and speculative state machines.
+
+A session owns everything one request needs between scheduler iterations —
+LLM KV cache, speculator caches, the pending token, the RNG — and exposes a
+single ``step()`` that performs one LLM decoding iteration and returns the
+tokens it emitted.  The request manager interleaves sessions at iteration
+granularity (continuous batching).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List
+
+import numpy as np
+
+from repro.engine.generation import StepTrace
+from repro.model.sampling import sample_token
+from repro.model.transformer import TransformerLM
+from repro.serving.request import Request
+from repro.speculate.speculator import Speculator
+from repro.verify.verifier import TokenTreeVerifier
+
+
+class DecodeSession(ABC):
+    """State machine advancing one request by one LLM iteration per step.
+
+    Args:
+        request: The request being served.
+        model: The LLM.
+        cache_factory: Optional override for KV-cache allocation — e.g.
+            ``pool.new_sequence`` to place this request's cache in a shared
+            :class:`~repro.model.paged_cache.PagedKVPool`.  Defaults to a
+            private contiguous cache.
+    """
+
+    def __init__(self, request: Request, model: TransformerLM,
+                 cache_factory: Callable = None):
+        self.request = request
+        self.model = model
+        self.tokens: List[int] = []
+        self.steps: List[StepTrace] = []
+        self.finished_by_eos = False
+        self._cache = (cache_factory or model.new_cache)()
+        prompt = request.prompt
+        if prompt.size > 1:
+            model.prefill(prompt[:-1], self._cache)
+        self._pending = int(prompt[-1])
+        self._rng = np.random.default_rng(request.config.seed)
+
+    @property
+    def finished(self) -> bool:
+        return (
+            self.finished_by_eos
+            or len(self.tokens) >= self.request.config.max_new_tokens
+            or self._cache.length + 1 >= self._cache.capacity
+        )
+
+    def _emit(self, emitted: List[int]) -> List[int]:
+        """Append tokens, honoring EOS and the token budget."""
+        config = self.request.config
+        eos = self.model.config.eos_token_id
+        appended: List[int] = []
+        for token in emitted:
+            if len(self.tokens) >= config.max_new_tokens:
+                break
+            self.tokens.append(int(token))
+            appended.append(int(token))
+            if config.stop_on_eos and token == eos:
+                self.finished_by_eos = True
+                break
+        return appended
+
+    @abstractmethod
+    def step(self) -> List[int]:
+        """One LLM decoding iteration; returns emitted tokens."""
+
+
+    def release(self) -> None:
+        """Free the session's cache resources (paged caches return their
+        blocks to the pool; contiguous caches have nothing to do)."""
+        free = getattr(self._cache, "free", None)
+        if callable(free):
+            free()
+
+
+class IncrementalSession(DecodeSession):
+    """One token per iteration (Algorithm 1)."""
+
+    def step(self) -> List[int]:
+        if self.finished:
+            return []
+        logits = self.model.decode(self._pending, self._cache)
+        token = sample_token(logits, self.request.config.sampling, self._rng)
+        self.steps.append(
+            StepTrace(
+                llm_tokens_scored=1,
+                tokens_emitted=1,
+                prefix_len=self._cache.length - 1,
+            )
+        )
+        self._pending = token
+        return self._emit([token])
+
+
+class SpeculativeSession(DecodeSession):
+    """Tree-based speculate/verify per iteration (Algorithm 2).
+
+    Args:
+        request: The request being served.
+        model: The LLM.
+        speculator_factory: Builds a fresh :class:`Speculator` per session
+            (speculators hold per-request SSM caches).
+    """
+
+    def __init__(
+        self,
+        request: Request,
+        model: TransformerLM,
+        speculator_factory: Callable[[], Speculator],
+        cache_factory: Callable = None,
+    ):
+        super().__init__(request, model, cache_factory=cache_factory)
+        self.speculator = speculator_factory()
+        if request.prompt.size > 1:
+            self.speculator.prefill(request.prompt[:-1])
+        self._verifier = TokenTreeVerifier(
+            model, sampling=request.config.sampling, rng=self._rng
+        )
+
+    def step(self) -> List[int]:
+        if self.finished:
+            return []
+        tree = self.prepare_step()
+        if tree is None:
+            return []
+        verification = self._verifier.verify_step(tree, self._cache)
+        return self.commit_step(tree, verification)
+
+    # -- two-phase interface (used by the batched manager) -----------------------
+
+    def prepare_step(self):
+        """Phase 1: speculate (and prune) this iteration's token tree.
+
+        Returns ``None`` when the request cannot decode further (context
+        exhausted).  The batched request manager calls this on every
+        running session, verifies all trees in one fused pass, then calls
+        :meth:`commit_step` per session.
+        """
+        tree = self.speculator.speculate(
+            self._pending,
+            stochastic=not self.request.config.sampling.greedy,
+            rng=self._rng,
+        )
+        available = self._cache.capacity - self._cache.length
+        max_depth = self.model.config.max_seq_len - 1 - self._cache.length
+        if len(tree) > available or tree.max_depth() > max_depth:
+            from repro.engine.tree_spec import _prune_to_size
+
+            if available < 1 or max_depth < 0:
+                return None
+            tree = _prune_to_size(tree, available, max_depth=max_depth)
+        return tree
+
+    @property
+    def cache(self):
+        """The session's KV cache (the batched verifier compacts it)."""
+        return self._cache
+
+    def commit_step(self, tree, verification) -> List[int]:
+        """Phase 2: record the verification outcome and advance state."""
+        accepted = verification.accepted_tokens
+        leaves = [i for i in range(len(tree)) if tree.is_leaf(i)]
+        self.steps.append(
+            StepTrace(
+                llm_tokens_scored=len(tree),
+                tokens_emitted=len(accepted),
+                ssm_steps=self.speculator.speculation_latency_steps(),
+                tree_size=len(tree),
+                tree_depth=tree.max_depth(),
+                tree_leaves=len(leaves),
+                tree_path_tokens=sum(len(tree.path_to(i)) for i in leaves),
+                prefix_len=self._cache.length - len(verification.accepted_nodes),
+                num_rejections=verification.num_rejections,
+            )
+        )
+        emitted = self._emit(accepted)
+        if not self.finished:
+            self.speculator.advance([self._pending] + accepted[:-1])
+            self._pending = verification.bonus_token
+        return emitted

@@ -1,0 +1,25 @@
+"""Learning-based speculator (paper section 3).
+
+* :mod:`repro.speculate.expansion` -- expansion configurations ⟨k1…km⟩ and
+  expansion-based token tree construction from a single SSM.
+* :mod:`repro.speculate.speculator` -- the :class:`Speculator` façade: drives
+  one or more SSMs, merges their trees (merge-based construction), and keeps
+  SSM KV caches synchronized with the verified sequence.
+* :mod:`repro.speculate.boost` -- adaptive boost-tuning of an SSM pool
+  against the LLM on an unlabeled corpus.
+"""
+
+from repro.speculate.adaptive import AdaptiveConfig, expand_token_tree_adaptive
+from repro.speculate.expansion import ExpansionConfig, expand_token_tree
+from repro.speculate.speculator import Speculator
+from repro.speculate.boost import BoostTuner, BoostTuningReport
+
+__all__ = [
+    "ExpansionConfig",
+    "expand_token_tree",
+    "AdaptiveConfig",
+    "expand_token_tree_adaptive",
+    "Speculator",
+    "BoostTuner",
+    "BoostTuningReport",
+]

@@ -1,0 +1,167 @@
+"""The learning-based speculator façade (paper sections 2-3).
+
+A :class:`Speculator` owns one or more SSMs plus their KV caches and turns
+the current generation state into a speculated token tree each iteration:
+
+* one SSM  -> expansion-based construction (top-k tree under ⟨k1…km⟩),
+* many SSMs -> merge-based construction: each SSM expands its own tree
+  (typically a narrow one) and the trees are merged per Definition 3.2.
+
+The speculator mirrors the verified sequence in every SSM's cache.  The
+engine protocol is::
+
+    spec.prefill(prompt_prefix)          # verified prefix, pending excluded
+    tree = spec.speculate(pending)       # caches restored afterwards
+    ... verifier accepts some tokens ...
+    spec.advance([pending] + accepted)   # extend the mirrored prefix
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.speculate.expansion import ExpansionConfig, expand_token_tree
+from repro.tree.token_tree import TokenTree, merge_trees
+
+
+class Speculator:
+    """Drives SSMs to produce speculated token trees.
+
+    Args:
+        ssms: One or more small speculative models (``TransformerLM`` or
+            ``CoupledSSM``).  With several SSMs, per-SSM trees are merged.
+        config: Expansion configuration applied to each SSM.
+        per_ssm_configs: Optional per-SSM override of ``config`` (merge-based
+            speculation often gives each boost-tuned SSM a plain sequence).
+        temperature: Temperature of the recorded SSM proposal distributions.
+    """
+
+    def __init__(
+        self,
+        ssms: Sequence,
+        config: Optional[ExpansionConfig] = None,
+        per_ssm_configs: Optional[Sequence[ExpansionConfig]] = None,
+        temperature: float = 1.0,
+        adaptive: Optional["AdaptiveConfig"] = None,
+    ):
+        if not ssms:
+            raise ValueError("speculator needs at least one SSM")
+        self.ssms = list(ssms)
+        self.adaptive = adaptive
+        self.config = config or ExpansionConfig.paper_default()
+        if per_ssm_configs is not None and len(per_ssm_configs) != len(self.ssms):
+            raise ValueError(
+                f"per_ssm_configs has {len(per_ssm_configs)} entries for "
+                f"{len(self.ssms)} SSMs"
+            )
+        self.per_ssm_configs = (
+            list(per_ssm_configs)
+            if per_ssm_configs is not None
+            else [self.config] * len(self.ssms)
+        )
+        self.temperature = temperature
+        self._caches = [ssm.new_cache() for ssm in self.ssms]
+        self._prefix_len = 0
+        # Cost accounting for the cluster model: SSM decode steps issued in
+        # the most recent speculate() call (all SSMs run in data parallel, so
+        # the latency-relevant figure is the max over SSMs).
+        self.last_ssm_steps: List[int] = [0] * len(self.ssms)
+
+    # -- cache mirroring -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all mirrored state (new request)."""
+        self._caches = [ssm.new_cache() for ssm in self.ssms]
+        self._prefix_len = 0
+
+    def prefill(self, tokens: Sequence[int]) -> None:
+        """Mirror the verified prompt prefix into every SSM cache."""
+        arr = np.asarray(list(tokens), dtype=np.intp)
+        if arr.size == 0:
+            return
+        for ssm, cache in zip(self.ssms, self._caches):
+            ssm.prefill(arr, cache)
+        self._prefix_len += int(arr.size)
+
+    def advance(self, tokens: Sequence[int]) -> None:
+        """Extend the mirrored verified prefix by newly accepted tokens."""
+        self.prefill(tokens)
+
+    @property
+    def prefix_len(self) -> int:
+        """Number of verified tokens mirrored into the SSM caches."""
+        return self._prefix_len
+
+    # -- speculation ------------------------------------------------------------------
+
+    def speculate(
+        self,
+        pending_token: int,
+        stochastic: bool = False,
+        rng: "np.random.Generator" = None,
+    ) -> TokenTree:
+        """Produce a speculated token tree rooted at ``pending_token``.
+
+        SSM caches are left unchanged (snapshot/restore inside expansion);
+        only :meth:`advance` moves them forward.
+
+        Args:
+            pending_token: The tree root (last generated token).
+            stochastic: Sample proposals from the SSM distributions instead
+                of taking top-k — required for distribution-preserving
+                stochastic decoding (see :func:`expand_token_tree`).
+            rng: Randomness for stochastic proposals.
+        """
+        trees: List[TokenTree] = []
+        for ssm_id, (ssm, cache, cfg) in enumerate(
+            zip(self.ssms, self._caches, self.per_ssm_configs)
+        ):
+            if self.adaptive is not None:
+                from repro.speculate.adaptive import expand_token_tree_adaptive
+
+                tree = expand_token_tree_adaptive(
+                    ssm,
+                    pending_token,
+                    cache,
+                    self.adaptive,
+                    ssm_id=ssm_id,
+                    temperature=self.temperature,
+                    stochastic=stochastic,
+                    rng=rng,
+                )
+            else:
+                tree = expand_token_tree(
+                    ssm,
+                    pending_token,
+                    cache,
+                    cfg,
+                    ssm_id=ssm_id,
+                    temperature=self.temperature,
+                    stochastic=stochastic,
+                    rng=rng,
+                )
+            # Internal nodes each cost one SSM decode step.
+            self.last_ssm_steps[ssm_id] = sum(
+                1 for n in range(len(tree)) if tree.nodes[n].children
+            )
+            trees.append(tree)
+        if len(trees) == 1:
+            return trees[0]
+        return merge_trees(trees)
+
+    def speculation_latency_steps(self) -> int:
+        """Sequential SSM decode steps of the last speculation.
+
+        SSMs run data-parallel on different GPUs (section 5.1), so latency is
+        governed by the *deepest* single-SSM expansion, which for a static
+        config is its depth; the width-k branching at one level is served by
+        batching candidate branches, and the dominant term is tree depth.
+        """
+        if self.adaptive is not None:
+            return self.adaptive.max_depth
+        return max(
+            (cfg.depth for cfg in self.per_ssm_configs),
+            default=0,
+        )

@@ -1,0 +1,100 @@
+"""Tree linearization, topology-aware causal masks, and tree positions.
+
+This module implements the machinery of paper section 4.2 (tree-based
+parallel decoding):
+
+* tokens of a token tree are laid out in the KV cache in **DFS order**;
+* a **topology-aware causal mask** lets a single fused attention pass compute,
+  for every node ``u``, exactly the attention it would receive if its
+  root-to-``u`` sequence were decoded alone (Definition 4.1, tree attention);
+* positions are **depth-based** (``prefix_len + depth``), so shared prefixes
+  share position embeddings across branches, exactly as in sequence decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.model.attention import NEG_INF
+from repro.tree.token_tree import TokenTree
+
+
+@dataclass(frozen=True)
+class LinearizedTree:
+    """A token tree flattened to DFS order for tree-parallel decoding.
+
+    Attributes:
+        order: ``order[i]`` is the tree-node index occupying linear slot ``i``.
+        slot_of: inverse mapping, ``slot_of[node_index] = linear slot``.
+        tokens: ``(n,)`` token ids in linear order.
+        parents: ``(n,)`` linear slot of each slot's parent (-1 for the root).
+        depths: ``(n,)`` node depths in linear order.
+    """
+
+    order: List[int]
+    slot_of: Dict[int, int]
+    tokens: np.ndarray
+    parents: np.ndarray
+    depths: np.ndarray
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.order)
+
+
+def linearize(tree: TokenTree) -> LinearizedTree:
+    """Flatten ``tree`` to DFS order (the KV-cache layout of Figure 4)."""
+    order = tree.dfs_order()
+    slot_of = {node_idx: slot for slot, node_idx in enumerate(order)}
+    tokens = np.array([tree.nodes[i].token for i in order], dtype=np.intp)
+    parents = np.array(
+        [
+            -1 if tree.nodes[i].parent == -1 else slot_of[tree.nodes[i].parent]
+            for i in order
+        ],
+        dtype=np.intp,
+    )
+    depths = np.array([tree.nodes[i].depth for i in order], dtype=np.intp)
+    return LinearizedTree(
+        order=order, slot_of=slot_of, tokens=tokens, parents=parents, depths=depths
+    )
+
+
+def topology_causal_mask(
+    lin: LinearizedTree, prefix_len: int, dtype: str = "float64"
+) -> np.ndarray:
+    """The topology-aware causal mask of section 4.2.
+
+    Returns an additive mask of shape ``(n, prefix_len + n)`` where ``n`` is
+    the number of tree tokens.  Tree token ``j`` may attend to:
+
+    * every position of the already-verified prefix (columns ``< prefix_len``),
+    * itself and its tree ancestors (columns ``prefix_len + k`` where slot
+      ``k`` is on the root-to-``j`` path).
+
+    Everything else is ``-inf`` — in particular *siblings and their subtrees*,
+    which is what repairs the causality violations that naive batching of
+    tree tokens would introduce (the paper's ``t7`` vs ``t5`` example).
+    """
+    n = lin.num_tokens
+    mask = np.full((n, prefix_len + n), NEG_INF, dtype=dtype)
+    mask[:, :prefix_len] = 0.0
+    for j in range(n):
+        k = j
+        while k != -1:
+            mask[j, prefix_len + k] = 0.0
+            k = int(lin.parents[k])
+    return mask
+
+
+def tree_positions(lin: LinearizedTree, prefix_len: int) -> np.ndarray:
+    """Depth-based absolute positions: ``prefix_len + depth`` per tree token.
+
+    Two tokens at the same depth on different branches occupy the same
+    *position* (they are alternative candidates for the same sequence slot)
+    even though they occupy different KV-cache rows.
+    """
+    return prefix_len + lin.depths

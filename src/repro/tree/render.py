@@ -1,0 +1,69 @@
+"""ASCII rendering of token trees (debugging / example output).
+
+Renders a :class:`~repro.tree.token_tree.TokenTree` as an indented tree,
+optionally marking the verifier-accepted path and labeling tokens through a
+tokenizer — the textual analogue of the paper's Figure 2/3 diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.tree.token_tree import TokenTree
+
+
+def render_tree(
+    tree: TokenTree,
+    accepted_nodes: Optional[Iterable[int]] = None,
+    label: Optional[Callable[[int], str]] = None,
+    show_ssm_ids: bool = False,
+) -> str:
+    """Render ``tree`` as indented ASCII.
+
+    Args:
+        tree: The token tree.
+        accepted_nodes: Node indices on the verified path; marked ``*``.
+        label: Maps a token id to a display string (default: the id).
+        show_ssm_ids: Append each node's proposing-SSM attribution.
+
+    Returns:
+        A multi-line string, one node per line, root first.
+    """
+    accepted: Set[int] = set(accepted_nodes or ())
+    label = label or str
+    lines: List[str] = []
+
+    def describe(idx: int) -> str:
+        node = tree.nodes[idx]
+        text = label(node.token)
+        mark = " *" if idx in accepted else ""
+        ssm = ""
+        if show_ssm_ids and node.ssm_ids:
+            ssm = f" [ssm {','.join(str(s) for s in sorted(node.ssm_ids))}]"
+        return f"{text}{ssm}{mark}"
+
+    def walk(idx: int, prefix: str, is_last: bool) -> None:
+        if idx == 0:
+            lines.append(describe(idx))
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + describe(idx))
+        children = tree.nodes[idx].children
+        for i, child in enumerate(children):
+            if idx == 0:
+                child_prefix = ""
+            else:
+                child_prefix = prefix + ("    " if is_last else "|   ")
+            walk(child, child_prefix, i == len(children) - 1)
+
+    walk(0, "", True)
+    return "\n".join(lines)
+
+
+def tree_stats_line(tree: TokenTree) -> str:
+    """One-line summary: nodes, depth, leaves (log-friendly)."""
+    leaves = sum(1 for i in range(len(tree)) if tree.is_leaf(i))
+    return (
+        f"tree: {len(tree)} nodes ({tree.num_speculated()} speculated), "
+        f"depth {tree.max_depth()}, {leaves} leaves"
+    )

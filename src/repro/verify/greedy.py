@@ -1,0 +1,46 @@
+"""``VerifyGreedy`` (Algorithm 2): greedy token tree verification.
+
+Walk the tree from the root; at each node ``u`` the LLM's greedy output
+``𝒪(u)`` is compared against ``u``'s children.  A matching child is accepted
+and the walk descends; on the first miss (or at a leaf) ``𝒪(u)`` itself is
+appended as the bonus token and verification stops.  The emitted sequence is
+therefore *exactly* the one incremental greedy decoding would produce —
+SpecInfer's losslessness guarantee for greedy decoding.
+"""
+
+from __future__ import annotations
+
+from repro.tree.token_tree import TokenTree
+from repro.verify.decode import TreeDecodeOutput
+from repro.verify.result import VerificationResult
+
+
+def verify_greedy(output: TreeDecodeOutput, tree: TokenTree) -> VerificationResult:
+    """Verify ``tree`` against greedy LLM outputs.
+
+    Args:
+        output: Tree-parallel decode output (𝒪 in Algorithm 2).
+        tree: The speculated token tree 𝒩.
+
+    Returns:
+        A :class:`VerificationResult`; ``accepted_tokens`` are the verified
+        tokens 𝒱 (accepted speculated tokens + one bonus token).
+    """
+    result = VerificationResult()
+    u = 0
+    result.accepted_nodes.append(u)
+    while True:
+        llm_token = output.greedy_token_for_node(u)
+        result.num_candidates_considered += 1
+        matched = -1
+        for child in tree.nodes[u].children:
+            if tree.nodes[child].token == llm_token:
+                matched = child
+                break
+        if matched == -1:
+            result.accepted_tokens.append(llm_token)
+            result.bonus_token = llm_token
+            return result
+        result.accepted_tokens.append(llm_token)
+        result.accepted_nodes.append(matched)
+        u = matched

@@ -1,0 +1,49 @@
+"""Workloads: synthetic prompt datasets, training corpus, toy tokenizer.
+
+The paper evaluates on prompts from five datasets (Alpaca, ChatGPT Prompts,
+WebQA, Chatbot Instruction Prompts, PIQA) and boost-tunes on OpenWebText.
+Offline stand-ins live here; see DESIGN.md's substitution table.
+"""
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    PromptDataset,
+    dataset_specs,
+    make_dataset,
+)
+from repro.workloads.arrival import (
+    Arrival,
+    PoissonArrivals,
+    UniformArrivals,
+    drive_manager,
+)
+from repro.workloads.conversation import (
+    Conversation,
+    ConversationBuilder,
+    ConversationResult,
+    ConversationTurn,
+    serve_conversation,
+)
+from repro.workloads.corpus import MarkovCorpus, ZipfCorpus
+from repro.workloads.tokenizer import ToyTokenizer
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "PromptDataset",
+    "dataset_specs",
+    "make_dataset",
+    "MarkovCorpus",
+    "ZipfCorpus",
+    "ToyTokenizer",
+    "Arrival",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "drive_manager",
+    "Conversation",
+    "ConversationBuilder",
+    "ConversationResult",
+    "ConversationTurn",
+    "serve_conversation",
+]

@@ -1,0 +1,141 @@
+"""Multi-turn conversation workloads.
+
+The paper's datasets "simulate real-world conversation traces": each turn
+appends the user's prompt to the accumulated history and the model's reply
+extends it further, so context length grows turn over turn — the regime
+where KV-cache memory pressure (section 2) and per-step weight reads
+dominate.  :class:`ConversationBuilder` produces such multi-turn request
+sequences; :func:`serve_conversation` runs one conversation through an
+engine, threading the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ConversationTurn:
+    """One turn: the user prompt tokens and the model's reply budget."""
+
+    user_tokens: np.ndarray
+    reply_budget: int
+
+
+@dataclass
+class Conversation:
+    """A scripted multi-turn conversation."""
+
+    turns: List[ConversationTurn] = field(default_factory=list)
+
+    @property
+    def num_turns(self) -> int:
+        return len(self.turns)
+
+    def max_context(self) -> int:
+        """Worst-case total context if every reply uses its full budget."""
+        return sum(
+            len(t.user_tokens) + t.reply_budget for t in self.turns
+        )
+
+
+class ConversationBuilder:
+    """Samples scripted conversations from a prompt dataset.
+
+    Args:
+        dataset: A prompt source with ``sample_prompt(max_len)``.
+        turns: Turns per conversation.
+        user_len: Maximum user-prompt length per turn.
+        reply_budget: Reply tokens per turn.
+        seed: RNG seed for turn-length jitter.
+    """
+
+    def __init__(self, dataset, turns: int = 3, user_len: int = 10,
+                 reply_budget: int = 12, seed: int = 0):
+        if turns < 1:
+            raise ValueError("turns must be >= 1")
+        if reply_budget < 1:
+            raise ValueError("reply_budget must be >= 1")
+        self.dataset = dataset
+        self.turns = turns
+        self.user_len = user_len
+        self.reply_budget = reply_budget
+        self._rng = np.random.default_rng(seed)
+
+    def build(self) -> Conversation:
+        """One scripted conversation."""
+        conversation = Conversation()
+        for _ in range(self.turns):
+            budget = int(self._rng.integers(
+                max(1, self.reply_budget // 2), self.reply_budget + 1
+            ))
+            conversation.turns.append(
+                ConversationTurn(
+                    user_tokens=self.dataset.sample_prompt(
+                        max_len=self.user_len
+                    ),
+                    reply_budget=budget,
+                )
+            )
+        return conversation
+
+    def build_many(self, n: int) -> List[Conversation]:
+        return [self.build() for _ in range(n)]
+
+
+@dataclass
+class ConversationResult:
+    """Outcome of serving one conversation.
+
+    Attributes:
+        replies: The model's reply tokens per turn.
+        contexts: Context length at the *start* of each turn's generation.
+        llm_steps: LLM decoding steps per turn.
+    """
+
+    replies: List[List[int]] = field(default_factory=list)
+    contexts: List[int] = field(default_factory=list)
+    llm_steps: List[int] = field(default_factory=list)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(len(r) for r in self.replies)
+
+    @property
+    def total_llm_steps(self) -> int:
+        return sum(self.llm_steps)
+
+
+def serve_conversation(engine, conversation: Conversation,
+                       max_context: int = 0) -> ConversationResult:
+    """Run a conversation through a generation engine, threading history.
+
+    Args:
+        engine: Any engine with ``generate(prompt, config)`` (incremental
+            or speculative).
+        conversation: The scripted turns.
+        max_context: Truncate the running history to this many most-recent
+            tokens (0 = unlimited; use the model's window minus the reply
+            budget for long chats).
+    """
+    from repro.engine.generation import GenerationConfig
+
+    result = ConversationResult()
+    history: List[int] = []
+    for turn in conversation.turns:
+        history.extend(int(t) for t in turn.user_tokens)
+        if max_context:
+            history = history[-max_context:]
+        result.contexts.append(len(history))
+        generation = engine.generate(
+            list(history),
+            GenerationConfig(max_new_tokens=turn.reply_budget,
+                             stop_on_eos=False),
+        )
+        result.replies.append(list(generation.tokens))
+        result.llm_steps.append(generation.num_llm_steps)
+        history.extend(generation.tokens)
+    return result

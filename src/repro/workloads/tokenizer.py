@@ -1,0 +1,69 @@
+"""A tiny word-level tokenizer so examples can speak strings.
+
+The algorithmic layer works on integer token ids; this tokenizer exists for
+the runnable examples, mapping whitespace-separated words to ids with a
+fixed special-token layout (``<eos>`` = 0, ``<unk>`` = 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+EOS_TOKEN = "<eos>"
+UNK_TOKEN = "<unk>"
+
+
+class ToyTokenizer:
+    """Word-level tokenizer with a frozen vocabulary."""
+
+    def __init__(self, words: Iterable[str]):
+        """Build a vocabulary from ``words`` (deduplicated, order-preserving)."""
+        self._id_to_word: List[str] = [EOS_TOKEN, UNK_TOKEN]
+        seen = set(self._id_to_word)
+        for word in words:
+            if word not in seen:
+                seen.add(word)
+                self._id_to_word.append(word)
+        self._word_to_id: Dict[str, int] = {
+            w: i for i, w in enumerate(self._id_to_word)
+        }
+
+    @classmethod
+    def from_text(cls, text: str) -> "ToyTokenizer":
+        """Build from the words of a text blob."""
+        return cls(text.split())
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_word)
+
+    @property
+    def eos_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def encode(self, text: str) -> List[int]:
+        """Text to token ids (unknown words map to ``<unk>``)."""
+        return [
+            self._word_to_id.get(word, self.unk_id) for word in text.split()
+        ]
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Token ids to text; stops at EOS."""
+        words = []
+        for token_id in ids:
+            if token_id == self.eos_id:
+                break
+            if not 0 <= token_id < self.vocab_size:
+                raise ValueError(f"token id {token_id} out of range")
+            words.append(self._id_to_word[token_id])
+        return " ".join(words)
+
+    def word(self, token_id: int) -> str:
+        """The surface form of one token id."""
+        if not 0 <= token_id < self.vocab_size:
+            raise ValueError(f"token id {token_id} out of range")
+        return self._id_to_word[token_id]

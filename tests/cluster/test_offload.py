@@ -1,0 +1,52 @@
+"""Tests for the offloading latency model."""
+
+import pytest
+
+from repro.cluster.hardware import AWS_G5_NODE
+from repro.cluster.models import paper_model
+from repro.cluster.offload import OffloadLatencyModel, OffloadSpec
+
+
+@pytest.fixture(scope="module")
+def opt30b():
+    return OffloadLatencyModel(paper_model("opt-30b"),
+                               OffloadSpec(AWS_G5_NODE))
+
+
+class TestOffloadSpec:
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            OffloadSpec(AWS_G5_NODE, overlap_efficiency=1.0)
+
+    def test_rejects_model_exceeding_dram(self):
+        huge = paper_model("llama-65b").scaled(n_layers=200, name="huge")
+        with pytest.raises(ValueError, match="DRAM"):
+            OffloadSpec(AWS_G5_NODE).validate(huge)
+
+
+class TestOffloadLatency:
+    def test_opt30b_in_paper_range(self, opt30b):
+        """Paper Figure 8: FlexGen OPT-30B ~2-4 s per token at BS=1."""
+        assert 1.5 < opt30b.step_latency(1, 100) < 5.0
+
+    def test_weight_stream_dominates(self, opt30b):
+        stream = opt30b.weight_stream_time()
+        step = opt30b.step_latency(1, 100)
+        assert step == pytest.approx(stream, rel=0.1)
+
+    def test_multi_token_step_nearly_free(self, opt30b):
+        """Verifying a 16-token tree costs the same weight stream — the
+        mechanism behind the paper's 2.6-3.5x offloading speedup."""
+        one = opt30b.step_latency(1, 100)
+        tree = opt30b.step_latency(16, 116)
+        assert tree < one * 1.05
+
+    def test_opt13b_faster_than_opt30b(self):
+        spec = OffloadSpec(AWS_G5_NODE)
+        opt13 = OffloadLatencyModel(paper_model("opt-13b"), spec)
+        opt30 = OffloadLatencyModel(paper_model("opt-30b"), spec)
+        assert opt13.step_latency(1, 100) < opt30.step_latency(1, 100)
+
+    def test_rejects_zero_tokens(self, opt30b):
+        with pytest.raises(ValueError):
+            opt30b.step_latency(0, 10)

@@ -1,0 +1,140 @@
+"""Tests for the serving simulator (trace replay)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cost_model import LatencyModel
+from repro.cluster.hardware import AWS_G5_NODE, single_node_cluster
+from repro.cluster.models import paper_model
+from repro.cluster.offload import OffloadLatencyModel, OffloadSpec
+from repro.cluster.parallel import ParallelPlan
+from repro.cluster.simulator import ServingSimulator, mean_tokens_per_step
+from repro.engine.generation import GenerationResult, StepTrace
+
+
+def incremental_trace(n_steps=10, prefix0=5):
+    result = GenerationResult(prompt=np.array([1, 2]))
+    result.tokens = list(range(n_steps))
+    result.steps = [
+        StepTrace(llm_tokens_scored=1, tokens_emitted=1,
+                  prefix_len=prefix0 + i)
+        for i in range(n_steps)
+    ]
+    return result
+
+
+def tree_trace(n_steps=4, tree_size=10, emitted=3, depth=8, prefix0=5):
+    result = GenerationResult(prompt=np.array([1, 2]))
+    result.tokens = list(range(n_steps * emitted))
+    result.steps = [
+        StepTrace(
+            llm_tokens_scored=tree_size,
+            tokens_emitted=emitted,
+            ssm_steps=depth,
+            tree_size=tree_size,
+            tree_depth=depth,
+            tree_leaves=3,
+            tree_path_tokens=tree_size + 6,
+            prefix_len=prefix0 + i * emitted,
+        )
+        for i in range(n_steps)
+    ]
+    return result
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    cluster = single_node_cluster()
+    llm = LatencyModel(paper_model("llama-7b"), ParallelPlan(), cluster)
+    ssm = LatencyModel(paper_model("llama-68m"), ParallelPlan(), cluster)
+    return ServingSimulator(llm, ssm)
+
+
+class TestReplay:
+    def test_incremental_has_no_spec_time(self, simulator):
+        sim = simulator.replay(incremental_trace())
+        assert sim.spec_seconds == 0.0
+        assert sim.verify_seconds > 0
+
+    def test_speculative_faster_per_token_at_bs1(self, simulator):
+        """Same token count, fewer LLM steps -> lower per-token latency."""
+        inc = simulator.replay(incremental_trace(n_steps=12))
+        spec = simulator.replay(tree_trace(n_steps=4, emitted=3))
+        assert spec.tokens == inc.tokens
+        assert spec.per_token_seconds < inc.per_token_seconds
+
+    def test_speedup_shrinks_with_batch_size(self, simulator):
+        """The paper's headline shape: larger batches leave less spare
+        compute for verification, so SpecInfer's advantage narrows."""
+        speedups = []
+        for bs in (1, 16):
+            inc = simulator.replay(incremental_trace(n_steps=12),
+                                   batch_size=bs)
+            spec = simulator.replay(tree_trace(n_steps=4, emitted=3),
+                                    batch_size=bs)
+            speedups.append(inc.per_token_seconds / spec.per_token_seconds)
+        assert speedups[1] < speedups[0]
+
+    def test_sequence_based_decoding_slower_at_large_batch(self, simulator):
+        """Figure 11: the fused tree kernel beats per-sequence kernels
+        when compute is scarce (large batches)."""
+        trace = tree_trace()
+        tree = simulator.replay(trace, batch_size=16)
+        seq = simulator.replay(trace, batch_size=16,
+                               sequence_based_decoding=True)
+        assert seq.total_seconds > tree.total_seconds
+
+    def test_offload_replay(self):
+        offload = OffloadLatencyModel(paper_model("opt-30b"),
+                                      OffloadSpec(AWS_G5_NODE))
+        cluster = single_node_cluster()
+        ssm = LatencyModel(paper_model("opt-125m"), ParallelPlan(), cluster)
+        sim = ServingSimulator(offload, ssm)
+        inc = sim.replay(incremental_trace(n_steps=6))
+        spec = sim.replay(tree_trace(n_steps=2, emitted=3, tree_size=10))
+        # 6 tokens each; spec needs 2 weight streams vs 6.
+        assert inc.tokens == 6
+        speedup = inc.per_token_seconds / (
+            spec.total_seconds / spec.tokens
+        )
+        assert speedup > 2.0
+
+    def test_missing_ssm_model_raises(self):
+        cluster = single_node_cluster()
+        llm = LatencyModel(paper_model("llama-7b"), ParallelPlan(), cluster)
+        sim = ServingSimulator(llm, ssm_latency=None)
+        with pytest.raises(ValueError, match="SSM latency"):
+            sim.replay(tree_trace())
+
+    def test_rejects_bad_batch_size(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.replay(incremental_trace(), batch_size=0)
+
+    def test_replay_many_aggregates(self, simulator):
+        traces = [incremental_trace(n_steps=5), incremental_trace(n_steps=7)]
+        combined = simulator.replay_many(traces)
+        assert combined.tokens == 12
+        singles = [simulator.replay(t) for t in traces]
+        assert combined.total_seconds == pytest.approx(
+            sum(s.total_seconds for s in singles)
+        )
+
+    def test_replay_many_rejects_empty(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.replay_many([])
+
+
+class TestHelpers:
+    def test_mean_tokens_per_step(self):
+        traces = [tree_trace(n_steps=2, emitted=3),
+                  incremental_trace(n_steps=2)]
+        assert mean_tokens_per_step(traces) == pytest.approx(2.0)
+
+    def test_mean_tokens_per_step_empty(self):
+        assert mean_tokens_per_step([]) == 0.0
+
+    def test_simulated_latency_properties(self, simulator):
+        sim = simulator.replay(incremental_trace(n_steps=4))
+        assert sim.per_token_ms == pytest.approx(
+            sim.per_token_seconds * 1e3
+        )

@@ -1,0 +1,47 @@
+"""Shared fixtures: small, fast model instances reused across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.coupled import CoupledSSM
+from repro.model.transformer import TransformerLM
+
+
+SMALL_CONFIG = ModelConfig(
+    vocab_size=64,
+    d_model=32,
+    n_layers=2,
+    n_heads=4,
+    max_seq_len=96,
+    name="test-llm",
+)
+
+
+@pytest.fixture(scope="session")
+def llm() -> TransformerLM:
+    """A small random-init LLM shared (read-only) across tests."""
+    return TransformerLM(SMALL_CONFIG, seed=42)
+
+
+@pytest.fixture(scope="session")
+def ssm(llm) -> CoupledSSM:
+    """A well-aligned coupled SSM over the shared LLM."""
+    return CoupledSSM(llm, alignment=0.9, seed=7, noise_scale=2.0)
+
+
+@pytest.fixture(scope="session")
+def weak_ssm(llm) -> CoupledSSM:
+    """A poorly-aligned SSM (low acceptance regime)."""
+    return CoupledSSM(llm, alignment=0.3, seed=8, noise_scale=2.0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def make_prompt(rng: np.random.Generator, length: int = 6,
+                vocab: int = 64) -> np.ndarray:
+    """Random prompt avoiding the EOS id (0)."""
+    return rng.integers(1, vocab, size=length).astype(np.intp)

@@ -1,0 +1,53 @@
+"""Tests for the sequence-based speculative decoding baseline."""
+
+import numpy as np
+
+from repro.engine.generation import GenerationConfig
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.sequence_spec import make_sequence_spec_engine
+from repro.model.coupled import CoupledSSM
+from tests.conftest import make_prompt
+
+
+class TestSequenceSpecEngine:
+    def test_trees_are_chains(self, llm, ssm, rng):
+        engine = make_sequence_spec_engine(llm, ssm, depth=6)
+        result = engine.generate(
+            make_prompt(rng), GenerationConfig(max_new_tokens=12)
+        )
+        for step in result.steps:
+            assert step.tree_leaves == 1
+            assert step.tree_path_tokens == step.tree_size
+
+    def test_lossless_greedy(self, llm, ssm, rng):
+        prompt = make_prompt(rng, length=5)
+        config = GenerationConfig(max_new_tokens=16)
+        incremental = IncrementalEngine(llm).generate(prompt, config)
+        sequence = make_sequence_spec_engine(llm, ssm).generate(prompt, config)
+        assert sequence.tokens == incremental.tokens
+
+    def test_tree_beats_sequence_in_tokens_per_step(self, llm, rng):
+        """Width > 1 improves acceptance vs a single sequence (Figure 9)."""
+        from repro.engine.tree_spec import SpecInferEngine
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        prompts = [make_prompt(rng, length=5) for _ in range(5)]
+        config = GenerationConfig(max_new_tokens=20)
+
+        def rate(width):
+            rates = []
+            for p in prompts:
+                ssm = CoupledSSM(llm, alignment=0.85, seed=9, noise_scale=2.0)
+                engine = SpecInferEngine(
+                    llm,
+                    Speculator(
+                        [ssm],
+                        ExpansionConfig.width_sweep(width, depth=6,
+                                                    expand_step=0),
+                    ),
+                )
+                rates.append(engine.generate(p, config).mean_tokens_per_step)
+            return float(np.mean(rates))
+
+        assert rate(3) > rate(1)

@@ -1,0 +1,107 @@
+"""Tests for output-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.quality import (
+    compare_outputs,
+    perplexity,
+    sequence_log_likelihood,
+)
+from tests.conftest import make_prompt
+
+
+class TestLogLikelihood:
+    def test_greedy_continuation_is_most_likely_stepwise(self, llm, rng):
+        """The greedy continuation's likelihood >= any single-token
+        deviation of it."""
+        prompt = list(make_prompt(rng, length=4))
+        cache = llm.new_cache()
+        llm.prefill(np.asarray(prompt[:-1]), cache)
+        t = prompt[-1]
+        greedy = []
+        for _ in range(4):
+            t = int(np.argmax(llm.decode(t, cache)))
+            greedy.append(t)
+        ll_greedy = sequence_log_likelihood(llm, prompt, greedy)
+        perturbed = list(greedy)
+        perturbed[0] = (perturbed[0] + 1) % llm.config.vocab_size
+        ll_perturbed = sequence_log_likelihood(llm, prompt, perturbed[:1])
+        assert ll_greedy / len(greedy) >= ll_perturbed - 1e-9 or \
+            sequence_log_likelihood(llm, prompt, greedy[:1]) >= ll_perturbed
+
+    def test_additivity(self, llm, rng):
+        """ll(prompt, a+b) = ll(prompt, a) + ll(prompt+a, b)."""
+        prompt = list(make_prompt(rng, length=4))
+        a = [5, 9]
+        b = [11]
+        combined = sequence_log_likelihood(llm, prompt, a + b)
+        split = (
+            sequence_log_likelihood(llm, prompt, a)
+            + sequence_log_likelihood(llm, prompt + a, b)
+        )
+        assert combined == pytest.approx(split, abs=1e-9)
+
+    def test_validation(self, llm):
+        with pytest.raises(ValueError):
+            sequence_log_likelihood(llm, [], [1])
+        with pytest.raises(ValueError):
+            sequence_log_likelihood(llm, [1], [])
+
+
+class TestPerplexity:
+    def test_positive_and_bounded_by_vocab(self, llm, rng):
+        prompt = list(make_prompt(rng, length=4))
+        ppl = perplexity(llm, prompt, [3, 7, 12])
+        assert 1.0 <= ppl
+
+    def test_likely_text_has_lower_perplexity(self, llm, rng):
+        """The model's own greedy continuation scores better than random
+        tokens."""
+        prompt = list(make_prompt(rng, length=4))
+        cache = llm.new_cache()
+        llm.prefill(np.asarray(prompt[:-1]), cache)
+        t = prompt[-1]
+        greedy = []
+        for _ in range(5):
+            t = int(np.argmax(llm.decode(t, cache)))
+            greedy.append(t)
+        random_tokens = list(rng.integers(1, 64, size=5))
+        assert perplexity(llm, prompt, greedy) < \
+            perplexity(llm, prompt, random_tokens)
+
+
+class TestCompareOutputs:
+    def test_identical_outputs(self, llm, rng):
+        prompts = [list(make_prompt(rng, length=4)) for _ in range(3)]
+        outputs = [[1, 2], [3, 4], [5, 6]]
+        comparison = compare_outputs(llm, prompts, outputs, outputs)
+        assert comparison.exact_match_rate == 1.0
+        assert comparison.perplexity_gap == pytest.approx(0.0)
+
+    def test_speculative_vs_incremental_quality(self, llm, ssm, rng):
+        """The paper's quality claim, measured: identical outputs, zero
+        perplexity gap."""
+        from repro.engine.generation import GenerationConfig
+        from repro.engine.incremental import IncrementalEngine
+        from repro.engine.tree_spec import SpecInferEngine
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        prompts = [list(make_prompt(rng, length=5)) for _ in range(3)]
+        config = GenerationConfig(max_new_tokens=10, stop_on_eos=False)
+        inc = [IncrementalEngine(llm).generate(p, config).tokens
+               for p in prompts]
+        engine = SpecInferEngine(
+            llm, Speculator([ssm], ExpansionConfig((2, 2, 1)))
+        )
+        spec = [engine.generate(p, config).tokens for p in prompts]
+        comparison = compare_outputs(llm, prompts, inc, spec)
+        assert comparison.exact_match_rate == 1.0
+        assert comparison.perplexity_gap == pytest.approx(0.0)
+
+    def test_validation(self, llm):
+        with pytest.raises(ValueError):
+            compare_outputs(llm, [[1]], [[1]], [])
+        with pytest.raises(ValueError):
+            compare_outputs(llm, [], [], [])

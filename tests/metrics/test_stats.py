@@ -1,0 +1,89 @@
+"""Tests for metrics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    empirical_cdf,
+    speedup,
+    summarize,
+    total_variation_distance,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.mean == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.p50 == 3.0
+        assert stats.count == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestCdf:
+    def test_values(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.0) == pytest.approx(0.5)
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.quantile(0.5) == 2.0
+        assert cdf.quantile(1.0) == 4.0
+
+    def test_quantile_bounds(self):
+        cdf = empirical_cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone_and_bounded(self, values):
+        cdf = empirical_cdf(values)
+        assert (np.diff(cdf.ps) >= 0).all()
+        assert (np.diff(cdf.xs) >= 0).all()
+        assert cdf.ps[-1] == pytest.approx(1.0)
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestTvDistance:
+    def test_identical_is_zero(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.ones(2), np.ones(3))
+
+    def test_symmetry(self, rng):
+        p = rng.dirichlet(np.ones(6))
+        q = rng.dirichlet(np.ones(6))
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )

@@ -1,0 +1,131 @@
+"""Tests for attention masks and multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.model.attention import (
+    causal_mask,
+    cross_mask,
+    mha_backward,
+    mha_forward,
+    merge_heads,
+    scaled_dot_attention,
+    split_heads,
+)
+from repro.model.config import ModelConfig
+from repro.model.parameters import ParameterStore
+
+
+class TestMasks:
+    def test_causal_mask_structure(self):
+        mask = causal_mask(4)
+        for j in range(4):
+            for k in range(4):
+                if j >= k:
+                    assert mask[j, k] == 0.0
+                else:
+                    assert mask[j, k] == float("-inf")
+
+    def test_cross_mask_reduces_to_causal_without_offset(self):
+        np.testing.assert_array_equal(cross_mask(5, 5, 0), causal_mask(5))
+
+    def test_cross_mask_with_cached_prefix(self):
+        mask = cross_mask(2, 5, 3)
+        # Query 0 (absolute position 3) sees keys 0..3.
+        assert (mask[0, :4] == 0.0).all()
+        assert mask[0, 4] == float("-inf")
+        # Query 1 (absolute position 4) sees everything.
+        assert (mask[1] == 0.0).all()
+
+
+class TestHeadReshape:
+    def test_split_merge_roundtrip(self, rng):
+        x = rng.normal(size=(5, 12))
+        np.testing.assert_array_equal(merge_heads(split_heads(x, 3)), x)
+
+    def test_split_shape(self, rng):
+        x = rng.normal(size=(5, 12))
+        assert split_heads(x, 4).shape == (5, 4, 3)
+
+
+class TestScaledDotAttention:
+    def test_fully_masked_rows_average_uniformly(self, rng):
+        # A row with a single visible key copies that key's value.
+        q = rng.normal(size=(1, 2, 4))
+        k = rng.normal(size=(3, 2, 4))
+        v = rng.normal(size=(3, 2, 4))
+        mask = np.array([[0.0, float("-inf"), float("-inf")]])
+        out = scaled_dot_attention(q, k, v, mask)
+        np.testing.assert_allclose(out[0], v[0], atol=1e-12)
+
+    def test_attention_is_convex_combination(self, rng):
+        q = rng.normal(size=(2, 1, 4))
+        k = rng.normal(size=(5, 1, 4))
+        v = rng.normal(size=(5, 1, 4))
+        mask = np.zeros((2, 5))
+        out = scaled_dot_attention(q, k, v, mask)
+        lo = v.min(axis=0, keepdims=True)
+        hi = v.max(axis=0, keepdims=True)
+        assert (out >= lo - 1e-9).all() and (out <= hi + 1e-9).all()
+
+
+class TestMhaTrainingPath:
+    @pytest.fixture()
+    def setup(self):
+        config = ModelConfig(vocab_size=16, d_model=8, n_layers=1, n_heads=2,
+                             max_seq_len=16)
+        params = ParameterStore.initialize(config, seed=0)
+        return config, params
+
+    def test_forward_matches_manual(self, setup, rng):
+        config, params = setup
+        x = rng.normal(size=(4, 8))
+        mask = causal_mask(4)
+        out, _ = mha_forward(x, params, "layer0.attn", config.n_heads, mask)
+        assert out.shape == (4, 8)
+        # Position 0 attends only to itself; its output must not depend on
+        # later positions.
+        x2 = x.copy()
+        x2[2:] += 10.0
+        out2, _ = mha_forward(x2, params, "layer0.attn", config.n_heads, mask)
+        np.testing.assert_allclose(out[0], out2[0], atol=1e-10)
+
+    def test_backward_matches_numerical(self, setup, rng):
+        config, params = setup
+        x = rng.normal(size=(3, 8))
+        mask = causal_mask(3)
+        upstream = rng.normal(size=(3, 8))
+
+        def loss():
+            out, _ = mha_forward(x, params, "layer0.attn", config.n_heads, mask)
+            return float((out * upstream).sum())
+
+        _, cache = mha_forward(x, params, "layer0.attn", config.n_heads, mask)
+        grads = {}
+        dx = mha_backward(upstream, cache, "layer0.attn", grads)
+
+        eps = 1e-6
+        num_dx = np.zeros_like(x)
+        flat = x.reshape(-1)
+        nflat = num_dx.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            fp = loss()
+            flat[i] = orig - eps
+            fm = loss()
+            flat[i] = orig
+            nflat[i] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(dx, num_dx, atol=1e-6)
+
+        # Spot-check one weight gradient numerically.
+        w = params["layer0.attn.wq"]
+        orig = w[0, 0]
+        w[0, 0] = orig + eps
+        fp = loss()
+        w[0, 0] = orig - eps
+        fm = loss()
+        w[0, 0] = orig
+        assert grads["layer0.attn.wq"][0, 0] == pytest.approx(
+            (fp - fm) / (2 * eps), abs=1e-6
+        )

@@ -1,0 +1,85 @@
+"""Tests for ModelConfig validation and parameter accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro.model.config import ModelConfig, llm_config, ssm_config
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        config = ModelConfig()
+        assert config.d_ff == 4 * config.d_model
+
+    def test_d_ff_override_respected(self):
+        config = ModelConfig(d_model=32, d_ff=100, n_heads=4)
+        assert config.d_ff == 100
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig(d_model=30, n_heads=4)
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError, match="vocab_size"):
+            ModelConfig(vocab_size=1)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError, match="n_layers"):
+            ModelConfig(n_layers=0)
+
+    def test_rejects_bad_eos(self):
+        with pytest.raises(ValueError, match="eos_token_id"):
+            ModelConfig(vocab_size=16, eos_token_id=16)
+
+    def test_rejects_zero_seq_len(self):
+        with pytest.raises(ValueError, match="max_seq_len"):
+            ModelConfig(max_seq_len=0)
+
+    def test_frozen(self):
+        config = ModelConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.d_model = 8
+
+
+class TestDerived:
+    def test_d_head(self):
+        config = ModelConfig(d_model=64, n_heads=8)
+        assert config.d_head == 8
+
+    def test_scaled_overrides(self):
+        config = ModelConfig(d_model=64, n_heads=8)
+        smaller = config.scaled(d_model=32, n_heads=4)
+        assert smaller.d_model == 32
+        assert config.d_model == 64
+
+    def test_num_parameters_matches_store(self):
+        from repro.model.parameters import ParameterStore
+
+        config = ModelConfig(vocab_size=32, d_model=16, n_layers=2, n_heads=2,
+                             max_seq_len=24)
+        store = ParameterStore.initialize(config)
+        assert config.num_parameters() == store.num_parameters()
+
+    def test_llm_bigger_than_ssm(self):
+        big = llm_config()
+        small = ssm_config()
+        assert big.num_parameters() > 5 * small.num_parameters()
+
+    def test_paper_scale_param_counts(self):
+        """Paper-scale descriptors land near their nominal sizes."""
+        from repro.cluster.models import paper_model
+
+        expected = {
+            "llama-7b": 6.7e9,
+            "opt-13b": 12.8e9,
+            "opt-30b": 30e9,
+            "llama-65b": 65e9,
+            "llama-68m": 68e6,
+            "opt-125m": 125e6,
+        }
+        for name, target in expected.items():
+            count = paper_model(name).num_parameters()
+            assert 0.7 * target < count < 1.4 * target, (
+                f"{name}: {count / 1e9:.2f}B vs expected ~{target / 1e9:.2f}B"
+            )

@@ -1,0 +1,108 @@
+"""Tests for the logit-coupled SSM family."""
+
+import numpy as np
+import pytest
+
+from repro.model.coupled import CoupledSSM
+from tests.conftest import make_prompt
+
+
+class TestConstruction:
+    def test_rejects_bad_alignment(self, llm):
+        with pytest.raises(ValueError, match="alignment"):
+            CoupledSSM(llm, alignment=1.5)
+
+    def test_nominal_config_is_smaller(self, llm, ssm):
+        assert ssm.num_parameters() < llm.num_parameters()
+
+    def test_perfect_alignment_is_identity(self, llm, rng):
+        oracle = CoupledSSM(llm, alignment=1.0)
+        prompt = make_prompt(rng)
+        lc, sc = llm.new_cache(), oracle.new_cache()
+        llm.prefill(prompt[:-1], lc)
+        oracle.prefill(prompt[:-1], sc)
+        np.testing.assert_allclose(
+            llm.decode(int(prompt[-1]), lc),
+            oracle.decode(int(prompt[-1]), sc),
+        )
+
+
+class TestDeterminism:
+    def test_same_context_same_distribution(self, llm, ssm, rng):
+        """The SSM defines a genuine conditional distribution: replaying the
+        same context yields identical logits (MSS correctness requires it)."""
+        prompt = make_prompt(rng, length=5)
+        outs = []
+        for _ in range(2):
+            cache = ssm.new_cache()
+            ssm.prefill(prompt[:-1], cache)
+            outs.append(ssm.decode(int(prompt[-1]), cache))
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_different_context_different_noise(self, llm, ssm, rng):
+        p1 = make_prompt(rng, length=5)
+        p2 = p1.copy()
+        p2[0] = (p2[0] % 62) + 1 if p2[0] != p1[0] else p2[0] + 1
+        c1, c2 = ssm.new_cache(), ssm.new_cache()
+        ssm.prefill(p1[:-1], c1)
+        ssm.prefill(p2[:-1], c2)
+        o1 = ssm.decode(int(p1[-1]), c1)
+        o2 = ssm.decode(int(p2[-1]), c2)
+        assert not np.allclose(o1, o2)
+
+    def test_seed_changes_perturbation(self, llm, rng):
+        prompt = make_prompt(rng, length=4)
+        a = CoupledSSM(llm, alignment=0.5, seed=1)
+        b = CoupledSSM(llm, alignment=0.5, seed=2)
+        ca, cb = a.new_cache(), b.new_cache()
+        a.prefill(prompt[:-1], ca)
+        b.prefill(prompt[:-1], cb)
+        assert not np.allclose(
+            a.decode(int(prompt[-1]), ca), b.decode(int(prompt[-1]), cb)
+        )
+
+
+class TestAlignmentKnob:
+    def test_agreement_monotone_in_alignment(self, llm):
+        """Higher alignment -> higher top-1 agreement with the base model."""
+        rng = np.random.default_rng(0)
+        rates = []
+        for alignment in (0.3, 0.7, 0.95):
+            ssm = CoupledSSM(llm, alignment=alignment, seed=3, noise_scale=2.0)
+            hits = trials = 0
+            for _ in range(40):
+                prompt = make_prompt(rng, length=6)
+                lc, sc = llm.new_cache(), ssm.new_cache()
+                llm.prefill(prompt[:-1], lc)
+                ssm.prefill(prompt[:-1], sc)
+                llm_top = int(np.argmax(llm.decode(int(prompt[-1]), lc)))
+                ssm_top = int(np.argmax(ssm.decode(int(prompt[-1]), sc)))
+                hits += llm_top == ssm_top
+                trials += 1
+            rates.append(hits / trials)
+        assert rates[0] < rates[2]
+        assert rates[1] <= rates[2] + 0.1  # allow small noise, trend holds
+
+
+class TestCacheProtocol:
+    def test_snapshot_restore(self, ssm, rng):
+        prompt = make_prompt(rng, length=4)
+        cache = ssm.new_cache()
+        ssm.prefill(prompt, cache)
+        snap = cache.snapshot()
+        ssm.decode(5, cache)
+        ssm.decode(6, cache)
+        assert cache.length == 6
+        cache.restore(snap)
+        assert cache.length == 4
+        # After restore, decoding the same token reproduces the original.
+        a = ssm.decode(7, cache)
+        cache.restore(snap)
+        b = ssm.decode(7, cache)
+        np.testing.assert_array_equal(a, b)
+
+    def test_prefill_tracks_context(self, ssm, rng):
+        prompt = make_prompt(rng, length=4)
+        cache = ssm.new_cache()
+        ssm.prefill(prompt, cache)
+        assert cache.context == [int(t) for t in prompt]

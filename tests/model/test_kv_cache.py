@@ -1,0 +1,116 @@
+"""Tests for the KV cache: append, truncate, compaction, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.kv_cache import KVCache, LayerKV
+
+
+CONFIG = ModelConfig(vocab_size=16, d_model=8, n_layers=2, n_heads=2,
+                     max_seq_len=32)
+
+
+def fill(layer: LayerKV, n: int, rng) -> np.ndarray:
+    keys = rng.normal(size=(n, 2, 4))
+    layer.append(keys, keys * 2)
+    return keys
+
+
+class TestLayerKV:
+    def test_append_and_view(self, rng):
+        layer = LayerKV(8, 2, 4, "float64")
+        keys = fill(layer, 3, rng)
+        k, v = layer.view()
+        assert k.shape == (3, 2, 4)
+        np.testing.assert_array_equal(k, keys)
+        np.testing.assert_array_equal(v, keys * 2)
+
+    def test_overflow_raises(self, rng):
+        layer = LayerKV(4, 2, 4, "float64")
+        fill(layer, 3, rng)
+        with pytest.raises(ValueError, match="overflow"):
+            fill(layer, 2, rng)
+
+    def test_truncate(self, rng):
+        layer = LayerKV(8, 2, 4, "float64")
+        keys = fill(layer, 5, rng)
+        layer.truncate(2)
+        k, _ = layer.view()
+        np.testing.assert_array_equal(k, keys[:2])
+
+    def test_truncate_bounds(self, rng):
+        layer = LayerKV(8, 2, 4, "float64")
+        fill(layer, 3, rng)
+        with pytest.raises(ValueError):
+            layer.truncate(4)
+        with pytest.raises(ValueError):
+            layer.truncate(-1)
+
+    def test_keep_rows_compacts(self, rng):
+        layer = LayerKV(10, 2, 4, "float64")
+        keys = fill(layer, 6, rng)
+        # Keep prefix of 2, then rows 1 and 3 of the region past it.
+        layer.keep_rows(2, [1, 3])
+        k, v = layer.view()
+        assert layer.length == 4
+        np.testing.assert_array_equal(k[:2], keys[:2])
+        np.testing.assert_array_equal(k[2], keys[3])
+        np.testing.assert_array_equal(k[3], keys[5])
+        np.testing.assert_array_equal(v[3], keys[5] * 2)
+
+    def test_keep_rows_out_of_range(self, rng):
+        layer = LayerKV(10, 2, 4, "float64")
+        fill(layer, 4, rng)
+        with pytest.raises(ValueError, match="out of range"):
+            layer.keep_rows(2, [5])
+
+    def test_keep_rows_preserves_order_given(self, rng):
+        layer = LayerKV(10, 2, 4, "float64")
+        keys = fill(layer, 5, rng)
+        layer.keep_rows(0, [2, 0, 4])
+        k, _ = layer.view()
+        np.testing.assert_array_equal(k[0], keys[2])
+        np.testing.assert_array_equal(k[1], keys[0])
+        np.testing.assert_array_equal(k[2], keys[4])
+
+
+class TestKVCache:
+    def test_capacity_defaults_to_max_seq_len(self):
+        cache = KVCache(CONFIG)
+        assert cache.capacity == CONFIG.max_seq_len
+
+    def test_capacity_cannot_exceed_max_seq_len(self):
+        with pytest.raises(ValueError, match="exceeds max_seq_len"):
+            KVCache(CONFIG, capacity=64)
+
+    def test_length_tracks_all_layers(self, rng):
+        cache = KVCache(CONFIG, capacity=16)
+        for layer in cache.layers:
+            fill(layer, 3, rng)
+        assert cache.length == 3
+
+    def test_snapshot_restore(self, rng):
+        cache = KVCache(CONFIG, capacity=16)
+        for layer in cache.layers:
+            fill(layer, 3, rng)
+        snap = cache.snapshot()
+        for layer in cache.layers:
+            fill(layer, 4, rng)
+        assert cache.length == 7
+        cache.restore(snap)
+        assert cache.length == 3
+
+    def test_truncate_applies_to_all_layers(self, rng):
+        cache = KVCache(CONFIG, capacity=16)
+        for layer in cache.layers:
+            fill(layer, 5, rng)
+        cache.truncate(2)
+        assert all(layer.length == 2 for layer in cache.layers)
+
+    def test_keep_rows_applies_to_all_layers(self, rng):
+        cache = KVCache(CONFIG, capacity=16)
+        for layer in cache.layers:
+            fill(layer, 5, rng)
+        cache.keep_rows(1, [0, 2])
+        assert cache.length == 3

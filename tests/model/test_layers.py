@@ -1,0 +1,223 @@
+"""Gradient and behavior tests for the layer primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.layers import (
+    embedding_backward,
+    embedding_forward,
+    gelu_backward,
+    gelu_forward,
+    kl_divergence_loss,
+    layernorm_backward,
+    layernorm_forward,
+    linear_backward,
+    linear_forward,
+    softmax_cross_entropy,
+    stable_softmax,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 5))
+        b = rng.normal(size=5)
+        out, _ = linear_forward(x, w, b)
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(out, x @ w + b)
+
+    def test_gradients_match_numerical(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 5))
+        b = rng.normal(size=5)
+        upstream = rng.normal(size=(3, 5))
+
+        def loss():
+            return float((linear_forward(x, w, b)[0] * upstream).sum())
+
+        out, cache = linear_forward(x, w, b)
+        dx, dw, db = linear_backward(upstream, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dw, numerical_grad(loss, w), atol=1e-6)
+        np.testing.assert_allclose(db, numerical_grad(loss, b), atol=1e-6)
+
+    def test_3d_input(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        w = rng.normal(size=(4, 5))
+        b = np.zeros(5)
+        out, cache = linear_forward(x, w, b)
+        assert out.shape == (2, 3, 5)
+        dx, dw, db = linear_backward(np.ones_like(out), cache)
+        assert dx.shape == x.shape
+        assert dw.shape == w.shape
+
+
+class TestLayerNorm:
+    def test_output_normalized(self, rng):
+        x = rng.normal(loc=3.0, scale=5.0, size=(4, 8))
+        out, _ = layernorm_forward(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_gradients_match_numerical(self, rng):
+        x = rng.normal(size=(3, 6))
+        scale = rng.normal(size=6)
+        bias = rng.normal(size=6)
+        upstream = rng.normal(size=(3, 6))
+
+        def loss():
+            return float((layernorm_forward(x, scale, bias)[0] * upstream).sum())
+
+        _, cache = layernorm_forward(x, scale, bias)
+        dx, dscale, dbias = layernorm_backward(upstream, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dscale, numerical_grad(loss, scale), atol=1e-6)
+        np.testing.assert_allclose(dbias, numerical_grad(loss, bias), atol=1e-6)
+
+
+class TestGelu:
+    def test_matches_known_values(self):
+        out, _ = gelu_forward(np.array([0.0]))
+        assert out[0] == pytest.approx(0.0)
+        out, _ = gelu_forward(np.array([10.0]))
+        assert out[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_gradient_matches_numerical(self, rng):
+        x = rng.normal(size=(4, 5))
+        upstream = rng.normal(size=(4, 5))
+
+        def loss():
+            return float((gelu_forward(x)[0] * upstream).sum())
+
+        _, cache = gelu_forward(x)
+        dx = gelu_backward(upstream, cache)
+        np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-6)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.normal(size=(10, 4))
+        ids = np.array([3, 3, 7])
+        out, _ = embedding_forward(ids, table)
+        np.testing.assert_allclose(out, table[ids])
+
+    def test_backward_accumulates_duplicates(self, rng):
+        table = rng.normal(size=(10, 4))
+        ids = np.array([3, 3, 7])
+        _, cache = embedding_forward(ids, table)
+        grad = np.ones((3, 4))
+        dtable = embedding_backward(grad, cache)
+        np.testing.assert_allclose(dtable[3], 2 * np.ones(4))
+        np.testing.assert_allclose(dtable[7], np.ones(4))
+        np.testing.assert_allclose(dtable[0], np.zeros(4))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_of_perfect_prediction_near_zero(self):
+        logits = np.zeros((2, 4))
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_loss_is_log_vocab(self):
+        logits = np.zeros((3, 8))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(8))
+
+    def test_ignored_positions_do_not_contribute(self, rng):
+        logits = rng.normal(size=(3, 5))
+        loss_all, _ = softmax_cross_entropy(logits[:2], np.array([1, 2]))
+        loss_masked, _ = softmax_cross_entropy(logits, np.array([1, 2, -1]))
+        assert loss_all == pytest.approx(loss_masked)
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([0, 4, -1])
+
+        def loss():
+            return softmax_cross_entropy(logits, targets)[0]
+
+        _, dlogits = softmax_cross_entropy(logits, targets)
+        np.testing.assert_allclose(
+            dlogits, numerical_grad(loss, logits), atol=1e-6
+        )
+
+    def test_all_ignored_returns_zero(self):
+        loss, grad = softmax_cross_entropy(np.ones((2, 3)), np.array([-1, -1]))
+        assert loss == 0.0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            softmax_cross_entropy(np.zeros(5), np.array([1]))
+
+
+class TestKlDivergence:
+    def test_zero_when_matching(self, rng):
+        logits = rng.normal(size=(2, 6))
+        teacher = stable_softmax(logits)
+        loss, grad = kl_divergence_loss(logits, teacher)
+        assert loss == pytest.approx(0.0, abs=1e-10)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+    def test_positive_when_different(self, rng):
+        student = rng.normal(size=(2, 6))
+        teacher = stable_softmax(rng.normal(size=(2, 6)))
+        loss, _ = kl_divergence_loss(student, teacher)
+        assert loss > 0
+
+    def test_gradient_matches_numerical(self, rng):
+        student = rng.normal(size=(2, 6))
+        teacher = stable_softmax(rng.normal(size=(2, 6)))
+
+        def loss():
+            return kl_divergence_loss(student, teacher)[0]
+
+        _, grad = kl_divergence_loss(student, teacher)
+        np.testing.assert_allclose(grad, numerical_grad(loss, student), atol=1e-6)
+
+
+class TestStableSoftmax:
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sums_to_one_and_nonnegative(self, values):
+        probs = stable_softmax(np.array(values))
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_handles_extreme_logits(self):
+        probs = stable_softmax(np.array([1e4, 0.0, -1e4]))
+        assert np.isfinite(probs).all()
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=8)
+        np.testing.assert_allclose(
+            stable_softmax(logits), stable_softmax(logits + 123.0), atol=1e-12
+        )

@@ -1,0 +1,87 @@
+"""Tests for the parameter store."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.parameters import ParameterStore
+
+CONFIG = ModelConfig(vocab_size=16, d_model=8, n_layers=2, n_heads=2,
+                     max_seq_len=12)
+
+
+@pytest.fixture()
+def store():
+    return ParameterStore.initialize(CONFIG, seed=0)
+
+
+class TestInitialization:
+    def test_expected_names_present(self, store):
+        assert "tok_embed" in store
+        assert "layer0.attn.wq" in store
+        assert "layer1.mlp.w2" in store
+        assert "final_ln.scale" in store
+        assert "lm_head" in store
+
+    def test_shapes(self, store):
+        assert store["tok_embed"].shape == (16, 8)
+        assert store["pos_embed"].shape == (12, 8)
+        assert store["layer0.attn.wq"].shape == (8, 8)
+        assert store["layer0.mlp.w1"].shape == (8, 32)
+        assert store["lm_head"].shape == (8, 16)
+
+    def test_deterministic_by_seed(self):
+        a = ParameterStore.initialize(CONFIG, seed=5)
+        b = ParameterStore.initialize(CONFIG, seed=5)
+        c = ParameterStore.initialize(CONFIG, seed=6)
+        np.testing.assert_array_equal(a["lm_head"], b["lm_head"])
+        assert not np.array_equal(a["lm_head"], c["lm_head"])
+
+    def test_layernorms_start_identity(self, store):
+        np.testing.assert_array_equal(store["layer0.ln1.scale"], np.ones(8))
+        np.testing.assert_array_equal(store["layer0.ln1.bias"], np.zeros(8))
+
+
+class TestMutation:
+    def test_setitem_shape_guard(self, store):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            store["lm_head"] = np.zeros((3, 3))
+
+    def test_copy_is_deep(self, store):
+        clone = store.copy()
+        clone["lm_head"][0, 0] = 999.0
+        assert store["lm_head"][0, 0] != 999.0
+
+    def test_zeros_like(self, store):
+        zeros = store.zeros_like()
+        assert set(zeros.names()) == set(store.names())
+        assert all(np.all(zeros[n] == 0) for n in zeros)
+
+    def test_add_scaled(self, store):
+        before = store["lm_head"].copy()
+        delta = store.zeros_like()
+        delta["lm_head"] = np.ones_like(before)
+        store.add_scaled(delta, 0.5)
+        np.testing.assert_allclose(store["lm_head"], before + 0.5)
+
+    def test_global_norm(self):
+        store = ParameterStore({"a": np.array([3.0]), "b": np.array([4.0])})
+        assert store.global_norm() == pytest.approx(5.0)
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self, store, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        store.save(path)
+        loaded = ParameterStore.load(path)
+        assert set(loaded.names()) == set(store.names())
+        for name in store:
+            np.testing.assert_array_equal(loaded[name], store[name])
+
+    def test_bytes_roundtrip(self, store):
+        raw = store.to_bytes()
+        loaded = ParameterStore.from_bytes(raw)
+        np.testing.assert_array_equal(loaded["lm_head"], store["lm_head"])
+
+    def test_num_bytes(self, store):
+        assert store.num_bytes(2) == 2 * store.num_parameters()

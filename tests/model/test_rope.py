@@ -1,0 +1,162 @@
+"""Tests for rotary position embeddings and their transformer integration."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.layers import softmax_cross_entropy
+from repro.model.rope import relative_score_invariance_check, rope_rotate
+from repro.model.transformer import TransformerLM
+from repro.tree.token_tree import TokenTree
+from repro.verify.decode import sequence_parallel_decode, tree_parallel_decode
+
+ROPE_CONFIG = ModelConfig(
+    vocab_size=32, d_model=16, n_layers=2, n_heads=2, max_seq_len=48,
+    position_encoding="rope", name="rope-lm",
+)
+
+
+class TestRotation:
+    def test_position_zero_is_identity(self, rng):
+        x = rng.normal(size=(3, 2, 8))
+        out = rope_rotate(x, np.zeros(3, dtype=np.intp))
+        np.testing.assert_allclose(out, x)
+
+    def test_rotation_preserves_norm(self, rng):
+        x = rng.normal(size=(4, 2, 8))
+        out = rope_rotate(x, np.array([0, 5, 17, 40]))
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1)
+        )
+
+    def test_inverse_undoes_rotation(self, rng):
+        x = rng.normal(size=(4, 2, 8))
+        positions = np.array([1, 9, 3, 27])
+        roundtrip = rope_rotate(
+            rope_rotate(x, positions), positions, inverse=True
+        )
+        np.testing.assert_allclose(roundtrip, x, atol=1e-12)
+
+    def test_relative_invariance(self, rng):
+        """Scores depend only on relative positions (RoPE's defining
+        property) — a global shift leaves all dot products unchanged."""
+        q = rng.normal(size=(5, 2, 8))
+        k = rng.normal(size=(5, 2, 8))
+        assert relative_score_invariance_check(q, k, shift=7) < 1e-9
+
+    def test_odd_head_dim_rejected(self, rng):
+        with pytest.raises(ValueError, match="even"):
+            rope_rotate(rng.normal(size=(2, 1, 7)), np.array([0, 1]))
+
+    def test_position_shape_checked(self, rng):
+        with pytest.raises(ValueError, match="positions"):
+            rope_rotate(rng.normal(size=(2, 1, 8)), np.array([0, 1, 2]))
+
+
+class TestConfig:
+    def test_rejects_unknown_encoding(self):
+        with pytest.raises(ValueError, match="position_encoding"):
+            ModelConfig(position_encoding="alibi")
+
+    def test_rejects_odd_head_dim_with_rope(self):
+        with pytest.raises(ValueError, match="even"):
+            ModelConfig(d_model=6, n_heads=2, position_encoding="rope")
+
+    def test_rope_model_has_no_pos_embed(self):
+        model = TransformerLM(ROPE_CONFIG, seed=0)
+        assert "pos_embed" not in model.params
+        assert ROPE_CONFIG.num_parameters() == model.params.num_parameters()
+
+
+class TestRopeTransformer:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TransformerLM(ROPE_CONFIG, seed=3)
+
+    def test_cache_equals_scratch(self, model, rng):
+        tokens = rng.integers(1, 32, size=9)
+        full = model.logits_for_sequence(tokens)
+        cache = model.new_cache()
+        prefill = model.prefill(tokens[:4], cache)
+        np.testing.assert_allclose(prefill, full[:4], atol=1e-10)
+        for i in range(4, 9):
+            np.testing.assert_allclose(
+                model.decode(int(tokens[i]), cache), full[i], atol=1e-10
+            )
+
+    def test_train_matches_inference(self, model, rng):
+        tokens = rng.integers(1, 32, size=7)
+        train_logits, _ = model.forward_train(tokens)
+        np.testing.assert_allclose(
+            train_logits, model.logits_for_sequence(tokens), atol=1e-10
+        )
+
+    def test_gradient_check(self, rng):
+        model = TransformerLM(ROPE_CONFIG, seed=5)
+        tokens = rng.integers(1, 32, size=5)
+        targets = np.concatenate([tokens[1:], [-1]])
+
+        def loss():
+            logits, _ = model.forward_train(tokens)
+            return softmax_cross_entropy(logits, targets)[0]
+
+        logits, caches = model.forward_train(tokens)
+        _, dlogits = softmax_cross_entropy(logits, targets)
+        grads = model.backward(dlogits, caches)
+        eps = 1e-6
+        for name in ("layer0.attn.wq", "layer0.attn.wk", "tok_embed",
+                     "layer1.mlp.w1"):
+            p = model.params[name]
+            flat = p.reshape(-1)
+            for i in (0, flat.size // 2):
+                orig = flat[i]
+                flat[i] = orig + eps
+                fp = loss()
+                flat[i] = orig - eps
+                fm = loss()
+                flat[i] = orig
+                numerical = (fp - fm) / (2 * eps)
+                assert grads[name].reshape(-1)[i] == pytest.approx(
+                    numerical, abs=2e-6
+                ), name
+
+    def test_tree_decode_equivalence_with_rope(self, model, rng):
+        """The headline interaction: tree attention + RoPE must still be
+        bit-identical to per-path decoding (depth-based positions rotate
+        sibling candidates identically)."""
+        prompt = rng.integers(1, 32, size=5)
+        tree = TokenTree(6)
+        a = tree.add_child(0, 7)
+        tree.add_child(0, 8)
+        tree.add_child(a, 9)
+        tree.add_child(a, 10)
+        cache = model.new_cache()
+        model.prefill(prompt, cache)
+        snap = cache.snapshot()
+        out = tree_parallel_decode(model, cache, tree)
+        cache.restore(snap)
+        seq_out, _ = sequence_parallel_decode(model, cache, tree)
+        for node in range(len(tree)):
+            np.testing.assert_allclose(
+                out.logits_for_node(node), seq_out[node], atol=1e-10
+            )
+
+    def test_full_engine_lossless_with_rope(self, model, rng):
+        from repro.engine.generation import GenerationConfig
+        from repro.engine.incremental import IncrementalEngine
+        from repro.engine.tree_spec import SpecInferEngine
+        from repro.model.coupled import CoupledSSM
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        prompt = list(rng.integers(1, 32, size=5))
+        config = GenerationConfig(max_new_tokens=12)
+        incremental = IncrementalEngine(model).generate(prompt, config)
+        engine = SpecInferEngine(
+            model,
+            Speculator(
+                [CoupledSSM(model, alignment=0.9, seed=2, noise_scale=2.0)],
+                ExpansionConfig((2, 2, 1)),
+            ),
+        )
+        assert engine.generate(prompt, config).tokens == incremental.tokens

@@ -1,0 +1,139 @@
+"""Tests for the transformer LM: cache equivalence, training, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import ModelConfig
+from repro.model.layers import softmax_cross_entropy
+from repro.model.transformer import TransformerLM
+
+CONFIG = ModelConfig(vocab_size=32, d_model=16, n_layers=2, n_heads=2,
+                     max_seq_len=48)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransformerLM(CONFIG, seed=3)
+
+
+class TestInference:
+    def test_prefill_shape(self, model):
+        cache = model.new_cache()
+        logits = model.prefill(np.array([1, 2, 3]), cache)
+        assert logits.shape == (3, 32)
+        assert cache.length == 3
+
+    def test_decode_shape(self, model):
+        cache = model.new_cache()
+        model.prefill(np.array([1, 2]), cache)
+        logits = model.decode(5, cache)
+        assert logits.shape == (32,)
+        assert cache.length == 3
+
+    def test_cache_equals_scratch(self, model, rng):
+        """Incremental decoding with a cache reproduces from-scratch logits."""
+        tokens = rng.integers(1, 32, size=10)
+        full = model.logits_for_sequence(tokens)
+        cache = model.new_cache()
+        prefill_logits = model.prefill(tokens[:4], cache)
+        np.testing.assert_allclose(prefill_logits, full[:4], atol=1e-10)
+        for i in range(4, 10):
+            step = model.decode(int(tokens[i]), cache)
+            np.testing.assert_allclose(step, full[i], atol=1e-10)
+
+    def test_prefill_in_chunks_matches(self, model, rng):
+        tokens = rng.integers(1, 32, size=8)
+        full = model.logits_for_sequence(tokens)
+        cache = model.new_cache()
+        a = model.prefill(tokens[:3], cache)
+        b = model.prefill(tokens[3:], cache)
+        np.testing.assert_allclose(np.vstack([a, b]), full, atol=1e-10)
+
+    def test_position_overflow_raises(self, model):
+        cache = model.new_cache()
+        with pytest.raises(ValueError, match="max_seq_len"):
+            model.prefill(np.ones(49, dtype=np.intp), cache)
+
+    def test_mask_shape_mismatch_raises(self, model):
+        cache = model.new_cache()
+        with pytest.raises(ValueError, match="mask shape"):
+            model.forward_masked(
+                np.array([1]), np.array([0]), np.zeros((1, 5)), cache
+            )
+
+    def test_next_distribution_sums_to_one(self, model):
+        cache = model.new_cache()
+        model.prefill(np.array([1, 2]), cache)
+        probs = model.next_distribution(3, cache)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_determinism(self, model, rng):
+        tokens = rng.integers(1, 32, size=6)
+        a = model.logits_for_sequence(tokens)
+        b = model.logits_for_sequence(tokens)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTrainingPath:
+    def test_train_forward_matches_inference(self, model, rng):
+        tokens = rng.integers(1, 32, size=7)
+        train_logits, _ = model.forward_train(tokens)
+        infer_logits = model.logits_for_sequence(tokens)
+        np.testing.assert_allclose(train_logits, infer_logits, atol=1e-10)
+
+    def test_sequence_too_long_raises(self, model):
+        with pytest.raises(ValueError, match="max_seq_len"):
+            model.forward_train(np.ones(49, dtype=np.intp))
+
+    def test_full_gradient_check(self, rng):
+        """Analytic gradients match finite differences for every tensor."""
+        config = ModelConfig(vocab_size=12, d_model=8, n_layers=2, n_heads=2,
+                             max_seq_len=12)
+        model = TransformerLM(config, seed=1)
+        tokens = rng.integers(1, 12, size=5)
+        targets = np.concatenate([tokens[1:], [-1]])
+
+        def loss():
+            logits, _ = model.forward_train(tokens)
+            return softmax_cross_entropy(logits, targets)[0]
+
+        logits, caches = model.forward_train(tokens)
+        _, dlogits = softmax_cross_entropy(logits, targets)
+        grads = model.backward(dlogits, caches)
+
+        eps = 1e-6
+        for name in model.params.names():
+            p = model.params[name]
+            # Check a handful of entries per tensor to keep runtime sane.
+            flat = p.reshape(-1)
+            indices = rng.choice(flat.size, size=min(3, flat.size),
+                                 replace=False)
+            for i in indices:
+                orig = flat[i]
+                flat[i] = orig + eps
+                fp = loss()
+                flat[i] = orig - eps
+                fm = loss()
+                flat[i] = orig
+                numerical = (fp - fm) / (2 * eps)
+                analytic = grads[name].reshape(-1)[i]
+                assert analytic == pytest.approx(numerical, abs=2e-6), name
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_backward_produces_grad_for_every_param(self, seq_len):
+        config = ModelConfig(vocab_size=12, d_model=8, n_layers=1, n_heads=2,
+                             max_seq_len=16)
+        model = TransformerLM(config, seed=2)
+        tokens = (np.arange(seq_len) % 11) + 1
+        logits, caches = model.forward_train(tokens)
+        targets = np.concatenate([tokens[1:], [-1]])
+        _, dlogits = softmax_cross_entropy(logits, targets)
+        grads = model.backward(dlogits, caches)
+        assert set(grads) == set(model.params.names())
+        for name, grad in grads.items():
+            assert grad.shape == model.params[name].shape, name
+            assert np.isfinite(grad).all(), name

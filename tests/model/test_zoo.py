@@ -1,0 +1,95 @@
+"""Tests for the model zoo (trained pairs + caching)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.zoo import ModelZoo, ZooSpec
+
+FAST_SPEC = ZooSpec(llm_steps=40, distill_steps=40)
+
+
+class TestZooSpec:
+    def test_vocab_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="vocab"):
+            ZooSpec(
+                vocab_size=32,
+                llm_config=ModelConfig(vocab_size=64, d_model=16, n_heads=2),
+            )
+
+    def test_cache_key_deterministic_and_distinct(self):
+        a = ZooSpec(llm_steps=10)
+        b = ZooSpec(llm_steps=10)
+        c = ZooSpec(llm_steps=20)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+
+class TestModelZoo:
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        cache_dir = str(tmp_path_factory.mktemp("zoo"))
+        zoo = ModelZoo(cache_dir=cache_dir)
+        llm, ssm = zoo.trained_pair(FAST_SPEC)
+        return zoo, cache_dir, llm, ssm
+
+    def test_pair_shapes(self, pair):
+        _, _, llm, ssm = pair
+        assert llm.config.vocab_size == ssm.config.vocab_size
+        assert ssm.num_parameters() < llm.num_parameters()
+
+    def test_checkpoints_written(self, pair):
+        _, cache_dir, _, _ = pair
+        files = os.listdir(cache_dir)
+        assert any("llm" in f for f in files)
+        assert any("ssm" in f for f in files)
+
+    def test_reload_identical(self, pair):
+        zoo, _, llm, _ = pair
+        llm2, _ = zoo.trained_pair(FAST_SPEC)
+        np.testing.assert_array_equal(llm.params["lm_head"],
+                                      llm2.params["lm_head"])
+
+    def test_distilled_ssm_agrees_with_llm(self, pair):
+        """The zoo pair has genuine (trained-in) alignment: SSM top-1
+        matches LLM top-1 well above chance on corpus text."""
+        zoo, _, llm, ssm = pair
+        corpus = zoo.corpus(FAST_SPEC)
+        hits = total = 0
+        for seq in corpus.sample_many(5, 16):
+            llm_logits = llm.logits_for_sequence(seq)
+            ssm_logits = ssm.logits_for_sequence(seq)
+            hits += int(
+                (llm_logits.argmax(-1) == ssm_logits.argmax(-1))[4:].sum()
+            )
+            total += len(seq) - 4
+        chance = 1 / llm.config.vocab_size
+        assert hits / total > 10 * chance
+
+    def test_speculation_with_zoo_pair(self, pair):
+        """End-to-end: a genuinely trained+distilled pair speeds up the
+        engine while staying lossless."""
+        from repro.engine.generation import GenerationConfig
+        from repro.engine.incremental import IncrementalEngine
+        from repro.engine.tree_spec import SpecInferEngine
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        zoo, _, llm, ssm = pair
+        prompt = list(zoo.corpus(FAST_SPEC).sample(8))
+        config = GenerationConfig(max_new_tokens=20, stop_on_eos=False)
+        incremental = IncrementalEngine(llm).generate(prompt, config)
+        spec = SpecInferEngine(
+            llm, Speculator([ssm], ExpansionConfig.width_sweep(3, depth=6,
+                                                               expand_step=0))
+        ).generate(prompt, config)
+        assert spec.tokens == incremental.tokens
+        assert spec.num_llm_steps <= incremental.num_llm_steps
+
+    def test_no_cache_dir_still_works(self):
+        zoo = ModelZoo(cache_dir=None)
+        tiny = ZooSpec(llm_steps=3, distill_steps=3)
+        llm, ssm = zoo.trained_pair(tiny)
+        assert llm.num_parameters() > 0

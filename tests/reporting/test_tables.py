@@ -1,0 +1,42 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.reporting.tables import AsciiTable, format_float, render_series
+
+
+class TestAsciiTable:
+    def test_render_alignment(self):
+        table = AsciiTable(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("longer", 22)
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data rows have the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_cell_count_checked(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiTable([])
+
+    def test_str_matches_render(self):
+        table = AsciiTable(["x"])
+        table.add_row(3)
+        assert str(table) == table.render()
+
+
+class TestHelpers:
+    def test_format_float(self):
+        assert format_float(1.23456) == "1.23"
+        assert format_float(1.23456, 3) == "1.235"
+
+    def test_render_series(self):
+        out = render_series("w=2", ["BS1", "BS2"], [1.5, 2.25])
+        assert out == "w=2: BS1=1.50, BS2=2.25"

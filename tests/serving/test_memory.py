@@ -1,0 +1,118 @@
+"""Tests for KV memory accounting and memory-gated admission."""
+
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.model.config import ModelConfig
+from repro.serving.manager import RequestManager
+from repro.serving.memory import KvMemoryPool, speculation_headroom
+from repro.serving.session import IncrementalSession
+from tests.conftest import SMALL_CONFIG, make_prompt
+
+
+class TestKvMemoryPool:
+    @pytest.fixture()
+    def pool(self):
+        # Small model: kv bytes/token = 2 * 2 layers * 32 d_model * 2 = 256.
+        return KvMemoryPool(budget_bytes=256 * 100, model=SMALL_CONFIG)
+
+    def test_bytes_per_token(self, pool):
+        assert pool.bytes_per_token == 2 * 2 * 32 * 2
+
+    def test_reserve_and_release(self, pool):
+        pool.reserve(1, tokens=40)
+        assert pool.num_reservations == 1
+        assert pool.available_bytes == pool.budget_bytes - 40 * 256
+        pool.release(1)
+        assert pool.available_bytes == pool.budget_bytes
+
+    def test_over_reserve_raises(self, pool):
+        pool.reserve(1, tokens=80)
+        with pytest.raises(MemoryError, match="exhausted"):
+            pool.reserve(2, tokens=40)
+
+    def test_double_reserve_raises(self, pool):
+        pool.reserve(1, tokens=10)
+        with pytest.raises(ValueError, match="already"):
+            pool.reserve(1, tokens=10)
+
+    def test_release_unknown_raises(self, pool):
+        with pytest.raises(KeyError):
+            pool.release(7)
+
+    def test_can_admit(self, pool):
+        assert pool.can_admit(100)
+        assert not pool.can_admit(101)
+
+    def test_max_concurrent_requests(self, pool):
+        assert pool.max_concurrent_requests(25) == 4
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            KvMemoryPool(0, SMALL_CONFIG)
+
+    def test_headroom_helper(self):
+        assert speculation_headroom(12) == 12
+        with pytest.raises(ValueError):
+            speculation_headroom(-1)
+
+
+class TestMemoryGatedAdmission:
+    def _manager(self, llm, pool):
+        return RequestManager(
+            lambda req: IncrementalSession(req, llm),
+            max_batch_size=8,
+            memory_pool=pool,
+        )
+
+    def test_admission_limited_by_memory_not_batch(self, llm, rng):
+        """Budget for ~2 concurrent requests gates a batch limit of 8."""
+        per_request = 10 + 4  # prompt + max_new
+        pool = KvMemoryPool(
+            budget_bytes=2 * per_request * 256 + 10, model=SMALL_CONFIG
+        )
+        mgr = self._manager(llm, pool)
+        for _ in range(4):
+            mgr.submit(make_prompt(rng, length=10),
+                       GenerationConfig(max_new_tokens=4, stop_on_eos=False))
+        stats = mgr.run_iteration()
+        assert stats.batch_size == 2
+        mgr.run_until_complete()
+        assert len(mgr.finished_outputs()) == 4
+        assert pool.num_reservations == 0
+
+    def test_small_requests_skip_ahead(self, llm, rng):
+        """A large request that does not fit is skipped, not head-of-line
+        blocking: a smaller later request is admitted instead."""
+        per_token = 256
+        pool = KvMemoryPool(budget_bytes=20 * per_token, model=SMALL_CONFIG)
+        mgr = self._manager(llm, pool)
+        big = mgr.submit(make_prompt(rng, length=10),
+                         GenerationConfig(max_new_tokens=30,
+                                          stop_on_eos=False))
+        small = mgr.submit(make_prompt(rng, length=5),
+                           GenerationConfig(max_new_tokens=5,
+                                            stop_on_eos=False))
+        mgr.run_iteration()
+        assert mgr._tracked[small].request.state.value == "running"
+        assert mgr._tracked[big].request.state.value == "waiting"
+
+    def test_impossible_request_raises(self, llm, rng):
+        pool = KvMemoryPool(budget_bytes=5 * 256, model=SMALL_CONFIG)
+        mgr = self._manager(llm, pool)
+        mgr.submit(make_prompt(rng, length=10),
+                   GenerationConfig(max_new_tokens=30, stop_on_eos=False))
+        with pytest.raises(MemoryError, match="never fit"):
+            mgr.run_until_complete()
+
+    def test_headroom_reserved(self, llm, rng):
+        pool = KvMemoryPool(budget_bytes=100 * 256, model=SMALL_CONFIG)
+        mgr = RequestManager(
+            lambda req: IncrementalSession(req, llm),
+            memory_pool=pool,
+            kv_headroom=12,
+        )
+        mgr.submit(make_prompt(rng, length=8),
+                   GenerationConfig(max_new_tokens=4, stop_on_eos=False))
+        mgr.run_iteration()
+        assert pool.reserved_bytes == (8 + 4 + 12) * 256

@@ -1,0 +1,31 @@
+"""Tests for request lifecycle types."""
+
+import numpy as np
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.serving.request import Request, RequestOutput, RequestState
+
+
+class TestRequest:
+    def test_prompt_coerced_to_array(self):
+        request = Request(request_id=0, prompt=[1, 2, 3],
+                          config=GenerationConfig())
+        assert isinstance(request.prompt, np.ndarray)
+        assert request.prompt.dtype == np.intp
+
+    def test_rejects_empty_prompt(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Request(request_id=0, prompt=[], config=GenerationConfig())
+
+    def test_default_state_is_waiting(self):
+        request = Request(request_id=0, prompt=[1], config=GenerationConfig())
+        assert request.state is RequestState.WAITING
+
+
+class TestRequestOutput:
+    def test_defaults(self):
+        output = RequestOutput(request_id=3)
+        assert output.tokens == []
+        assert output.first_token_iteration is None
+        assert not output.finished_by_eos

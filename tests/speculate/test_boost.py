@@ -1,0 +1,89 @@
+"""Tests for boost-tuning an SSM pool against a teacher LLM."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.trainer import TrainingConfig
+from repro.model.transformer import TransformerLM
+from repro.speculate.boost import BoostTuner
+from repro.workloads.corpus import MarkovCorpus
+
+TEACHER_CONFIG = ModelConfig(vocab_size=24, d_model=16, n_layers=2,
+                             n_heads=2, max_seq_len=32)
+STUDENT_CONFIG = TEACHER_CONFIG.scaled(d_model=8, n_layers=1, n_heads=2)
+
+
+@pytest.fixture(scope="module")
+def teacher():
+    return TransformerLM(TEACHER_CONFIG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    corpus = MarkovCorpus(vocab_size=24, branching=3, seed=1)
+    return corpus.sample_many(8, 10)
+
+
+class TestBoostTuner:
+    def test_rejects_bad_match_len(self, teacher):
+        with pytest.raises(ValueError):
+            BoostTuner(teacher, continuation_len=2, match_len=3)
+
+    def test_generate_targets_extends_prompts(self, teacher, prompts):
+        tuner = BoostTuner(teacher, continuation_len=4)
+        samples = tuner.generate_targets(prompts)
+        assert len(samples) == len(prompts)
+        for prompt, sample in zip(prompts, samples):
+            assert len(sample) == len(prompt) + 4
+            np.testing.assert_array_equal(sample[: len(prompt)], prompt)
+
+    def test_targets_are_greedy_continuations(self, teacher, prompts):
+        tuner = BoostTuner(teacher, continuation_len=3)
+        sample = tuner.generate_targets(prompts[:1])[0]
+        prompt = prompts[0]
+        cache = teacher.new_cache()
+        logits = teacher.prefill(prompt, cache)
+        t = int(np.argmax(logits[-1]))
+        assert sample[len(prompt)] == t
+
+    def test_ssm_matches_oracle(self, teacher, prompts):
+        """The teacher trivially matches its own continuations."""
+        tuner = BoostTuner(teacher, continuation_len=3, match_len=2)
+        samples = tuner.generate_targets(prompts)
+        for prompt, sample in zip(prompts, samples):
+            assert tuner.ssm_matches(teacher, len(prompt), sample)
+
+    def test_tune_reports_and_improves_coverage(self, teacher, prompts):
+        students = [TransformerLM(STUDENT_CONFIG, seed=s) for s in (10, 11)]
+        tuner = BoostTuner(
+            teacher,
+            continuation_len=2,
+            match_len=1,
+            training=TrainingConfig(max_steps=60, learning_rate=3e-3),
+        )
+        # Coverage before tuning (untrained students rarely match).
+        samples = tuner.generate_targets(prompts)
+        before = sum(
+            any(tuner.ssm_matches(s, len(p), smp) for s in students)
+            for p, smp in zip(prompts, samples)
+        )
+        report = tuner.tune(students, prompts)
+        assert report.total_samples == len(prompts)
+        assert report.uncovered + sum(report.per_ssm_covered) == len(prompts)
+        after = report.total_samples - report.uncovered
+        assert after >= before
+        assert 0.0 <= report.coverage <= 1.0
+
+    def test_later_ssm_sees_filtered_samples(self, teacher, prompts):
+        """With an oracle first SSM, the second SSM gets nothing to cover."""
+        oracle = teacher  # matches everything
+        second = TransformerLM(STUDENT_CONFIG, seed=12)
+        tuner = BoostTuner(
+            teacher, continuation_len=2, match_len=1,
+            training=TrainingConfig(max_steps=1),
+        )
+        report = tuner.tune([oracle, second], prompts)
+        assert report.per_ssm_covered[0] == len(prompts)
+        assert report.per_ssm_covered[1] == 0
+        assert report.coverage == 1.0

@@ -1,0 +1,121 @@
+"""Tests for expansion configurations and expansion-based tree construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.speculate.expansion import ExpansionConfig, expand_token_tree
+from tests.conftest import make_prompt
+
+
+class TestExpansionConfig:
+    def test_paper_default(self):
+        config = ExpansionConfig.paper_default()
+        assert config.widths == (1, 1, 3, 1, 1, 1, 1, 1)
+        assert config.depth == 8
+        assert config.num_sequences == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ExpansionConfig(())
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ExpansionConfig((1, 0, 1))
+
+    def test_width_sweep(self):
+        config = ExpansionConfig.width_sweep(4, depth=8, expand_step=2)
+        assert config.widths == (1, 1, 4, 1, 1, 1, 1, 1)
+        assert config.num_sequences == 4
+
+    def test_width_sweep_bad_step(self):
+        with pytest.raises(ValueError):
+            ExpansionConfig.width_sweep(2, depth=4, expand_step=4)
+
+    def test_sequence_config(self):
+        config = ExpansionConfig.sequence(5)
+        assert config.widths == (1,) * 5
+        assert config.num_sequences == 1
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_max_tree_tokens_formula(self, widths):
+        config = ExpansionConfig(tuple(widths))
+        total = 0
+        frontier = 1
+        for k in widths:
+            frontier *= k
+            total += frontier
+        assert config.max_tree_tokens() == total
+
+
+class TestExpandTokenTree:
+    def test_shape_follows_config(self, llm, ssm, rng):
+        prompt = make_prompt(rng, length=5)
+        cache = ssm.new_cache()
+        ssm.prefill(prompt[:-1], cache)
+        config = ExpansionConfig((2, 1))
+        tree = expand_token_tree(ssm, int(prompt[-1]), cache, config)
+        tree.validate()
+        assert tree.max_depth() <= 2
+        assert len(tree.nodes[0].children) == 2
+        for child in tree.nodes[0].children:
+            assert len(tree.nodes[child].children) == 1
+
+    def test_children_are_ssm_top_k(self, llm, ssm, rng):
+        prompt = make_prompt(rng, length=5)
+        cache = ssm.new_cache()
+        ssm.prefill(prompt[:-1], cache)
+        probe_cache = ssm.new_cache()
+        ssm.prefill(prompt[:-1], probe_cache)
+        logits = ssm.decode(int(prompt[-1]), probe_cache)
+        top3 = set(np.argsort(logits)[::-1][:3].tolist())
+        tree = expand_token_tree(
+            ssm, int(prompt[-1]), cache, ExpansionConfig((3,))
+        )
+        child_tokens = {tree.nodes[c].token for c in tree.nodes[0].children}
+        assert child_tokens == top3
+
+    def test_cache_restored_on_return(self, ssm, rng):
+        prompt = make_prompt(rng, length=5)
+        cache = ssm.new_cache()
+        ssm.prefill(prompt[:-1], cache)
+        before = cache.snapshot()
+        expand_token_tree(ssm, int(prompt[-1]), cache,
+                          ExpansionConfig((2, 2, 1)))
+        assert cache.snapshot() == before
+
+    def test_proposals_recorded_at_internal_nodes(self, ssm, rng):
+        prompt = make_prompt(rng, length=4)
+        cache = ssm.new_cache()
+        ssm.prefill(prompt[:-1], cache)
+        tree = expand_token_tree(ssm, int(prompt[-1]), cache,
+                                 ExpansionConfig((2, 1)))
+        for idx, node in enumerate(tree.nodes):
+            if node.children:
+                assert 0 in node.proposals, f"node {idx} missing proposal"
+                probs = node.proposals[0]
+                assert probs.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self, ssm, rng):
+        prompt = make_prompt(rng, length=4)
+        trees = []
+        for _ in range(2):
+            cache = ssm.new_cache()
+            ssm.prefill(prompt[:-1], cache)
+            trees.append(
+                expand_token_tree(ssm, int(prompt[-1]), cache,
+                                  ExpansionConfig((2, 2)))
+            )
+        assert trees[0].sequences() == trees[1].sequences()
+
+    def test_works_with_plain_transformer_as_ssm(self, llm, rng):
+        """A TransformerLM itself satisfies the SSM protocol."""
+        prompt = make_prompt(rng, length=4)
+        cache = llm.new_cache()
+        llm.prefill(prompt[:-1], cache)
+        tree = expand_token_tree(llm, int(prompt[-1]), cache,
+                                 ExpansionConfig((2, 1)))
+        tree.validate()
+        assert len(tree) == 5  # root + 2 + 2

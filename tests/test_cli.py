@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDemo:
+    def test_runs_and_is_lossless(self, capsys):
+        code = main(["demo", "--tokens", "12", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outputs identical: True" in out
+        assert "tree-based SpecInfer" in out
+
+
+class TestTree:
+    def test_renders_tree(self, capsys):
+        code = main(["tree", "--widths", "2", "2", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tree:" in out
+        assert "accepted" in out
+        assert "`--" in out
+
+
+class TestServe:
+    def test_serving_report(self, capsys):
+        code = main([
+            "serve", "--requests", "4", "--tokens", "6", "--batch", "2",
+            "--rate", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "requests           : 4" in out
+        assert "tokens generated   : 24" in out
+
+
+class TestModels:
+    def test_lists_all_paper_models(self, capsys):
+        code = main(["models"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("llama-7b", "opt-30b", "llama-65b", "llama-68m"):
+            assert name in out
+        assert "tp=4 pp=2" in out  # llama-65b placement
+
+
+class TestSweep:
+    def test_depth_sweep_output(self, capsys):
+        code = main(["sweep", "--alpha", "0.7", "--max-depth", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "depth  1:" in out
+        assert "<- best" in out
+
+    def test_sweep_multi_node_model(self, capsys):
+        code = main(["sweep", "--model", "llama-65b", "--max-depth", "4"])
+        assert code == 0
+
+
+class TestLatency:
+    def test_latency_query(self, capsys):
+        code = main([
+            "latency", "--model", "llama-7b", "--tree-tokens", "10",
+            "--tokens-per-step", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "step latency" in out
+        assert "ms" in out
+
+    def test_multi_node_query(self, capsys):
+        code = main(["latency", "--model", "llama-65b", "--tp", "4",
+                     "--pp", "2"])
+        assert code == 0

@@ -1,0 +1,137 @@
+"""Tests for linearization, topology-aware masks and tree positions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.masks import linearize, topology_causal_mask, tree_positions
+from repro.tree.token_tree import TokenTree
+
+NEG_INF = float("-inf")
+
+
+def chain_tree(tokens):
+    tree = TokenTree(tokens[0])
+    tree.add_path(tokens[1:])
+    return tree
+
+
+@st.composite
+def random_tree(draw):
+    tree = TokenTree(draw(st.integers(0, 9)))
+    for _ in range(draw(st.integers(0, 14))):
+        parent = draw(st.integers(0, len(tree) - 1))
+        tree.add_child(parent, draw(st.integers(0, 9)))
+    return tree
+
+
+class TestLinearize:
+    def test_chain_preserves_order(self):
+        tree = chain_tree([1, 2, 3, 4])
+        lin = linearize(tree)
+        np.testing.assert_array_equal(lin.tokens, [1, 2, 3, 4])
+        np.testing.assert_array_equal(lin.parents, [-1, 0, 1, 2])
+        np.testing.assert_array_equal(lin.depths, [0, 1, 2, 3])
+
+    def test_slot_of_inverts_order(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        tree.add_child(0, 3)
+        tree.add_child(a, 4)
+        lin = linearize(tree)
+        for slot, node in enumerate(lin.order):
+            assert lin.slot_of[node] == slot
+
+    @given(random_tree())
+    @settings(max_examples=50, deadline=None)
+    def test_parents_precede_children(self, tree):
+        lin = linearize(tree)
+        for slot in range(lin.num_tokens):
+            parent_slot = lin.parents[slot]
+            if parent_slot != -1:
+                assert parent_slot < slot
+
+
+class TestTopologyMask:
+    def test_chain_reduces_to_causal(self):
+        """A width-1 tree's topology mask is the ordinary causal mask."""
+        from repro.model.attention import cross_mask
+
+        tree = chain_tree([1, 2, 3, 4])
+        lin = linearize(tree)
+        mask = topology_causal_mask(lin, prefix_len=3)
+        np.testing.assert_array_equal(mask, cross_mask(4, 7, 3))
+
+    def test_prefix_always_visible(self):
+        tree = TokenTree(1)
+        tree.add_child(0, 2)
+        tree.add_child(0, 3)
+        lin = linearize(tree)
+        mask = topology_causal_mask(lin, prefix_len=5)
+        assert (mask[:, :5] == 0.0).all()
+
+    def test_siblings_masked(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        b = tree.add_child(0, 3)
+        lin = linearize(tree)
+        mask = topology_causal_mask(lin, prefix_len=0)
+        sa, sb = lin.slot_of[a], lin.slot_of[b]
+        assert mask[sa, sb] == NEG_INF
+        assert mask[sb, sa] == NEG_INF
+
+    def test_cousins_masked(self):
+        """The paper's t7-vs-t5 example: a node must not see its uncle's
+        subtree even though it precedes it in cache order."""
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        b = tree.add_child(0, 3)
+        a1 = tree.add_child(a, 4)
+        b1 = tree.add_child(b, 5)
+        lin = linearize(tree)
+        mask = topology_causal_mask(lin, prefix_len=0)
+        assert mask[lin.slot_of[b1], lin.slot_of[a1]] == NEG_INF
+        assert mask[lin.slot_of[b1], lin.slot_of[a]] == NEG_INF
+
+    @given(random_tree(), st.integers(0, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_mask_matches_ancestor_relation(self, tree, prefix_len):
+        """Mask entry is 0 exactly for prefix columns and ancestor-or-self."""
+        lin = linearize(tree)
+        mask = topology_causal_mask(lin, prefix_len)
+        anc = tree.ancestor_matrix()
+        n = lin.num_tokens
+        for j in range(n):
+            for k in range(n):
+                expected = anc[lin.order[j], lin.order[k]]
+                visible = mask[j, prefix_len + k] == 0.0
+                assert visible == expected
+
+    @given(random_tree())
+    @settings(max_examples=30, deadline=None)
+    def test_diagonal_always_visible(self, tree):
+        lin = linearize(tree)
+        mask = topology_causal_mask(lin, prefix_len=2)
+        for j in range(lin.num_tokens):
+            assert mask[j, 2 + j] == 0.0
+
+
+class TestTreePositions:
+    def test_positions_are_prefix_plus_depth(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        tree.add_child(0, 3)
+        tree.add_child(a, 4)
+        lin = linearize(tree)
+        positions = tree_positions(lin, prefix_len=10)
+        np.testing.assert_array_equal(positions, 10 + lin.depths)
+
+    def test_same_depth_same_position(self):
+        """Alternative candidates for one sequence slot share a position."""
+        tree = TokenTree(1)
+        tree.add_child(0, 2)
+        tree.add_child(0, 3)
+        lin = linearize(tree)
+        positions = tree_positions(lin, prefix_len=4)
+        assert positions[1] == positions[2] == 5

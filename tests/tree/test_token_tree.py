@@ -1,0 +1,245 @@
+"""Tests for the token tree data structure and merge (Defs. 3.1 / 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.token_tree import TokenTree, merge_trees
+
+
+def build_sample_tree():
+    """Root 5 with branches [10,[12->15,13]] and [11,[14]]."""
+    tree = TokenTree(5)
+    a = tree.add_child(0, 10)
+    b = tree.add_child(0, 11)
+    c = tree.add_child(a, 12)
+    tree.add_child(a, 13)
+    tree.add_child(b, 14)
+    tree.add_child(c, 15)
+    return tree
+
+
+class TestConstruction:
+    def test_root_properties(self):
+        tree = TokenTree(9)
+        assert len(tree) == 1
+        assert tree.root.token == 9
+        assert tree.root.parent == -1
+        assert tree.root.depth == 0
+        assert tree.num_speculated() == 0
+
+    def test_add_child_sets_depth_and_parent(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        b = tree.add_child(a, 3)
+        assert tree.nodes[b].depth == 2
+        assert tree.nodes[b].parent == a
+
+    def test_duplicate_child_merges(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2, ssm_id=0)
+        b = tree.add_child(0, 2, ssm_id=1)
+        assert a == b
+        assert tree.nodes[a].ssm_ids == {0, 1}
+        assert len(tree) == 2
+
+    def test_add_path(self):
+        tree = TokenTree(1)
+        leaf = tree.add_path([2, 3, 4])
+        assert tree.sequence_of(leaf) == (1, 2, 3, 4)
+        assert len(tree) == 4
+
+    def test_add_path_shares_prefix(self):
+        tree = TokenTree(1)
+        tree.add_path([2, 3])
+        tree.add_path([2, 4])
+        assert len(tree) == 4  # root, 2, 3, 4
+
+    def test_invalid_parent_raises(self):
+        tree = TokenTree(1)
+        with pytest.raises(IndexError):
+            tree.add_child(5, 2)
+
+    def test_set_proposal(self):
+        tree = TokenTree(1)
+        probs = np.full(8, 1 / 8)
+        tree.set_proposal(0, 0, probs)
+        np.testing.assert_array_equal(tree.nodes[0].proposals[0], probs)
+
+
+class TestQueries:
+    def test_sequences(self):
+        tree = build_sample_tree()
+        assert tree.sequences() == frozenset(
+            {
+                (5,),
+                (5, 10),
+                (5, 11),
+                (5, 10, 12),
+                (5, 10, 13),
+                (5, 11, 14),
+                (5, 10, 12, 15),
+            }
+        )
+
+    def test_leaf_sequences(self):
+        tree = build_sample_tree()
+        assert tree.leaf_sequences() == frozenset(
+            {(5, 10, 13), (5, 11, 14), (5, 10, 12, 15)}
+        )
+
+    def test_max_depth(self):
+        assert build_sample_tree().max_depth() == 3
+        assert TokenTree(1).max_depth() == 0
+
+    def test_path_to(self):
+        tree = build_sample_tree()
+        leaf = len(tree.nodes) - 1  # token 15
+        path = tree.path_to(leaf)
+        assert [tree.nodes[i].token for i in path] == [5, 10, 12, 15]
+
+    def test_dfs_order_parents_before_children(self):
+        tree = build_sample_tree()
+        order = tree.dfs_order()
+        position = {node: i for i, node in enumerate(order)}
+        for idx, node in enumerate(tree.nodes):
+            if node.parent != -1:
+                assert position[node.parent] < position[idx]
+
+    def test_dfs_order_visits_all_once(self):
+        tree = build_sample_tree()
+        order = tree.dfs_order()
+        assert sorted(order) == list(range(len(tree)))
+
+    def test_ancestor_matrix(self):
+        tree = build_sample_tree()
+        anc = tree.ancestor_matrix()
+        assert anc[0, 0]
+        leaf = len(tree.nodes) - 1
+        for v in tree.path_to(leaf):
+            assert anc[leaf, v]
+        # token 11's node is not an ancestor of token 15's leaf
+        assert not anc[leaf, 2]
+
+    def test_validate_accepts_good_tree(self):
+        build_sample_tree().validate()
+
+    def test_validate_rejects_corruption(self):
+        tree = build_sample_tree()
+        tree.nodes[3].depth = 7
+        with pytest.raises(ValueError, match="depth"):
+            tree.validate()
+
+
+class TestMerge:
+    def test_merge_unions_sequences(self):
+        t1 = TokenTree(1)
+        t1.add_path([2, 3])
+        t2 = TokenTree(1)
+        t2.add_path([2, 4])
+        t2.add_path([5])
+        merged = merge_trees([t1, t2])
+        assert merged.sequences() == t1.sequences() | t2.sequences()
+
+    def test_merge_definition_3_2(self):
+        """Every S_u of each input exists in the merge, and vice versa."""
+        t1 = TokenTree(1)
+        t1.add_path([2, 3, 4])
+        t2 = TokenTree(1)
+        t2.add_path([2, 3, 5])
+        merged = merge_trees([t1, t2])
+        for tree in (t1, t2):
+            assert tree.sequences() <= merged.sequences()
+        assert merged.sequences() <= t1.sequences() | t2.sequences()
+
+    def test_merge_requires_same_root(self):
+        with pytest.raises(ValueError, match="root token"):
+            merge_trees([TokenTree(1), TokenTree(2)])
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_trees([])
+
+    def test_merge_preserves_attribution(self):
+        t1 = TokenTree(1)
+        t1.add_child(0, 2, ssm_id=0)
+        t2 = TokenTree(1)
+        t2.add_child(0, 2, ssm_id=1)
+        merged = merge_trees([t1, t2])
+        child = merged.nodes[merged.nodes[0].children[0]]
+        assert child.ssm_ids == {0, 1}
+
+    def test_merge_preserves_proposals(self):
+        t1 = TokenTree(1)
+        t1.add_child(0, 2, ssm_id=0)
+        t1.set_proposal(0, 0, np.full(4, 0.25))
+        t2 = TokenTree(1)
+        t2.add_child(0, 3, ssm_id=1)
+        t2.set_proposal(0, 1, np.array([0.7, 0.1, 0.1, 0.1]))
+        merged = merge_trees([t1, t2])
+        assert set(merged.nodes[0].proposals) == {0, 1}
+
+    def test_merge_idempotent(self):
+        tree = build_sample_tree()
+        merged = merge_trees([tree, tree])
+        assert merged.sequences() == tree.sequences()
+        assert len(merged) == len(tree)
+
+
+# -- property-based: merge laws over random trees ------------------------------
+
+@st.composite
+def random_tree(draw):
+    tree = TokenTree(draw(st.integers(0, 7)))
+    n_ops = draw(st.integers(0, 12))
+    for _ in range(n_ops):
+        parent = draw(st.integers(0, len(tree) - 1))
+        token = draw(st.integers(0, 7))
+        ssm = draw(st.integers(0, 2))
+        tree.add_child(parent, token, ssm_id=ssm)
+    return tree
+
+
+@st.composite
+def random_tree_pair(draw):
+    root = draw(st.integers(0, 7))
+    trees = []
+    for _ in range(2):
+        tree = TokenTree(root)
+        for _ in range(draw(st.integers(0, 10))):
+            parent = draw(st.integers(0, len(tree) - 1))
+            tree.add_child(parent, draw(st.integers(0, 7)))
+        trees.append(tree)
+    return trees
+
+
+class TestMergeProperties:
+    @given(random_tree_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_sequence_union(self, pair):
+        merged = merge_trees(pair)
+        merged.validate()
+        assert merged.sequences() == pair[0].sequences() | pair[1].sequences()
+
+    @given(random_tree_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutative_on_sequences(self, pair):
+        ab = merge_trees(pair)
+        ba = merge_trees(pair[::-1])
+        assert ab.sequences() == ba.sequences()
+
+    @given(random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_random_trees_validate_and_dedup(self, tree):
+        tree.validate()
+        # No parent has two children with the same token.
+        for node in tree.nodes:
+            tokens = [tree.nodes[c].token for c in node.children]
+            assert len(tokens) == len(set(tokens))
+
+    @given(random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_sequences_count_equals_nodes(self, tree):
+        """Distinct nodes identify distinct sequences (Def. 3.1)."""
+        assert len(tree.sequences()) == len(tree)

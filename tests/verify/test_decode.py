@@ -1,0 +1,123 @@
+"""The core correctness property: tree-parallel decoding equivalence.
+
+Definition 4.1 says tree attention for node ``u`` equals ordinary sequence
+attention over ``S_u``.  These tests check it bit-exactly against (a) the
+sequence-based decomposition and (b) fresh incremental decoding of each
+root-to-node path, over hand-built and randomly generated trees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.token_tree import TokenTree
+from repro.verify.decode import sequence_parallel_decode, tree_parallel_decode
+from tests.conftest import make_prompt
+
+
+@st.composite
+def random_tree(draw):
+    tree = TokenTree(draw(st.integers(1, 63)))
+    for _ in range(draw(st.integers(0, 10))):
+        parent = draw(st.integers(0, len(tree) - 1))
+        tree.add_child(parent, draw(st.integers(1, 63)))
+    return tree
+
+
+class TestTreeDecodeEquivalence:
+    def test_single_node_tree_is_plain_decode(self, llm, rng):
+        prompt = make_prompt(rng, length=5)
+        cache = llm.new_cache()
+        llm.prefill(prompt[:-1], cache)
+        reference = llm.decode(int(prompt[-1]), cache)
+        cache2 = llm.new_cache()
+        llm.prefill(prompt[:-1], cache2)
+        out = tree_parallel_decode(llm, cache2, TokenTree(int(prompt[-1])))
+        np.testing.assert_allclose(out.logits_for_node(0), reference,
+                                   atol=1e-12)
+
+    def test_matches_incremental_per_path(self, llm, rng):
+        """Every node's logits equal incremental decoding of S_u."""
+        prompt = make_prompt(rng, length=6)
+        tree = TokenTree(7)
+        a = tree.add_child(0, 10)
+        b = tree.add_child(0, 11)
+        c = tree.add_child(a, 12)
+        tree.add_child(c, 13)
+        tree.add_child(b, 14)
+        cache = llm.new_cache()
+        llm.prefill(prompt, cache)
+        out = tree_parallel_decode(llm, cache, tree)
+        for node in range(len(tree)):
+            seq = tree.sequence_of(node)
+            ref_cache = llm.new_cache()
+            llm.prefill(prompt, ref_cache)
+            for token in seq[:-1]:
+                llm.decode(int(token), ref_cache)
+            reference = llm.decode(int(seq[-1]), ref_cache)
+            np.testing.assert_allclose(
+                out.logits_for_node(node), reference, atol=1e-10,
+                err_msg=f"node {node} (sequence {seq})"
+            )
+
+    @given(tree=random_tree(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_vs_sequence_decomposition(self, llm, tree, seed):
+        """Fused tree decode == per-sequence kernels, for arbitrary trees."""
+        rng = np.random.default_rng(seed)
+        prompt = make_prompt(rng, length=4)
+        cache = llm.new_cache()
+        llm.prefill(prompt, cache)
+        snap = cache.snapshot()
+        out = tree_parallel_decode(llm, cache, tree)
+        cache.restore(snap)
+        seq_outputs, stats = sequence_parallel_decode(llm, cache, tree)
+        assert set(seq_outputs) == set(range(len(tree)))
+        for node, reference in seq_outputs.items():
+            np.testing.assert_allclose(
+                out.logits_for_node(node), reference, atol=1e-10
+            )
+
+    def test_appends_tree_rows_to_cache(self, llm, rng):
+        prompt = make_prompt(rng, length=4)
+        tree = TokenTree(5)
+        tree.add_path([6, 7])
+        tree.add_path([8])
+        cache = llm.new_cache()
+        llm.prefill(prompt, cache)
+        tree_parallel_decode(llm, cache, tree)
+        assert cache.length == len(prompt) + len(tree)
+
+
+class TestSequenceDecodeStats:
+    def test_chain_has_no_redundancy(self, llm, rng):
+        tree = TokenTree(5)
+        tree.add_path([6, 7, 8])
+        cache = llm.new_cache()
+        llm.prefill(make_prompt(rng, 3), cache)
+        _, stats = sequence_parallel_decode(llm, cache, tree)
+        assert stats.num_kernels == 1
+        assert stats.tokens_computed == len(tree)
+        assert stats.redundancy_factor == pytest.approx(1.0)
+
+    def test_branching_tree_is_redundant(self, llm, rng):
+        tree = TokenTree(5)
+        tree.add_path([6, 7])
+        tree.add_path([6, 8])  # shares the "6" prefix
+        cache = llm.new_cache()
+        llm.prefill(make_prompt(rng, 3), cache)
+        _, stats = sequence_parallel_decode(llm, cache, tree)
+        assert stats.num_kernels == 2
+        assert stats.tokens_computed == 6  # 2 sequences x 3 tokens
+        assert stats.unique_tokens == 4
+        assert stats.redundancy_factor > 1.0
+
+    def test_cache_restored_after_sequence_decode(self, llm, rng):
+        tree = TokenTree(5)
+        tree.add_path([6, 7])
+        cache = llm.new_cache()
+        llm.prefill(make_prompt(rng, 3), cache)
+        before = cache.length
+        sequence_parallel_decode(llm, cache, tree)
+        assert cache.length == before

@@ -1,0 +1,92 @@
+"""Tests for VerifyGreedy with hand-constructed LLM outputs."""
+
+import numpy as np
+import pytest
+
+from repro.tree.token_tree import TokenTree
+from repro.verify.decode import TreeDecodeOutput
+from repro.verify.greedy import verify_greedy
+from repro.tree.masks import linearize
+
+
+def fake_output(tree: TokenTree, greedy_by_node: dict, vocab: int = 16):
+    """A TreeDecodeOutput whose argmax at each node is prescribed."""
+    lin = linearize(tree)
+    logits = np.zeros((len(tree), vocab))
+    for node, token in greedy_by_node.items():
+        logits[lin.slot_of[node], token] = 10.0
+    return TreeDecodeOutput(lin=lin, logits=logits, prefix_len=0)
+
+
+class TestVerifyGreedy:
+    def test_full_match_accepts_whole_path(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        b = tree.add_child(a, 3)
+        output = fake_output(tree, {0: 2, a: 3, b: 7})
+        result = verify_greedy(output, tree)
+        assert result.accepted_tokens == [2, 3, 7]
+        assert result.accepted_nodes == [0, a, b]
+        assert result.bonus_token == 7
+        assert result.num_accepted_speculated == 2
+        result.validate()
+
+    def test_immediate_miss_yields_only_bonus(self):
+        tree = TokenTree(1)
+        tree.add_child(0, 2)
+        output = fake_output(tree, {0: 9})
+        result = verify_greedy(output, tree)
+        assert result.accepted_tokens == [9]
+        assert result.accepted_nodes == [0]
+        assert result.num_accepted_speculated == 0
+
+    def test_selects_matching_branch(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        b = tree.add_child(0, 3)
+        a1 = tree.add_child(a, 4)
+        b1 = tree.add_child(b, 5)
+        output = fake_output(tree, {0: 3, b: 5, b1: 8})
+        result = verify_greedy(output, tree)
+        assert result.accepted_tokens == [3, 5, 8]
+        assert result.accepted_nodes == [0, b, b1]
+
+    def test_partial_match_stops_at_divergence(self):
+        tree = TokenTree(1)
+        a = tree.add_child(0, 2)
+        tree.add_child(a, 3)
+        output = fake_output(tree, {0: 2, a: 9})  # diverges after first
+        result = verify_greedy(output, tree)
+        assert result.accepted_tokens == [2, 9]
+        assert result.bonus_token == 9
+
+    def test_root_only_tree(self):
+        tree = TokenTree(1)
+        output = fake_output(tree, {0: 4})
+        result = verify_greedy(output, tree)
+        assert result.accepted_tokens == [4]
+        assert result.tokens_per_step == 1
+
+    def test_emits_incremental_sequence(self, llm, rng):
+        """Against a real model: the accepted tokens must be exactly what
+        incremental greedy decoding would emit next."""
+        from repro.verify.decode import tree_parallel_decode
+        from tests.conftest import make_prompt
+
+        prompt = make_prompt(rng, length=5)
+        # Build a tree speculating the LLM's own greedy continuation (oracle)
+        cache = llm.new_cache()
+        llm.prefill(prompt[:-1], cache)
+        ref_cache = llm.new_cache()
+        llm.prefill(prompt[:-1], ref_cache)
+        pending = int(prompt[-1])
+        expected = []
+        t = pending
+        for _ in range(4):
+            t = int(np.argmax(llm.decode(t, ref_cache)))
+            expected.append(t)
+        tree = TokenTree(pending)
+        tree.add_path(expected[:3])  # speculate first 3 correctly
+        output = tree_parallel_decode(llm, cache, tree)
+        result = verify_greedy(output, tree)
+        assert result.accepted_tokens == expected[:4]

@@ -1,0 +1,57 @@
+"""Tests for the VerificationResult record."""
+
+import pytest
+
+from repro.verify.result import VerificationResult
+
+
+def good_result():
+    return VerificationResult(
+        accepted_tokens=[5, 9],
+        accepted_nodes=[0, 3],
+        bonus_token=9,
+    )
+
+
+class TestValidate:
+    def test_accepts_consistent_result(self):
+        good_result().validate()
+
+    def test_rejects_missing_root(self):
+        result = good_result()
+        result.accepted_nodes = [3]
+        with pytest.raises(ValueError, match="root"):
+            result.validate()
+
+    def test_rejects_empty_path(self):
+        result = VerificationResult(accepted_tokens=[1], bonus_token=1)
+        with pytest.raises(ValueError, match="root"):
+            result.validate()
+
+    def test_rejects_token_count_mismatch(self):
+        result = good_result()
+        result.accepted_tokens = [5]
+        with pytest.raises(ValueError, match="bonus token plus"):
+            result.validate()
+
+    def test_rejects_wrong_bonus(self):
+        result = good_result()
+        result.bonus_token = 42
+        with pytest.raises(ValueError, match="bonus"):
+            result.validate()
+
+
+class TestDerived:
+    def test_num_accepted_speculated(self):
+        assert good_result().num_accepted_speculated == 1
+
+    def test_tokens_per_step(self):
+        assert good_result().tokens_per_step == 2
+
+    def test_minimal_step_is_one_token(self):
+        result = VerificationResult(
+            accepted_tokens=[7], accepted_nodes=[0], bonus_token=7
+        )
+        result.validate()
+        assert result.num_accepted_speculated == 0
+        assert result.tokens_per_step == 1

@@ -1,0 +1,107 @@
+"""Tests for arrival processes and manager driving."""
+
+import numpy as np
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.serving.manager import RequestManager
+from repro.serving.session import IncrementalSession
+from repro.workloads.arrival import (
+    PoissonArrivals,
+    UniformArrivals,
+    drive_manager,
+)
+from repro.workloads.datasets import make_dataset
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset("Alpaca", vocab_size=64)
+
+
+class TestPoissonArrivals:
+    def test_schedule_shape(self, dataset):
+        arrivals = PoissonArrivals(rate=0.5, dataset=dataset,
+                                   seed=0).schedule(20)
+        assert len(arrivals) == 20
+        times = [a.iteration for a in arrivals]
+        assert times == sorted(times)
+
+    def test_rate_controls_density(self, dataset):
+        fast = PoissonArrivals(rate=2.0, dataset=dataset, seed=1).schedule(50)
+        slow = PoissonArrivals(rate=0.2, dataset=dataset, seed=1).schedule(50)
+        assert fast[-1].iteration < slow[-1].iteration
+
+    def test_mean_gap_matches_rate(self, dataset):
+        arrivals = PoissonArrivals(rate=0.5, dataset=dataset,
+                                   seed=2).schedule(400)
+        span = arrivals[-1].iteration
+        # 400 arrivals at rate 0.5/iter -> span ~ 800 iterations.
+        assert 600 < span < 1000
+
+    def test_rejects_bad_args(self, dataset):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0, dataset=dataset)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1, dataset=dataset).schedule(0)
+
+    def test_reproducible(self, dataset):
+        a = PoissonArrivals(rate=1.0, dataset=dataset, seed=5).schedule(10)
+        b = PoissonArrivals(
+            rate=1.0, dataset=make_dataset("Alpaca", 64), seed=5
+        ).schedule(10)
+        assert [x.iteration for x in a] == [x.iteration for x in b]
+
+
+class TestUniformArrivals:
+    def test_fixed_gaps(self, dataset):
+        arrivals = UniformArrivals(gap=3, dataset=dataset).schedule(4)
+        assert [a.iteration for a in arrivals] == [0, 3, 6, 9]
+
+    def test_gap_zero_is_batch(self, dataset):
+        arrivals = UniformArrivals(gap=0, dataset=dataset).schedule(3)
+        assert all(a.iteration == 0 for a in arrivals)
+
+
+class TestDriveManager:
+    def test_all_requests_served(self, llm, dataset):
+        mgr = RequestManager(lambda req: IncrementalSession(req, llm),
+                             max_batch_size=2)
+        arrivals = UniformArrivals(gap=2, dataset=dataset,
+                                   max_prompt_len=6).schedule(5)
+        ids = drive_manager(
+            mgr, arrivals,
+            GenerationConfig(max_new_tokens=3, stop_on_eos=False),
+        )
+        assert len(ids) == 5
+        assert len(mgr.finished_outputs()) == 5
+
+    def test_arrival_iterations_respected(self, llm, dataset):
+        mgr = RequestManager(lambda req: IncrementalSession(req, llm),
+                             max_batch_size=4)
+        arrivals = UniformArrivals(gap=3, dataset=dataset,
+                                   max_prompt_len=6).schedule(3)
+        ids = drive_manager(
+            mgr, arrivals,
+            GenerationConfig(max_new_tokens=2, stop_on_eos=False),
+        )
+        for request_id, arrival in zip(ids, arrivals):
+            recorded = mgr._tracked[request_id].request.arrival_iteration
+            assert recorded >= arrival.iteration
+
+    def test_higher_load_increases_queueing(self, llm, dataset):
+        """At high arrival rate the batch saturates and TTFT grows."""
+        from repro.serving.metrics import report_from_manager
+
+        def run(gap):
+            mgr = RequestManager(lambda req: IncrementalSession(req, llm),
+                                 max_batch_size=1)
+            arrivals = UniformArrivals(gap=gap, dataset=dataset,
+                                       max_prompt_len=6).schedule(6)
+            drive_manager(
+                mgr, arrivals,
+                GenerationConfig(max_new_tokens=4, stop_on_eos=False),
+            )
+            return report_from_manager(mgr).mean_ttft
+
+        assert run(0) > run(6)

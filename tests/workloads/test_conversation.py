@@ -1,0 +1,109 @@
+"""Tests for multi-turn conversation workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.conversation import (
+    Conversation,
+    ConversationBuilder,
+    ConversationTurn,
+    serve_conversation,
+)
+from repro.workloads.datasets import make_dataset
+
+
+@pytest.fixture()
+def builder():
+    dataset = make_dataset("CIP", vocab_size=64)
+    return ConversationBuilder(dataset, turns=3, user_len=6,
+                               reply_budget=6, seed=0)
+
+
+class TestBuilder:
+    def test_turn_count(self, builder):
+        assert builder.build().num_turns == 3
+
+    def test_budget_within_bounds(self, builder):
+        for turn in builder.build().turns:
+            assert 3 <= turn.reply_budget <= 6
+
+    def test_user_prompts_truncated(self, builder):
+        for turn in builder.build().turns:
+            assert len(turn.user_tokens) <= 6
+
+    def test_max_context_bound(self, builder):
+        conversation = builder.build()
+        assert conversation.max_context() <= 3 * (6 + 6)
+
+    def test_build_many(self, builder):
+        assert len(builder.build_many(4)) == 4
+
+    def test_validation(self):
+        dataset = make_dataset("CIP", vocab_size=64)
+        with pytest.raises(ValueError):
+            ConversationBuilder(dataset, turns=0)
+        with pytest.raises(ValueError):
+            ConversationBuilder(dataset, reply_budget=0)
+
+
+class TestServeConversation:
+    def test_contexts_grow_per_turn(self, llm, builder):
+        from repro.engine.incremental import IncrementalEngine
+
+        conversation = builder.build()
+        result = serve_conversation(IncrementalEngine(llm), conversation)
+        assert result.contexts == sorted(result.contexts)
+        assert result.contexts[1] > result.contexts[0]
+        assert len(result.replies) == 3
+
+    def test_replies_respect_budgets(self, llm, builder):
+        from repro.engine.incremental import IncrementalEngine
+
+        conversation = builder.build()
+        result = serve_conversation(IncrementalEngine(llm), conversation)
+        for reply, turn in zip(result.replies, conversation.turns):
+            assert len(reply) <= turn.reply_budget
+
+    def test_speculative_conversation_matches_incremental(self, llm, ssm,
+                                                          builder):
+        """Losslessness holds across turns: each turn's reply conditions on
+        the shared history, so the whole conversation transcript matches."""
+        from repro.engine.incremental import IncrementalEngine
+        from repro.engine.tree_spec import SpecInferEngine
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        conversation = builder.build()
+        incremental = serve_conversation(IncrementalEngine(llm),
+                                         conversation)
+        engine = SpecInferEngine(
+            llm, Speculator([ssm], ExpansionConfig((1, 2, 1)))
+        )
+        speculative = serve_conversation(engine, conversation)
+        assert speculative.replies == incremental.replies
+        assert speculative.total_llm_steps <= incremental.total_llm_steps
+
+    def test_context_truncation(self, llm, builder):
+        from repro.engine.incremental import IncrementalEngine
+
+        conversation = builder.build()
+        result = serve_conversation(IncrementalEngine(llm), conversation,
+                                    max_context=10)
+        assert all(c <= 10 for c in result.contexts)
+
+    def test_long_chat_fits_window_with_truncation(self, llm):
+        """A conversation whose raw history would exceed the context window
+        still serves when truncated."""
+        from repro.engine.incremental import IncrementalEngine
+
+        dataset = make_dataset("CIP", vocab_size=64)
+        builder = ConversationBuilder(dataset, turns=12, user_len=8,
+                                      reply_budget=8, seed=1)
+        conversation = builder.build()
+        assert conversation.max_context() > llm.config.max_seq_len
+        result = serve_conversation(
+            IncrementalEngine(llm), conversation,
+            max_context=llm.config.max_seq_len - 10,
+        )
+        assert len(result.replies) == 12
+        assert result.total_tokens > 0

@@ -1,0 +1,86 @@
+"""Tests for synthetic prompt datasets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    PromptDataset,
+    dataset_specs,
+    make_dataset,
+)
+
+
+class TestSpecs:
+    def test_all_five_paper_datasets_present(self):
+        specs = dataset_specs()
+        assert set(specs) == set(DATASET_NAMES)
+
+    def test_difficulty_ordering_matches_table1(self):
+        """CIP should be the easiest dataset, WebQA the hardest."""
+        specs = dataset_specs()
+        assert specs["CIP"].alignment == max(s.alignment
+                                             for s in specs.values())
+        assert specs["WebQA"].alignment == min(s.alignment
+                                               for s in specs.values())
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", 0, 1, 1.0, alignment=0.5, seed=0)
+        with pytest.raises(ValueError):
+            DatasetSpec("x", 10, 1, 1.0, alignment=0.0, seed=0)
+
+
+class TestPromptDataset:
+    def test_prompts_avoid_reserved_tokens(self):
+        dataset = make_dataset("Alpaca", vocab_size=64)
+        for prompt in dataset.sample_prompts(20):
+            assert (prompt >= 1).all()
+            assert (prompt < 64).all()
+
+    def test_max_len_respected(self):
+        dataset = make_dataset("CP", vocab_size=64)
+        for prompt in dataset.sample_prompts(20, max_len=8):
+            assert 2 <= len(prompt) <= 8
+
+    def test_reproducible_by_seed(self):
+        a = make_dataset("PIQA", vocab_size=64).sample_prompts(5)
+        b = make_dataset("PIQA", vocab_size=64).sample_prompts(5)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_datasets_differ(self):
+        a = make_dataset("Alpaca", vocab_size=64).sample_prompt()
+        b = make_dataset("WebQA", vocab_size=64).sample_prompt()
+        assert len(a) != len(b) or not np.array_equal(a, b)
+
+    def test_length_profile_tracks_spec(self):
+        specs = dataset_specs()
+        long_ds = make_dataset("CP", vocab_size=64)      # mean 32
+        short_ds = make_dataset("WebQA", vocab_size=64)  # mean 12
+        long_mean = np.mean([len(p) for p in long_ds.sample_prompts(60)])
+        short_mean = np.mean([len(p) for p in short_ds.sample_prompts(60)])
+        assert long_mean > short_mean
+
+    def test_zipf_skew(self):
+        """Higher-exponent datasets concentrate more mass on few tokens."""
+        skewed = PromptDataset(
+            DatasetSpec("s", 50, 1, 2.0, alignment=0.9, seed=1), 64
+        )
+        flat = PromptDataset(
+            DatasetSpec("f", 50, 1, 0.2, alignment=0.9, seed=1), 64
+        )
+        def top_token_share(ds):
+            tokens = np.concatenate(ds.sample_prompts(40))
+            counts = np.bincount(tokens, minlength=64)
+            return counts.max() / counts.sum()
+        assert top_token_share(skewed) > top_token_share(flat)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("imagenet", vocab_size=64)
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            PromptDataset(dataset_specs()["Alpaca"], vocab_size=2)

@@ -1,0 +1,45 @@
+"""Tests for the toy tokenizer."""
+
+import pytest
+
+from repro.workloads.tokenizer import ToyTokenizer
+
+
+class TestToyTokenizer:
+    def test_special_tokens_fixed(self):
+        tok = ToyTokenizer(["hello", "world"])
+        assert tok.eos_id == 0
+        assert tok.unk_id == 1
+        assert tok.vocab_size == 4
+
+    def test_roundtrip(self):
+        tok = ToyTokenizer("the quick brown fox".split())
+        ids = tok.encode("the quick fox")
+        assert tok.decode(ids) == "the quick fox"
+
+    def test_unknown_words_map_to_unk(self):
+        tok = ToyTokenizer(["hello"])
+        assert tok.encode("hello goodbye") == [2, tok.unk_id]
+
+    def test_decode_stops_at_eos(self):
+        tok = ToyTokenizer(["a", "b"])
+        assert tok.decode([2, 0, 3]) == "a"
+
+    def test_duplicates_deduplicated(self):
+        tok = ToyTokenizer(["a", "a", "b"])
+        assert tok.vocab_size == 4
+
+    def test_from_text(self):
+        tok = ToyTokenizer.from_text("to be or not to be")
+        assert tok.vocab_size == 2 + 4  # to, be, or, not
+
+    def test_decode_out_of_range_raises(self):
+        tok = ToyTokenizer(["a"])
+        with pytest.raises(ValueError):
+            tok.decode([99])
+
+    def test_word_lookup(self):
+        tok = ToyTokenizer(["alpha"])
+        assert tok.word(2) == "alpha"
+        with pytest.raises(ValueError):
+            tok.word(-1)
