@@ -3,19 +3,25 @@
 The serving runtime (section 5.1) advances a whole batch per iteration; the
 real system verifies *all* requests' token trees in one fused kernel — the
 per-iteration latency the cost model charges as a single step.  This module
-realizes that at the NumPy level:
+realizes that at the NumPy level with two interchangeable execution paths:
 
-* the batch's tree tokens are concatenated into one ``forward_masked`` call,
-* a **block-diagonal** mask combines each request's topology-aware causal
-  mask (a request's tokens see its own prefix and ancestors, and nothing of
-  any other request),
-* a :class:`_ConcatLayerView` adapter scatters the produced keys/values back
-  into each request's own cache, so per-request compaction (and everything
-  downstream) is unchanged.
+* **block-sparse** (default): the batch's tree tokens are concatenated into
+  one :meth:`~repro.model.transformer.TransformerLM.forward_masked_blocks`
+  call — QKV/MLP GEMMs batched across the whole batch, attention computed
+  per request block against that request's own cache rows (zero-copy views;
+  see :class:`~repro.model.arena.BatchArena`).  The cross-request score
+  blocks, which are ``-inf`` by construction, are never computed and the
+  dense ``(Σnᵢ, Σkᵢ)`` mask is never materialized: per-step cost is
+  ``O(Σ nᵢ·kᵢ)`` instead of ``O((Σnᵢ)·(Σkᵢ))``.
+* **dense** (reference): one ``forward_masked`` call under a block-diagonal
+  mask over a :class:`_ConcatLayerView` façade that concatenates every
+  request's keys/values per layer.  Kept as the equivalence baseline the
+  tests compare against — it is the semantics, the block-sparse path is the
+  fast implementation.
 
-``verify_batch`` is bit-equivalent to per-request verification — tested —
-and exists so batching fidelity is a property of the implementation, not an
-assumption of the cost model.
+``verify_batch`` is bit-equivalent to per-request verification on either
+path — tested — and exists so batching fidelity is a property of the
+implementation, not an assumption of the cost model.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.model.attention import NEG_INF
+from repro.model import perf
+from repro.model.attention import NEG_INF, MaskScratch
 from repro.model.config import ModelConfig
 from repro.model.sampling import SamplingConfig
 from repro.model.transformer import TransformerLM
@@ -38,27 +45,96 @@ from repro.verify.result import VerificationResult
 from repro.verify.stochastic import verify_stochastic
 
 
+@dataclass
+class _BatchItem:
+    tree: TokenTree
+    cache: object
+    lin: object
+    prefix_len: int
+
+
+@dataclass(frozen=True)
+class _BatchLayout:
+    """Per-step batch geometry, computed once and passed down.
+
+    Re-deriving lengths inside the layer loop costs O(batch) per access
+    (and O(batch · layers) per step); everything the fused pass needs is a
+    pure function of the batch composition, so it is computed here exactly
+    once per iteration.
+
+    Attributes:
+        new_counts: Tree tokens per request.
+        priors: Cache length per request on entry.
+        row_offsets: Query-row start per request in the concatenated token
+            axis (plus a final total — ``len == batch + 1``).
+        col_offsets: Key-column start per request in the dense combined
+            layout (``[prefix rows | new rows]`` per request, batch order).
+        n_total: ``Σ new_counts``.
+        k_total: ``Σ (priors + new_counts)``.
+    """
+
+    new_counts: Tuple[int, ...]
+    priors: Tuple[int, ...]
+    row_offsets: Tuple[int, ...]
+    col_offsets: Tuple[int, ...]
+    n_total: int
+    k_total: int
+
+    @classmethod
+    def from_items(cls, items: Sequence[_BatchItem]) -> "_BatchLayout":
+        new_counts = tuple(item.lin.num_tokens for item in items)
+        priors = tuple(item.prefix_len for item in items)
+        row_offsets = [0]
+        col_offsets = [0]
+        for count, prior in zip(new_counts, priors):
+            row_offsets.append(row_offsets[-1] + count)
+            col_offsets.append(col_offsets[-1] + prior + count)
+        return cls(
+            new_counts=new_counts,
+            priors=priors,
+            row_offsets=tuple(row_offsets),
+            col_offsets=tuple(col_offsets),
+            n_total=row_offsets[-1],
+            k_total=col_offsets[-1],
+        )
+
+    @property
+    def block_cells(self) -> int:
+        """Score cells inside the per-request diagonal blocks."""
+        return sum(
+            n * (p + n) for n, p in zip(self.new_counts, self.priors)
+        )
+
+    @property
+    def cross_cells(self) -> int:
+        """Score cells *between* requests — masked to ``-inf`` always."""
+        return self.n_total * self.k_total - self.block_cells
+
+
 class _ConcatLayerView:
     """Presents several requests' caches as one layer to the transformer.
 
     ``append`` splits the batch's new rows back to the per-request caches;
     ``view`` concatenates every request's (prefix + new) rows in request
-    order — the layout the combined mask is built against.
+    order — the layout the combined mask is built against.  Part of the
+    dense reference path; the copies it performs are counted so the
+    benchmark can report what the block-sparse path saves.
     """
 
     def __init__(self, layer_index: int, caches: Sequence,
-                 new_counts: Sequence[int]):
+                 layout: _BatchLayout):
         self._layer = layer_index
         self._caches = caches
-        self._new_counts = list(new_counts)
+        self._layout = layout
+        self._appended = 0
 
     @property
     def length(self) -> int:
-        return sum(c.layers[self._layer].length for c in self._caches)
+        return sum(self._layout.priors) + self._appended
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
         offset = 0
-        for cache, count in zip(self._caches, self._new_counts):
+        for cache, count in zip(self._caches, self._layout.new_counts):
             cache.layers[self._layer].append(
                 keys[offset : offset + count],
                 values[offset : offset + count],
@@ -68,6 +144,7 @@ class _ConcatLayerView:
             raise ValueError(
                 f"appended {keys.shape[0]} rows but batch expects {offset}"
             )
+        self._appended += offset
 
     def view(self) -> Tuple[np.ndarray, np.ndarray]:
         keys = []
@@ -76,35 +153,29 @@ class _ConcatLayerView:
             k, v = cache.layers[self._layer].view()
             keys.append(k)
             values.append(v)
-        return np.concatenate(keys, axis=0), np.concatenate(values, axis=0)
+        stacked = np.concatenate(keys, axis=0), np.concatenate(values, axis=0)
+        perf.add_kv_copy(stacked[0].nbytes + stacked[1].nbytes)
+        return stacked
 
 
 class _ConcatCache:
-    """Cache façade over a batch of per-request caches.
+    """Cache façade over a batch of per-request caches (dense path).
 
     Only the surface ``forward_masked`` touches is provided (``length``,
     ``layers``); compaction happens afterwards on the real caches.
     """
 
     def __init__(self, config: ModelConfig, caches: Sequence,
-                 new_counts: Sequence[int]):
-        self._caches = list(caches)
+                 layout: _BatchLayout):
+        self._length = sum(layout.priors)
         self.layers = [
-            _ConcatLayerView(i, self._caches, new_counts)
+            _ConcatLayerView(i, list(caches), layout)
             for i in range(config.n_layers)
         ]
 
     @property
     def length(self) -> int:
-        return sum(c.length for c in self._caches)
-
-
-@dataclass
-class _BatchItem:
-    tree: TokenTree
-    cache: object
-    lin: object
-    prefix_len: int
+        return self._length
 
 
 class BatchedTreeVerifier:
@@ -115,7 +186,13 @@ class BatchedTreeVerifier:
         sampling: Decoding mode shared by the batch (greedy or stochastic).
         rng: Randomness for stochastic verification.
         use_naive_sampling: Swap MSS for the Table 3 baseline.
+        mode: ``"block"`` (default) runs the block-sparse fused path;
+            ``"dense"`` runs the reference dense-fused path (one combined
+            block-diagonal mask over concatenated caches).  Both produce
+            identical :class:`VerificationResult`s.
     """
+
+    MODES = ("block", "dense")
 
     def __init__(
         self,
@@ -123,11 +200,22 @@ class BatchedTreeVerifier:
         sampling: Optional[SamplingConfig] = None,
         rng: Optional[np.random.Generator] = None,
         use_naive_sampling: bool = False,
+        mode: str = "block",
     ):
+        if mode not in self.MODES:
+            raise ValueError(
+                f"mode must be one of {self.MODES}, got {mode!r}"
+            )
         self.model = model
         self.sampling = sampling or SamplingConfig(greedy=True)
         self.rng = rng or np.random.default_rng(0)
         self.use_naive_sampling = use_naive_sampling
+        self.mode = mode
+        # Per-batch-slot mask scratches (block path) and one combined-mask
+        # scratch (dense path), reused across iterations so the steady
+        # state allocates no mask buffers.
+        self._mask_scratches: List[MaskScratch] = []
+        self._dense_scratch = MaskScratch(model.config.dtype)
 
     def verify_batch(
         self,
@@ -138,8 +226,8 @@ class BatchedTreeVerifier:
 
         Args:
             trees: One speculated tree per request.
-            caches: The matching per-request KV caches (contiguous or
-                paged); each is compacted to its accepted path on return.
+            caches: The matching per-request KV caches (contiguous, arena
+                or paged); each is compacted to its accepted path on return.
 
         Returns:
             Per-request :class:`VerificationResult`, batch order.
@@ -159,22 +247,19 @@ class BatchedTreeVerifier:
             )
             for tree, cache in zip(trees, caches)
         ]
-        tokens, positions, mask = self._combine(items)
-        concat = _ConcatCache(
-            self.model.config, caches, [item.lin.num_tokens for item in items]
-        )
-        logits = self.model.forward_masked(tokens, positions, mask, concat)
+        layout = _BatchLayout.from_items(items)
+        if self.mode == "dense":
+            logits = self._decode_dense(items, caches, layout)
+        else:
+            logits = self._decode_blocks(items, caches, layout)
 
         results: List[VerificationResult] = []
-        row = 0
-        for item in items:
-            n = item.lin.num_tokens
+        for i, item in enumerate(items):
             output = TreeDecodeOutput(
                 lin=item.lin,
-                logits=logits[row : row + n],
+                logits=logits[layout.row_offsets[i] : layout.row_offsets[i + 1]],
                 prefix_len=item.prefix_len,
             )
-            row += n
             result = self._verify(output, item.tree)
             accepted_slots = [
                 item.lin.slot_of[node] for node in result.accepted_nodes
@@ -185,7 +270,45 @@ class BatchedTreeVerifier:
 
     # -- internals ------------------------------------------------------------------
 
-    def _combine(self, items: Sequence[_BatchItem]):
+    def _decode_blocks(self, items: Sequence[_BatchItem], caches: Sequence,
+                       layout: _BatchLayout) -> np.ndarray:
+        """Block-sparse fused decode: one pass, per-request attention."""
+        dtype = self.model.config.dtype
+        tokens = np.concatenate([item.lin.tokens for item in items])
+        positions = np.concatenate(
+            [tree_positions(item.lin, item.prefix_len) for item in items]
+        )
+        while len(self._mask_scratches) < len(items):
+            self._mask_scratches.append(MaskScratch(dtype))
+        masks = [
+            topology_causal_mask(
+                item.lin, item.prefix_len, dtype=dtype,
+                out=self._mask_scratches[i].take(
+                    layout.new_counts[i],
+                    layout.priors[i] + layout.new_counts[i],
+                ),
+            )
+            for i, item in enumerate(items)
+        ]
+        return self.model.forward_masked_blocks(
+            tokens, positions, masks, caches, priors=layout.priors
+        )
+
+    def _decode_dense(self, items: Sequence[_BatchItem], caches: Sequence,
+                      layout: _BatchLayout) -> np.ndarray:
+        """Dense-fused reference decode under one block-diagonal mask."""
+        tokens, positions, mask = self._combine(items, layout)
+        concat = _ConcatCache(self.model.config, caches, layout)
+        # Every score cell outside the diagonal blocks is guaranteed-masked
+        # cross-request work; charge it so regressions are measurable.
+        perf.add_cross_request_scores(
+            self.model.config.n_heads,
+            layout.cross_cells * self.model.config.n_layers,
+            self.model.config.d_head,
+        )
+        return self.model.forward_masked(tokens, positions, mask, concat)
+
+    def _combine(self, items: Sequence[_BatchItem], layout: _BatchLayout):
         """Concatenated tokens/positions and the block-diagonal mask.
 
         Key columns are laid out per request as [prefix rows | new rows],
@@ -196,19 +319,17 @@ class BatchedTreeVerifier:
         positions = np.concatenate(
             [tree_positions(item.lin, item.prefix_len) for item in items]
         )
-        n_total = int(tokens.shape[0])
-        k_total = sum(item.prefix_len + item.lin.num_tokens for item in items)
-        mask = np.full((n_total, k_total), NEG_INF, dtype=dtype)
-        row = 0
-        col = 0
-        for item in items:
-            n = item.lin.num_tokens
-            width = item.prefix_len + n
-            mask[row : row + n, col : col + width] = topology_causal_mask(
-                item.lin, item.prefix_len, dtype=dtype
+        mask = self._dense_scratch.take(layout.n_total, layout.k_total)
+        mask[:] = NEG_INF
+        for i, item in enumerate(items):
+            row = layout.row_offsets[i]
+            col = layout.col_offsets[i]
+            n = layout.new_counts[i]
+            width = layout.priors[i] + n
+            topology_causal_mask(
+                item.lin, item.prefix_len, dtype=dtype,
+                out=mask[row : row + n, col : col + width],
             )
-            row += n
-            col += width
         return tokens, positions, mask
 
     def _verify(self, output: TreeDecodeOutput,

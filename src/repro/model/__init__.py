@@ -10,6 +10,10 @@ deep-learning framework:
 * :mod:`repro.model.attention` -- multi-head attention accepting arbitrary
   additive masks (the hook tree attention plugs into),
 * :mod:`repro.model.kv_cache` -- per-layer key/value cache with rollback,
+* :mod:`repro.model.arena` -- shared per-batch KV slab; request caches are
+  zero-copy views (the block-sparse fused batch path reads straight from it),
+* :mod:`repro.model.perf` -- op counters (GEMM FLOPs, copied bytes, mask
+  cells) asserted by the perf-smoke tests,
 * :mod:`repro.model.transformer` -- the decoder-only language model with
   prefill, incremental decode and tree-parallel decode entry points,
 * :mod:`repro.model.sampling` -- greedy / temperature / top-k / top-p sampling,
@@ -22,6 +26,7 @@ deep-learning framework:
 from repro.model.config import ModelConfig
 from repro.model.parameters import ParameterStore
 from repro.model.kv_cache import KVCache
+from repro.model.arena import ArenaKVCache, BatchArena
 from repro.model.paged_cache import PagedKVPool, PagedSequenceCache
 from repro.model.transformer import TransformerLM
 from repro.model.coupled import CoupledSSM
@@ -39,6 +44,8 @@ __all__ = [
     "ModelConfig",
     "ParameterStore",
     "KVCache",
+    "ArenaKVCache",
+    "BatchArena",
     "PagedKVPool",
     "PagedSequenceCache",
     "TransformerLM",

@@ -9,10 +9,11 @@ causal mask* built from the token tree (see :mod:`repro.tree.masks`).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.model import perf
 from repro.model.layers import (
     LayerCache,
     linear_backward,
@@ -24,25 +25,68 @@ from repro.model.layers import (
 NEG_INF = float("-inf")
 
 
-def causal_mask(n: int, dtype: str = "float64") -> np.ndarray:
+def _mask_buffer(shape: Tuple[int, int], dtype: str,
+                 out: Optional[np.ndarray]) -> np.ndarray:
+    """``out`` validated against ``shape``, or a fresh (counted) buffer."""
+    if out is None:
+        perf.add_mask_alloc(shape[0] * shape[1])
+        return np.empty(shape, dtype=dtype)
+    if out.shape != shape:
+        raise ValueError(f"mask out buffer {out.shape} != expected {shape}")
+    return out
+
+
+class MaskScratch:
+    """Grow-only reusable buffer for per-step attention masks.
+
+    The decode loop builds a fresh mask every iteration whose shape creeps
+    up as the prefix grows; allocating it anew each step makes the steady
+    state allocation-bound.  ``take(rows, cols)`` returns a view of one
+    persistent buffer, reallocating only when a dimension outgrows every
+    previous step — after warm-up the loop is allocation-free for masks.
+    """
+
+    def __init__(self, dtype: str = "float64"):
+        self._dtype = dtype
+        self._buf: Optional[np.ndarray] = None
+
+    def take(self, rows: int, cols: int) -> np.ndarray:
+        """A writable ``(rows, cols)`` view, reusing the buffer if possible."""
+        if (self._buf is None or self._buf.shape[0] < rows
+                or self._buf.shape[1] < cols):
+            grown = (
+                max(rows, 0 if self._buf is None else self._buf.shape[0]),
+                max(cols, 0 if self._buf is None else self._buf.shape[1]),
+            )
+            perf.add_mask_alloc(grown[0] * grown[1])
+            self._buf = np.empty(grown, dtype=self._dtype)
+        return self._buf[:rows, :cols]
+
+
+def causal_mask(n: int, dtype: str = "float64",
+                out: Optional[np.ndarray] = None) -> np.ndarray:
     """Standard lower-triangular causal mask (Equation 4 in the paper).
 
     Entry ``[j, k]`` is ``0`` when ``j >= k`` (token ``j`` may attend to
-    token ``k``) and ``-inf`` otherwise.
+    token ``k``) and ``-inf`` otherwise.  Pass ``out`` (an ``(n, n)``
+    buffer) to fill in place instead of allocating.
     """
-    mask = np.zeros((n, n), dtype=dtype)
+    mask = _mask_buffer((n, n), dtype, out)
+    mask[:] = 0.0
     mask[np.triu_indices(n, k=1)] = NEG_INF
     return mask
 
 
 def cross_mask(n_query: int, n_key: int, query_offset: int,
-               dtype: str = "float64") -> np.ndarray:
+               dtype: str = "float64",
+               out: Optional[np.ndarray] = None) -> np.ndarray:
     """Causal mask for queries appended after ``query_offset`` cached keys.
 
     Query ``j`` (absolute position ``query_offset + j``) may attend to keys
-    ``0 .. query_offset + j``.
+    ``0 .. query_offset + j``.  Pass ``out`` to fill in place.
     """
-    mask = np.zeros((n_query, n_key), dtype=dtype)
+    mask = _mask_buffer((n_query, n_key), dtype, out)
+    mask[:] = 0.0
     cols = np.arange(n_key)[None, :]
     rows = np.arange(n_query)[:, None] + query_offset
     mask[cols > rows] = NEG_INF
@@ -64,11 +108,47 @@ def scaled_dot_attention(
         ``(n_q, h, d_head)`` attention outputs.
     """
     d_head = q.shape[-1]
+    perf.add_attention(q.shape[1], q.shape[0], k.shape[0], d_head)
     # (h, n_q, n_k) scores
     scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(d_head)
     scores = scores + mask[None, :, :]
     weights = stable_softmax(scores, axis=-1)
     return np.einsum("hqk,khd->qhd", weights, v)
+
+
+def block_diagonal_attention(
+    q: np.ndarray,
+    kvs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    masks: Sequence[np.ndarray],
+    row_offsets: Sequence[int],
+) -> np.ndarray:
+    """Block-sparse attention: each query block attends only to its own keys.
+
+    The batched-verification score matrix is block-diagonal by construction
+    (a request's tree tokens may never see another request's keys), so
+    instead of one dense ``(Σn_q, Σn_k)`` pass whose cross-request blocks
+    are all ``-inf``, compute one :func:`scaled_dot_attention` per request
+    block against that request's keys only.  Score work drops from
+    ``O((Σn_q)·(Σn_k))`` to ``O(Σ n_qᵢ·n_kᵢ)`` and no combined mask or
+    concatenated K/V tensor is ever materialized.
+
+    Args:
+        q: ``(Σn_q, h, d_head)`` queries for the whole batch, request
+            blocks contiguous in batch order.
+        kvs: Per-request ``(keys, values)`` pairs, each
+            ``(n_kᵢ, h, d_head)`` — typically zero-copy cache views.
+        masks: Per-request ``(n_qᵢ, n_kᵢ)`` additive masks.
+        row_offsets: Start row of each request's query block in ``q``
+            (``len(row_offsets) == len(kvs) + 1``; last entry is ``Σn_q``).
+
+    Returns:
+        ``(Σn_q, h, d_head)`` attention outputs.
+    """
+    out = np.empty_like(q)
+    for i, ((keys, values), mask) in enumerate(zip(kvs, masks)):
+        lo, hi = row_offsets[i], row_offsets[i + 1]
+        out[lo:hi] = scaled_dot_attention(q[lo:hi], keys, values, mask)
+    return out
 
 
 def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:

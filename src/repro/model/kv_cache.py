@@ -33,6 +33,23 @@ class LayerKV:
         self._values = np.zeros((capacity, n_heads, d_head), dtype=dtype)
         self.length = 0
 
+    @classmethod
+    def from_buffers(cls, keys: np.ndarray, values: np.ndarray) -> "LayerKV":
+        """A layer cache over externally owned ``(capacity, h, d_head)``
+        buffers — the hook :class:`~repro.model.arena.BatchArena` uses to
+        make request caches *views* into a shared slab (writes go straight
+        to the slab; ``view()`` slices it with no copy)."""
+        if keys.shape != values.shape or keys.ndim != 3:
+            raise ValueError(
+                f"key/value buffers must share a (capacity, heads, d_head) "
+                f"shape; got {keys.shape} and {values.shape}"
+            )
+        layer = cls.__new__(cls)
+        layer._keys = keys
+        layer._values = values
+        layer.length = 0
+        return layer
+
     @property
     def capacity(self) -> int:
         return self._keys.shape[0]

@@ -12,6 +12,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.model import perf
+
 LayerCache = Tuple
 
 
@@ -28,6 +30,8 @@ def linear_forward(
         w: ``(d_in, d_out)`` weight.
         b: ``(d_out,)`` bias.
     """
+    perf.add_gemm(int(np.prod(x.shape[:-1], dtype=np.int64)), w.shape[0],
+                  w.shape[1])
     return x @ w + b, (x, w)
 
 

@@ -28,7 +28,63 @@ class ParameterStore:
     """
 
     def __init__(self, params: Dict[str, np.ndarray]):
-        self._params = params
+        self._params = self._unpack_fused(params)
+        # Memoized per-prefix packed QKV weights (see ``packed_qkv``);
+        # invalidated whenever the underlying parameters change.
+        self._packed: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @staticmethod
+    def _unpack_fused(params: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Compatibility shim: split packed ``*.wqkv``/``*.bqkv`` tensors.
+
+        Canonical storage stays the unpacked ``wq``/``wk``/``wv`` triplet
+        (the training path updates them independently, and every existing
+        checkpoint — ``benchmarks/results/bench_llm_weights.npz``, the
+        ``examples/.zoo_cache`` zoo — stores them that way).  Checkpoints
+        that instead carry fused ``wqkv`` tensors are split on load so both
+        layouts keep working.
+        """
+        unpacked: Dict[str, np.ndarray] = {}
+        for name, value in params.items():
+            if name.endswith(".wqkv"):
+                prefix = name[: -len(".wqkv")]
+                wq, wk, wv = np.split(value, 3, axis=1)
+                unpacked[f"{prefix}.wq"] = np.ascontiguousarray(wq)
+                unpacked[f"{prefix}.wk"] = np.ascontiguousarray(wk)
+                unpacked[f"{prefix}.wv"] = np.ascontiguousarray(wv)
+            elif name.endswith(".bqkv"):
+                prefix = name[: -len(".bqkv")]
+                bq, bk, bv = np.split(value, 3)
+                unpacked[f"{prefix}.bq"] = np.ascontiguousarray(bq)
+                unpacked[f"{prefix}.bk"] = np.ascontiguousarray(bk)
+                unpacked[f"{prefix}.bv"] = np.ascontiguousarray(bv)
+            else:
+                unpacked[name] = value
+        return unpacked
+
+    def packed_qkv(self, prefix: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized ``(d, 3d)`` weight / ``(3d,)`` bias fusing Q, K and V.
+
+        The decode hot path runs one packed GEMM per layer instead of three
+        (``x @ wqkv`` then split), which matters every single step.  The
+        packed tensors are rebuilt lazily after any parameter update, so
+        training and boost-tuning see fresh weights.
+        """
+        cached = self._packed.get(prefix)
+        if cached is None:
+            cached = (
+                np.concatenate(
+                    [self[f"{prefix}.wq"], self[f"{prefix}.wk"],
+                     self[f"{prefix}.wv"]],
+                    axis=1,
+                ),
+                np.concatenate(
+                    [self[f"{prefix}.bq"], self[f"{prefix}.bk"],
+                     self[f"{prefix}.bv"]]
+                ),
+            )
+            self._packed[prefix] = cached
+        return cached
 
     # -- construction ------------------------------------------------------
 
@@ -89,6 +145,7 @@ class ParameterStore:
                 f"{self._params[name].shape} vs {value.shape}"
             )
         self._params[name] = value
+        self._packed.clear()
 
     def __contains__(self, name: str) -> bool:
         return name in self._params
@@ -129,6 +186,7 @@ class ParameterStore:
         """In-place ``self += scale * other`` (SGD-style update)."""
         for name, value in other.items():
             self._params[name] += scale * value
+        self._packed.clear()
 
     def global_norm(self) -> float:
         """L2 norm over all parameters (used for gradient clipping)."""

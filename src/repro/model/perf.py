@@ -1,0 +1,122 @@
+"""Lightweight operation counters for the decoding hot path.
+
+The fused-batching work (block-sparse attention over a shared KV arena)
+makes claims that are easy to regress silently: "no cross-request score
+FLOPs", "no per-step KV copies", "allocation-free steady-state masks".
+This module threads cheap integer counters through the primitives so those
+claims are *asserted* by the ``perf_smoke`` tier-1 tests and *reported* by
+``benchmarks/bench_batched_fused.py`` — the NumPy analogue of a CUDA
+profiler's achieved-FLOPs/bytes-moved columns.
+
+Counting is always on (a handful of integer adds per layer per step) and
+accumulates into a module-level :class:`PerfCounters`.  Use::
+
+    with perf.track() as c:
+        verifier.verify_batch(trees, caches)
+    assert c.cross_request_score_flops == 0
+
+``track`` measures the *delta* over its body, so nesting and unrelated
+background accumulation are both safe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfCounters:
+    """Accumulated operation counts for the decoding hot path.
+
+    Attributes:
+        gemm_flops: Multiply-add FLOPs (counted as 2*m*n*k) spent in
+            ``linear_forward`` — QKV/output projections, MLP, LM head.
+        attn_score_flops: FLOPs spent forming attention scores and the
+            weighted value sum (2 * 2 * heads * n_q * n_k * d_head).
+        cross_request_score_flops: The subset of ``attn_score_flops`` spent
+            on query/key pairs from *different* requests — work whose result
+            is guaranteed to be masked to ``-inf``.  The dense-fused batch
+            path pays this; the block-sparse path must report zero.
+        kv_bytes_copied: Bytes of cached keys/values copied to stage
+            attention inputs (per-layer concatenation in the dense path,
+            block gathers in the paged path).  Zero-copy views count
+            nothing; post-verification compaction is excluded (it is
+            bounded by the accepted path, not the batch).
+        mask_cells_allocated: Cells of freshly allocated attention-mask
+            buffers.  Steady-state decode with reused (``out=``) buffers
+            allocates none.
+    """
+
+    gemm_flops: int = 0
+    attn_score_flops: int = 0
+    cross_request_score_flops: int = 0
+    kv_bytes_copied: int = 0
+    mask_cells_allocated: int = 0
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy of the current counts."""
+        return PerfCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        """Counts accumulated since ``earlier`` was snapshotted."""
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+#: The global accumulator the primitives add into.
+COUNTERS = PerfCounters()
+
+
+def reset() -> None:
+    """Zero the global counters (tests and benchmarks start fresh)."""
+    for f in fields(PerfCounters):
+        setattr(COUNTERS, f.name, 0)
+
+
+@contextmanager
+def track():
+    """Yield a :class:`PerfCounters` that, on exit, holds the body's delta.
+
+    The yielded object is filled in place when the ``with`` block exits, so
+    it can be inspected after the block.
+    """
+    before = COUNTERS.snapshot()
+    result = PerfCounters()
+    try:
+        yield result
+    finally:
+        after = COUNTERS.delta(before)
+        for f in fields(PerfCounters):
+            setattr(result, f.name, getattr(after, f.name))
+
+
+def add_gemm(m: int, k: int, n: int) -> None:
+    """Record one ``(m, k) @ (k, n)`` GEMM."""
+    COUNTERS.gemm_flops += 2 * m * k * n
+
+
+def add_attention(n_heads: int, n_q: int, n_k: int, d_head: int) -> None:
+    """Record one masked attention block (scores + weighted sum)."""
+    COUNTERS.attn_score_flops += 2 * 2 * n_heads * n_q * n_k * d_head
+
+
+def add_cross_request_scores(n_heads: int, cells: int, d_head: int) -> None:
+    """Record score FLOPs spent on cross-request (always-masked) cells."""
+    COUNTERS.cross_request_score_flops += 2 * 2 * n_heads * cells * d_head
+
+
+def add_kv_copy(n_bytes: int) -> None:
+    """Record bytes of K/V copied to stage an attention input."""
+    COUNTERS.kv_bytes_copied += n_bytes
+
+
+def add_mask_alloc(cells: int) -> None:
+    """Record a freshly allocated mask buffer of ``cells`` cells."""
+    COUNTERS.mask_cells_allocated += cells

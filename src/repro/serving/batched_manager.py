@@ -30,12 +30,22 @@ from repro.serving.session import SpeculativeSession
 class BatchedRequestManager(RequestManager):
     """Continuous batching with one fused verification pass per iteration.
 
+    The fused pass runs the block-sparse path by default: batched GEMMs
+    with per-request block attention over each session's own cache rows
+    (see :meth:`~repro.model.transformer.TransformerLM.forward_masked_blocks`).
+    Place session caches in a shared :class:`~repro.model.arena.BatchArena`
+    (``cache_factory=arena.new_sequence`` in the session factory) and the
+    batched step reads keys/values straight from the slab — no per-layer
+    concatenation, no per-step KV copies.
+
     Args:
         session_factory: Must produce :class:`SpeculativeSession` objects
             (two-phase stepping is required for fused verification).
         model: The shared LLM (the fused verifier runs over it).
         sampling: Decoding mode shared by the batch.
         seed: RNG seed for stochastic verification.
+        mode: Fused-pass execution path — ``"block"`` (block-sparse,
+            default) or ``"dense"`` (reference block-diagonal mask).
         **manager_kwargs: Forwarded to :class:`RequestManager`
             (``max_batch_size``, ``policy``, ``memory_pool``...).
     """
@@ -46,6 +56,7 @@ class BatchedRequestManager(RequestManager):
         model: TransformerLM,
         sampling: Optional[SamplingConfig] = None,
         seed: int = 0,
+        mode: str = "block",
         **manager_kwargs,
     ):
         super().__init__(session_factory, **manager_kwargs)
@@ -53,6 +64,7 @@ class BatchedRequestManager(RequestManager):
             model,
             sampling=sampling or SamplingConfig(greedy=True),
             rng=np.random.default_rng(seed),
+            mode=mode,
         )
 
     def run_iteration(self) -> IterationStats:

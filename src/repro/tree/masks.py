@@ -14,11 +14,11 @@ parallel decoding):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.model.attention import NEG_INF
+from repro.model.attention import NEG_INF, _mask_buffer
 from repro.tree.token_tree import TokenTree
 
 
@@ -64,7 +64,8 @@ def linearize(tree: TokenTree) -> LinearizedTree:
 
 
 def topology_causal_mask(
-    lin: LinearizedTree, prefix_len: int, dtype: str = "float64"
+    lin: LinearizedTree, prefix_len: int, dtype: str = "float64",
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """The topology-aware causal mask of section 4.2.
 
@@ -78,10 +79,15 @@ def topology_causal_mask(
     Everything else is ``-inf`` — in particular *siblings and their subtrees*,
     which is what repairs the causality violations that naive batching of
     tree tokens would introduce (the paper's ``t7`` vs ``t5`` example).
+
+    Pass ``out`` (an ``(n, prefix_len + n)`` buffer) to fill in place — the
+    steady-state decode loop reuses one scratch buffer across iterations
+    instead of allocating a fresh mask every step.
     """
     n = lin.num_tokens
-    mask = np.full((n, prefix_len + n), NEG_INF, dtype=dtype)
+    mask = _mask_buffer((n, prefix_len + n), dtype, out)
     mask[:, :prefix_len] = 0.0
+    mask[:, prefix_len:] = NEG_INF
     for j in range(n):
         k = j
         while k != -1:

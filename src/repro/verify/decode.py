@@ -64,7 +64,8 @@ class TreeDecodeOutput:
 
 
 def tree_parallel_decode(
-    model: TransformerLM, cache: KVCache, tree: TokenTree
+    model: TransformerLM, cache: KVCache, tree: TokenTree,
+    mask_out: np.ndarray = None,
 ) -> TreeDecodeOutput:
     """Score all tree tokens against ``model`` in one fused pass.
 
@@ -72,10 +73,16 @@ def tree_parallel_decode(
     whose KV is not yet cached) are appended to ``cache`` in DFS order.  The
     caller is responsible for compacting the cache to the accepted path
     afterwards (see :class:`repro.verify.verifier.TokenTreeVerifier`).
+
+    Args:
+        mask_out: Optional ``(n, prefix + n)`` buffer for the topology mask
+            (persistent callers pass a reused scratch so the steady-state
+            loop allocates no masks).
     """
     lin = linearize(tree)
     prefix_len = cache.length
-    mask = topology_causal_mask(lin, prefix_len, dtype=model.config.dtype)
+    mask = topology_causal_mask(lin, prefix_len, dtype=model.config.dtype,
+                                out=mask_out)
     positions = tree_positions(lin, prefix_len)
     logits = model.forward_masked(lin.tokens, positions, mask, cache)
     return TreeDecodeOutput(lin=lin, logits=logits, prefix_len=prefix_len)

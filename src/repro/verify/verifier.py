@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.model.attention import MaskScratch
 from repro.model.kv_cache import KVCache
 from repro.model.sampling import SamplingConfig
 from repro.model.transformer import TransformerLM
@@ -50,6 +51,11 @@ class TokenTreeVerifier:
         self.sampling = sampling or SamplingConfig(greedy=True)
         self.rng = rng or np.random.default_rng(0)
         self.use_naive_sampling = use_naive_sampling
+        self._mask_scratch = MaskScratch(model.config.dtype)
+
+    def _tree_mask_out(self, tree: TokenTree, prefix_len: int) -> np.ndarray:
+        n = len(tree)
+        return self._mask_scratch.take(n, prefix_len + n)
 
     def verify_step(
         self, tree: TokenTree, cache: KVCache
@@ -63,7 +69,10 @@ class TokenTreeVerifier:
         cached; it seeds the next iteration's tree root.
         """
         prefix_len = cache.length
-        output = tree_parallel_decode(self.model, cache, tree)
+        output = tree_parallel_decode(
+            self.model, cache, tree,
+            mask_out=self._tree_mask_out(tree, prefix_len),
+        )
         result = self._verify(output, tree)
         accepted_slots = [output.lin.slot_of[n] for n in result.accepted_nodes]
         cache.keep_rows(prefix_len, accepted_slots)
@@ -74,7 +83,10 @@ class TokenTreeVerifier:
     ) -> tuple:
         """Like :meth:`verify_step` but also returns the raw decode output."""
         prefix_len = cache.length
-        output = tree_parallel_decode(self.model, cache, tree)
+        output = tree_parallel_decode(
+            self.model, cache, tree,
+            mask_out=self._tree_mask_out(tree, prefix_len),
+        )
         result = self._verify(output, tree)
         accepted_slots = [output.lin.slot_of[n] for n in result.accepted_nodes]
         cache.keep_rows(prefix_len, accepted_slots)

@@ -1,0 +1,308 @@
+"""Equivalence and perf-regression suite for the block-sparse fused path.
+
+Headline property: the three execution paths —
+
+1. per-request loop (``TokenTreeVerifier.verify_step`` per request),
+2. dense-fused (``BatchedTreeVerifier(mode="dense")``, one block-diagonal
+   mask over concatenated caches),
+3. block-sparse fused (``BatchedTreeVerifier(mode="block")``, the default)
+
+— produce identical :class:`VerificationResult`s and cache states, for
+greedy *and* stochastic verification, over contiguous, paged and arena
+caches, including ragged batches.  The ``perf_smoke`` tests additionally
+pin the block-sparse path's cost shape (no cross-request score FLOPs, no
+per-step KV staging copies, allocation-free steady-state masks) so future
+changes cannot silently reintroduce the quadratic path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.batched import BatchedTreeVerifier, _BatchLayout
+from repro.model import perf
+from repro.model.arena import BatchArena
+from repro.model.paged_cache import PagedKVPool
+from repro.model.sampling import SamplingConfig
+from repro.speculate.expansion import ExpansionConfig, expand_token_tree
+from repro.tree.token_tree import TokenTree
+from repro.verify.verifier import TokenTreeVerifier
+from tests.conftest import SMALL_CONFIG, make_prompt
+
+
+def build_batch(llm, ssm, rng, n_requests=3, cache_factory=None,
+                widths=(2, 2, 1), prompt_lengths=None):
+    """Per-request (tree, cache) pairs with distinct prefix lengths."""
+    factory = cache_factory or llm.new_cache
+    trees, caches = [], []
+    for i in range(n_requests):
+        length = (prompt_lengths[i] if prompt_lengths is not None
+                  else 4 + 2 * i)
+        prompt = make_prompt(rng, length=length)
+        cache = factory()
+        llm.prefill(prompt[:-1], cache)
+        ssm_cache = ssm.new_cache()
+        ssm.prefill(prompt[:-1], ssm_cache)
+        tree = expand_token_tree(
+            ssm, int(prompt[-1]), ssm_cache, ExpansionConfig(widths),
+        )
+        trees.append(tree)
+        caches.append(cache)
+    return trees, caches
+
+
+def assert_results_equal(a, b):
+    assert a.accepted_tokens == b.accepted_tokens
+    assert a.accepted_nodes == b.accepted_nodes
+    assert a.bonus_token == b.bonus_token
+
+
+def assert_caches_equal(cache_a, cache_b):
+    assert cache_a.length == cache_b.length
+    for la, lb in zip(cache_a.layers, cache_b.layers):
+        ka, va = la.view()
+        kb, vb = lb.view()
+        np.testing.assert_allclose(ka, kb, atol=1e-12)
+        np.testing.assert_allclose(va, vb, atol=1e-12)
+
+
+class TestThreePathEquivalence:
+    """block-sparse == dense-fused == per-request loop, bit for bit."""
+
+    @pytest.mark.parametrize("greedy", [True, False],
+                             ids=["greedy", "stochastic"])
+    def test_results_identical_across_paths(self, llm, ssm, greedy):
+        sampling = (SamplingConfig(greedy=True) if greedy
+                    else SamplingConfig(temperature=1.0))
+        per_path = {}
+        for path in ("loop", "dense", "block"):
+            trees, caches = build_batch(llm, ssm, np.random.default_rng(11))
+            rng = np.random.default_rng(42)
+            if path == "loop":
+                verifier = TokenTreeVerifier(llm, sampling, rng=rng)
+                results = [
+                    verifier.verify_step(tree, cache)
+                    for tree, cache in zip(trees, caches)
+                ]
+            else:
+                results = BatchedTreeVerifier(
+                    llm, sampling, rng=rng, mode=path
+                ).verify_batch(trees, caches)
+            per_path[path] = (results, caches)
+        for path in ("dense", "block"):
+            for res, ref in zip(per_path[path][0], per_path["loop"][0]):
+                assert_results_equal(res, ref)
+            for cache, ref_cache in zip(per_path[path][1],
+                                        per_path["loop"][1]):
+                assert_caches_equal(cache, ref_cache)
+
+    @pytest.mark.parametrize("greedy", [True, False],
+                             ids=["greedy", "stochastic"])
+    def test_paged_caches(self, llm, ssm, greedy):
+        sampling = (SamplingConfig(greedy=True) if greedy
+                    else SamplingConfig(temperature=1.0))
+        pool = PagedKVPool(SMALL_CONFIG, num_blocks=64, block_size=8)
+        trees_a, caches_a = build_batch(
+            llm, ssm, np.random.default_rng(12),
+            cache_factory=pool.new_sequence,
+        )
+        trees_b, caches_b = build_batch(llm, ssm, np.random.default_rng(12))
+        block = BatchedTreeVerifier(
+            llm, sampling, rng=np.random.default_rng(7), mode="block"
+        ).verify_batch(trees_a, caches_a)
+        dense = BatchedTreeVerifier(
+            llm, sampling, rng=np.random.default_rng(7), mode="dense"
+        ).verify_batch(trees_b, caches_b)
+        for res, ref in zip(block, dense):
+            assert_results_equal(res, ref)
+        for cache, ref_cache in zip(caches_a, caches_b):
+            assert_caches_equal(cache, ref_cache)
+
+    def test_arena_caches(self, llm, ssm):
+        arena = BatchArena(SMALL_CONFIG, max_requests=3)
+        trees_a, caches_a = build_batch(
+            llm, ssm, np.random.default_rng(13),
+            cache_factory=arena.new_sequence,
+        )
+        trees_b, caches_b = build_batch(llm, ssm, np.random.default_rng(13))
+        block = BatchedTreeVerifier(llm, mode="block").verify_batch(
+            trees_a, caches_a
+        )
+        loop = TokenTreeVerifier(llm)
+        for tree, cache, res in zip(trees_b, caches_b, block):
+            assert_results_equal(res, loop.verify_step(tree, cache))
+        for cache, ref_cache in zip(caches_a, caches_b):
+            assert_caches_equal(cache, ref_cache)
+
+    def test_ragged_batch_mixed_prefixes_and_tree_sizes(self, llm, ssm):
+        """Strongly ragged batch: prefix lengths 2..14, tree widths vary."""
+        per_path = {}
+        for path in ("dense", "block"):
+            rng = np.random.default_rng(14)
+            trees, caches = [], []
+            for length, widths in [(2, (1,)), (9, (3, 2, 1)), (14, (2,)),
+                                   (5, (2, 2, 2))]:
+                t, c = build_batch(llm, ssm, rng, n_requests=1,
+                                   widths=widths, prompt_lengths=[length])
+                trees += t
+                caches += c
+            results = BatchedTreeVerifier(llm, mode=path).verify_batch(
+                trees, caches
+            )
+            per_path[path] = (results, caches)
+        for res, ref in zip(per_path["block"][0], per_path["dense"][0]):
+            assert_results_equal(res, ref)
+        for cache, ref_cache in zip(per_path["block"][1],
+                                    per_path["dense"][1]):
+            assert_caches_equal(cache, ref_cache)
+
+    def test_single_request_batch(self, llm, ssm):
+        trees_a, caches_a = build_batch(llm, ssm, np.random.default_rng(15),
+                                        n_requests=1)
+        trees_b, caches_b = build_batch(llm, ssm, np.random.default_rng(15),
+                                        n_requests=1)
+        block = BatchedTreeVerifier(llm, mode="block").verify_batch(
+            trees_a, caches_a
+        )[0]
+        plain = TokenTreeVerifier(llm).verify_step(trees_b[0], caches_b[0])
+        assert_results_equal(block, plain)
+
+    def test_root_only_tree_edge_case(self, llm, ssm, rng):
+        """A degenerate single-node tree (no speculation) in the batch."""
+        trees, caches = build_batch(llm, ssm, np.random.default_rng(16),
+                                    n_requests=2)
+        prompt = make_prompt(rng, length=5)
+        root_cache = llm.new_cache()
+        llm.prefill(prompt[:-1], root_cache)
+        root_tree = TokenTree(int(prompt[-1]))
+        trees.append(root_tree)
+        caches.append(root_cache)
+        dense_trees, dense_caches = build_batch(
+            llm, ssm, np.random.default_rng(16), n_requests=2
+        )
+        dense_root_cache = llm.new_cache()
+        llm.prefill(prompt[:-1], dense_root_cache)
+        dense_trees.append(TokenTree(int(prompt[-1])))
+        dense_caches.append(dense_root_cache)
+        block = BatchedTreeVerifier(llm, mode="block").verify_batch(
+            trees, caches
+        )
+        dense = BatchedTreeVerifier(llm, mode="dense").verify_batch(
+            dense_trees, dense_caches
+        )
+        for res, ref in zip(block, dense):
+            assert_results_equal(res, ref)
+        # The root-only request always accepts exactly the root.
+        assert len(block[-1].accepted_nodes) == 1
+
+    def test_empty_batch(self, llm):
+        assert BatchedTreeVerifier(llm, mode="block").verify_batch([], []) == []
+
+    def test_unknown_mode_raises(self, llm):
+        with pytest.raises(ValueError, match="mode"):
+            BatchedTreeVerifier(llm, mode="sparse-ish")
+
+    def test_continued_decoding_matches(self, llm, ssm):
+        """After block-sparse verification, requests decode identically."""
+        trees_a, caches_a = build_batch(llm, ssm, np.random.default_rng(17))
+        trees_b, caches_b = build_batch(llm, ssm, np.random.default_rng(17))
+        block = BatchedTreeVerifier(llm, mode="block").verify_batch(
+            trees_a, caches_a
+        )
+        loop = TokenTreeVerifier(llm)
+        for tree, cache_a, cache_b, res in zip(trees_b, caches_a, caches_b,
+                                               block):
+            ref = loop.verify_step(tree, cache_b)
+            np.testing.assert_allclose(
+                llm.decode(res.bonus_token, cache_a),
+                llm.decode(ref.bonus_token, cache_b),
+                atol=1e-12,
+            )
+
+
+class TestBatchLayout:
+    def test_layout_geometry(self, llm, ssm):
+        trees, caches = build_batch(llm, ssm, np.random.default_rng(18))
+        from repro.engine.batched import _BatchItem
+        from repro.tree.masks import linearize
+
+        items = [
+            _BatchItem(tree=t, cache=c, lin=linearize(t),
+                       prefix_len=c.length)
+            for t, c in zip(trees, caches)
+        ]
+        layout = _BatchLayout.from_items(items)
+        assert layout.n_total == sum(layout.new_counts)
+        assert layout.k_total == sum(
+            p + n for p, n in zip(layout.priors, layout.new_counts)
+        )
+        assert layout.block_cells + layout.cross_cells == (
+            layout.n_total * layout.k_total
+        )
+        assert layout.row_offsets[-1] == layout.n_total
+        assert layout.col_offsets[-1] == layout.k_total
+
+
+@pytest.mark.perf_smoke
+class TestPerfSmoke:
+    """Counter-based regression guards for the block-sparse cost shape."""
+
+    def test_block_path_no_cross_request_flops_and_no_kv_copies(
+        self, llm, ssm
+    ):
+        arena = BatchArena(SMALL_CONFIG, max_requests=3)
+        trees, caches = build_batch(
+            llm, ssm, np.random.default_rng(20),
+            cache_factory=arena.new_sequence,
+        )
+        verifier = BatchedTreeVerifier(llm, mode="block")
+        with perf.track() as c:
+            verifier.verify_batch(trees, caches)
+        assert c.cross_request_score_flops == 0
+        assert c.kv_bytes_copied == 0
+        assert c.attn_score_flops > 0
+
+    def test_dense_path_pays_cross_request_flops(self, llm, ssm):
+        """Sanity check that the counters actually detect the dense path."""
+        trees, caches = build_batch(llm, ssm, np.random.default_rng(21))
+        verifier = BatchedTreeVerifier(llm, mode="dense")
+        with perf.track() as c:
+            verifier.verify_batch(trees, caches)
+        assert c.cross_request_score_flops > 0
+        assert c.kv_bytes_copied > 0
+
+    def test_block_path_scores_fewer_flops_than_dense(self, llm, ssm):
+        flops = {}
+        for mode in ("dense", "block"):
+            trees, caches = build_batch(llm, ssm, np.random.default_rng(22))
+            with perf.track() as c:
+                BatchedTreeVerifier(llm, mode=mode).verify_batch(
+                    trees, caches
+                )
+            flops[mode] = c.attn_score_flops
+        assert flops["block"] < flops["dense"]
+
+    def test_steady_state_masks_are_allocation_free(self, llm, ssm):
+        """After warm-up, repeated batched steps allocate no mask cells."""
+        arena = BatchArena(SMALL_CONFIG, max_requests=3)
+        trees, caches = build_batch(
+            llm, ssm, np.random.default_rng(23),
+            cache_factory=arena.new_sequence,
+        )
+        snapshots = [c.snapshot() for c in caches]
+        verifier = BatchedTreeVerifier(llm, mode="block")
+        verifier.verify_batch(trees, caches)  # warm-up allocates scratch
+        for cache, snap in zip(caches, snapshots):
+            cache.restore(snap)
+        with perf.track() as c:
+            verifier.verify_batch(trees, caches)
+        assert c.mask_cells_allocated == 0
+
+    def test_incremental_decode_masks_are_allocation_free(self, llm, rng):
+        prompt = make_prompt(rng, length=6)
+        cache = llm.new_cache()
+        llm.prefill(prompt, cache)
+        llm.decode(3, cache)  # warm-up
+        with perf.track() as c:
+            for token in (4, 5, 6):
+                llm.decode(token, cache)
+        assert c.mask_cells_allocated == 0

@@ -1,0 +1,175 @@
+"""Tests for the shared KV arena (slab allocation + zero-copy cache views)."""
+
+import numpy as np
+import pytest
+
+from repro.model.arena import ArenaKVCache, BatchArena
+from repro.model.kv_cache import KVCache
+from tests.conftest import SMALL_CONFIG, make_prompt
+
+
+def make_arena(capacity=0, max_requests=4):
+    return BatchArena(SMALL_CONFIG, capacity=capacity,
+                      max_requests=max_requests)
+
+
+class TestAllocation:
+    def test_new_sequence_carves_disjoint_ranges(self):
+        arena = make_arena(capacity=64)
+        a = arena.new_sequence(16)
+        b = arena.new_sequence(16)
+        assert a.row_range == (0, 16)
+        assert b.row_range == (16, 32)
+        assert arena.used_rows == 32
+        assert arena.free_rows == 32
+
+    def test_default_capacity_is_max_seq_len(self):
+        arena = make_arena(max_requests=2)
+        cache = arena.new_sequence()
+        assert cache.capacity == SMALL_CONFIG.max_seq_len
+
+    def test_exhaustion_raises(self):
+        arena = make_arena(capacity=16)
+        arena.new_sequence(16)
+        with pytest.raises(MemoryError, match="exhausted"):
+            arena.new_sequence(1)
+
+    def test_over_max_seq_len_raises(self):
+        arena = make_arena(capacity=512)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            arena.new_sequence(SMALL_CONFIG.max_seq_len + 1)
+
+    def test_free_returns_and_coalesces(self):
+        arena = make_arena(capacity=48)
+        a = arena.new_sequence(16)
+        b = arena.new_sequence(16)
+        c = arena.new_sequence(16)
+        assert arena.free_rows == 0
+        a.free()
+        c.free()
+        b.free()
+        # All three ranges coalesce back to one full-capacity range, so a
+        # full-size request fits again.
+        assert arena.free_rows == 48
+        assert arena.new_sequence(48).row_range == (0, 48)
+
+    def test_free_is_idempotent(self):
+        arena = make_arena(capacity=32)
+        cache = arena.new_sequence(16)
+        cache.free()
+        cache.free()
+        assert arena.free_rows == 32
+
+    def test_double_release_raises(self):
+        arena = make_arena(capacity=32)
+        cache = arena.new_sequence(16)
+        cache.free()
+        with pytest.raises(ValueError, match="double free"):
+            arena.release(0, 16)
+
+    def test_reuse_after_free(self):
+        arena = make_arena(capacity=32)
+        a = arena.new_sequence(16)
+        arena.new_sequence(16)
+        a.free()
+        again = arena.new_sequence(16)
+        assert again.row_range == (0, 16)
+
+    def test_utilization(self):
+        arena = make_arena(capacity=32)
+        assert arena.utilization() == 0.0
+        arena.new_sequence(16)
+        assert arena.utilization() == pytest.approx(0.5)
+
+
+class TestCacheSemantics:
+    """ArenaKVCache must be indistinguishable from a private KVCache."""
+
+    def _fill(self, cache, rng):
+        n_heads, d_head = SMALL_CONFIG.n_heads, SMALL_CONFIG.d_head
+        for layer in cache.layers:
+            layer.append(
+                rng.normal(size=(5, n_heads, d_head)),
+                rng.normal(size=(5, n_heads, d_head)),
+            )
+
+    def test_append_view_roundtrip_matches_kv_cache(self):
+        arena = make_arena(capacity=64)
+        arena_cache = arena.new_sequence(16)
+        plain = KVCache(SMALL_CONFIG, capacity=16)
+        self._fill(arena_cache, np.random.default_rng(0))
+        self._fill(plain, np.random.default_rng(0))
+        assert arena_cache.length == plain.length == 5
+        for la, lp in zip(arena_cache.layers, plain.layers):
+            np.testing.assert_array_equal(la.view()[0], lp.view()[0])
+            np.testing.assert_array_equal(la.view()[1], lp.view()[1])
+
+    def test_views_are_zero_copy_slab_slices(self):
+        arena = make_arena(capacity=64)
+        cache = arena.new_sequence(16)
+        self._fill(cache, np.random.default_rng(1))
+        keys, _ = cache.layers[0].view()
+        assert keys.base is arena._keys[0]
+        np.testing.assert_array_equal(keys, arena._keys[0][:5])
+
+    def test_truncate_and_keep_rows(self):
+        arena = make_arena(capacity=64)
+        cache = arena.new_sequence(16)
+        plain = KVCache(SMALL_CONFIG, capacity=16)
+        self._fill(cache, np.random.default_rng(2))
+        self._fill(plain, np.random.default_rng(2))
+        cache.keep_rows(2, [2, 0])
+        plain.keep_rows(2, [2, 0])
+        assert cache.length == plain.length == 4
+        for la, lp in zip(cache.layers, plain.layers):
+            np.testing.assert_array_equal(la.view()[0], lp.view()[0])
+        cache.truncate(1)
+        assert cache.length == 1
+
+    def test_snapshot_restore(self):
+        arena = make_arena(capacity=64)
+        cache = arena.new_sequence(16)
+        self._fill(cache, np.random.default_rng(3))
+        snap = cache.snapshot()
+        for layer in cache.layers:
+            layer.append(np.zeros((1, SMALL_CONFIG.n_heads,
+                                   SMALL_CONFIG.d_head)),
+                         np.zeros((1, SMALL_CONFIG.n_heads,
+                                   SMALL_CONFIG.d_head)))
+        cache.restore(snap)
+        assert cache.length == snap
+
+    def test_overflow_raises(self):
+        arena = make_arena(capacity=8)
+        cache = arena.new_sequence(8)
+        big = np.zeros((9, SMALL_CONFIG.n_heads, SMALL_CONFIG.d_head))
+        with pytest.raises(ValueError, match="overflow"):
+            cache.layers[0].append(big, big)
+
+    def test_neighbours_do_not_interfere(self):
+        """Appends to one request never touch a neighbour's rows."""
+        arena = make_arena(capacity=32)
+        a = arena.new_sequence(16)
+        b = arena.new_sequence(16)
+        self._fill(a, np.random.default_rng(4))
+        before_b = arena._keys[0][16:32].copy()
+        self._fill(a, np.random.default_rng(5))
+        np.testing.assert_array_equal(arena._keys[0][16:32], before_b)
+        self._fill(b, np.random.default_rng(6))
+        keys_a, _ = a.layers[0].view()
+        assert keys_a.shape[0] == 10
+
+
+class TestModelIntegration:
+    def test_prefill_and_decode_match_private_cache(self, llm, rng):
+        prompt = make_prompt(rng, length=8)
+        arena = BatchArena(SMALL_CONFIG, max_requests=2)
+        arena_cache = arena.new_sequence()
+        plain_cache = llm.new_cache()
+        logits_arena = llm.prefill(prompt, arena_cache)
+        logits_plain = llm.prefill(prompt, plain_cache)
+        np.testing.assert_allclose(logits_arena, logits_plain, atol=1e-12)
+        np.testing.assert_allclose(
+            llm.decode(3, arena_cache), llm.decode(3, plain_cache),
+            atol=1e-12,
+        )

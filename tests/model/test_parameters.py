@@ -85,3 +85,62 @@ class TestSerialization:
 
     def test_num_bytes(self, store):
         assert store.num_bytes(2) == 2 * store.num_parameters()
+
+
+class TestPackedQKV:
+    def test_packed_matches_concatenation(self, store):
+        w, b = store.packed_qkv("layer0.attn")
+        np.testing.assert_array_equal(
+            w,
+            np.concatenate([store["layer0.attn.wq"], store["layer0.attn.wk"],
+                            store["layer0.attn.wv"]], axis=1),
+        )
+        np.testing.assert_array_equal(
+            b,
+            np.concatenate([store["layer0.attn.bq"], store["layer0.attn.bk"],
+                            store["layer0.attn.bv"]]),
+        )
+
+    def test_packed_is_memoized(self, store):
+        w1, _ = store.packed_qkv("layer0.attn")
+        w2, _ = store.packed_qkv("layer0.attn")
+        assert w1 is w2
+
+    def test_setitem_invalidates_memo(self, store):
+        w_before, _ = store.packed_qkv("layer0.attn")
+        store["layer0.attn.wq"] = store["layer0.attn.wq"] + 1.0
+        w_after, _ = store.packed_qkv("layer0.attn")
+        assert w_after is not w_before
+        np.testing.assert_array_equal(
+            w_after[:, : CONFIG.d_model], store["layer0.attn.wq"]
+        )
+
+    def test_add_scaled_invalidates_memo(self, store):
+        w_before, _ = store.packed_qkv("layer0.attn")
+        delta = store.zeros_like()
+        delta["layer0.attn.wk"] = np.ones_like(store["layer0.attn.wk"])
+        store.add_scaled(delta, 1.0)
+        w_after, _ = store.packed_qkv("layer0.attn")
+        np.testing.assert_array_equal(
+            w_after[:, CONFIG.d_model : 2 * CONFIG.d_model],
+            store["layer0.attn.wk"],
+        )
+
+    def test_fused_checkpoint_loads_via_shim(self, store):
+        """Checkpoints storing packed wqkv/bqkv tensors split on load."""
+        packed = {}
+        for name, value in store.items():
+            packed[name] = value
+        for i in range(CONFIG.n_layers):
+            pre = f"layer{i}.attn"
+            w, b = store.packed_qkv(pre)
+            for suffix in ("wq", "wk", "wv"):
+                del packed[f"{pre}.{suffix}"]
+            for suffix in ("bq", "bk", "bv"):
+                del packed[f"{pre}.{suffix}"]
+            packed[f"{pre}.wqkv"] = w
+            packed[f"{pre}.bqkv"] = b
+        loaded = ParameterStore(packed)
+        assert set(loaded.names()) == set(store.names())
+        for name in store:
+            np.testing.assert_array_equal(loaded[name], store[name])

@@ -111,3 +111,57 @@ class TestBatchedManager:
         )
         manager.run_until_complete()
         assert len(manager.output_for(rid).tokens) == 8
+
+
+class TestArenaBackedBlockSparseServing:
+    """End-to-end serving over the block-sparse path with a shared arena."""
+
+    def test_arena_block_sparse_matches_dense_and_per_request(self, llm, rng):
+        from repro.model import perf
+        from repro.model.arena import BatchArena
+
+        prompts = [make_prompt(rng, length=4 + i) for i in range(4)]
+        config = GenerationConfig(max_new_tokens=8, stop_on_eos=False)
+
+        arena = BatchArena(SMALL_CONFIG, max_requests=4)
+        block = BatchedRequestManager(
+            spec_factory(llm, cache_factory=arena.new_sequence), llm,
+            max_batch_size=4, mode="block",
+        )
+        ids_block = [block.submit(p, config) for p in prompts]
+        with perf.track() as counters:
+            block.run_until_complete()
+
+        dense = BatchedRequestManager(spec_factory(llm), llm,
+                                      max_batch_size=4, mode="dense")
+        ids_dense = [dense.submit(p, config) for p in prompts]
+        dense.run_until_complete()
+
+        plain = RequestManager(spec_factory(llm), max_batch_size=4)
+        ids_plain = [plain.submit(p, config) for p in prompts]
+        plain.run_until_complete()
+
+        for rid_b, rid_d, rid_p in zip(ids_block, ids_dense, ids_plain):
+            assert block.output_for(rid_b).tokens == \
+                dense.output_for(rid_d).tokens
+            assert block.output_for(rid_b).tokens == \
+                plain.output_for(rid_p).tokens
+        # The block-sparse serving loop never staged KV copies or computed
+        # cross-request scores.
+        assert counters.cross_request_score_flops == 0
+        assert counters.kv_bytes_copied == 0
+
+    def test_retired_requests_release_arena_rows(self, llm, rng):
+        from repro.model.arena import BatchArena
+
+        arena = BatchArena(SMALL_CONFIG, max_requests=2)
+        manager = BatchedRequestManager(
+            spec_factory(llm, cache_factory=arena.new_sequence), llm,
+            max_batch_size=2, mode="block",
+        )
+        for _ in range(4):
+            manager.submit(make_prompt(rng, length=5),
+                           GenerationConfig(max_new_tokens=4,
+                                            stop_on_eos=False))
+        manager.run_until_complete()
+        assert arena.used_rows == 0

@@ -135,3 +135,47 @@ class TestTreePositions:
         lin = linearize(tree)
         positions = tree_positions(lin, prefix_len=4)
         assert positions[1] == positions[2] == 5
+
+
+class TestMaskOutBuffers:
+    """``out=`` reuse produces identical masks without fresh allocation."""
+
+    def test_topology_mask_out_matches_fresh(self):
+        tree = TokenTree(1)
+        tree.add_child(0, 2)
+        tree.add_child(0, 3)
+        tree.add_child(1, 4)
+        lin = linearize(tree)
+        fresh = topology_causal_mask(lin, prefix_len=5)
+        buf = np.full((4, 9), 123.0)
+        reused = topology_causal_mask(lin, prefix_len=5, out=buf)
+        assert reused is buf
+        np.testing.assert_array_equal(reused, fresh)
+
+    def test_topology_mask_out_shape_mismatch_raises(self):
+        import pytest
+
+        lin = linearize(chain_tree([1, 2]))
+        with pytest.raises(ValueError, match="out buffer"):
+            topology_causal_mask(lin, prefix_len=3, out=np.empty((2, 2)))
+
+    def test_causal_and_cross_mask_out(self):
+        from repro.model.attention import causal_mask, cross_mask
+
+        buf = np.full((4, 4), -7.0)
+        np.testing.assert_array_equal(causal_mask(4, out=buf),
+                                      causal_mask(4))
+        buf2 = np.full((2, 6), -7.0)
+        np.testing.assert_array_equal(cross_mask(2, 6, 4, out=buf2),
+                                      cross_mask(2, 6, 4))
+
+    def test_mask_scratch_reuses_buffer(self):
+        from repro.model import perf
+        from repro.model.attention import MaskScratch
+
+        scratch = MaskScratch("float64")
+        first = scratch.take(3, 8)
+        with perf.track() as c:
+            second = scratch.take(2, 6)
+        assert c.mask_cells_allocated == 0
+        assert second.base is first.base
