@@ -1,0 +1,30 @@
+"""repro-lint: static invariants + runtime tensor sanitizer.
+
+Two halves, one contract:
+
+* **static** (``repro lint`` / :func:`repro.analysis.runner.run_paths`):
+  AST checks over the whole tree for the invariants the paper's speedups
+  rest on — explicit dtypes on model/engine tensors (``dtype-drift``),
+  an allocation-free decode loop (``hot-path-alloc``), Generator-threaded
+  randomness (``rng-discipline``), and signature-faithful tree-attention
+  call sites (``mask-contract``);
+* **runtime** (:mod:`repro.analysis.sanitizer`): ``REPRO_SANITIZE``-gated
+  guards for what only the live tensors can show — NaN/Inf logits,
+  off-simplex verifier distributions, overlapping KV-arena row ranges.
+
+See ``docs/static_analysis.md`` for the check catalogue and suppression
+syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Check, Finding, SourceFile
+from repro.analysis.runner import LintResult, run_paths
+
+__all__ = [
+    "Check",
+    "Finding",
+    "LintResult",
+    "SourceFile",
+    "run_paths",
+]

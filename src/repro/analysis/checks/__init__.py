@@ -1,0 +1,41 @@
+"""Check registry: every lint check the runner knows about."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.checks.dtype_drift import DtypeDriftCheck
+from repro.analysis.checks.hot_path_alloc import HotPathAllocCheck
+from repro.analysis.checks.mask_contract import MaskContractCheck
+from repro.analysis.checks.rng_discipline import RngDisciplineCheck
+from repro.analysis.core import Check
+
+ALL_CHECKS = (
+    DtypeDriftCheck,
+    HotPathAllocCheck,
+    RngDisciplineCheck,
+    MaskContractCheck,
+)
+
+
+def check_registry() -> Dict[str, Check]:
+    """Fresh instances of every check, keyed by name."""
+    registry = {}
+    for cls in ALL_CHECKS:
+        check = cls()
+        registry[check.name] = check
+    return registry
+
+
+def resolve_checks(names: Optional[Sequence[str]] = None) -> List[Check]:
+    """Instances for ``names`` (all checks when ``names`` is falsy)."""
+    registry = check_registry()
+    if not names:
+        return list(registry.values())
+    missing = sorted(set(names) - set(registry))
+    if missing:
+        known = ", ".join(sorted(registry))
+        raise ValueError(
+            f"unknown check(s) {', '.join(missing)}; known checks: {known}"
+        )
+    return [registry[name] for name in names]

@@ -1,0 +1,114 @@
+"""``dtype-drift``: the model/engine layers must not pick dtypes implicitly.
+
+The substrate is dtype-parameterized (``ModelConfig.dtype``; the float32
+tier in ``tests/model/test_dtype.py`` runs the whole stack at reduced
+precision).  Two idioms silently break that:
+
+* allocating with NumPy's *default* dtype — ``np.zeros(n)`` is float64
+  regardless of what the model runs at, and the first op that touches both
+  upcasts the whole expression;
+* hard-coding float64 — ``dtype=np.float64`` / ``.astype(float)`` pins a
+  tensor at double precision even when the model is float32.
+
+Both are flagged in files scoped ``model`` or ``engine``.  Intentional
+sites (verification probability math is deliberately float64, for example)
+carry ``# lint: allow-dtype <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import (
+    Check,
+    Finding,
+    SourceFile,
+    call_keywords,
+    dotted_name,
+    has_star_kwargs,
+    numpy_aliases,
+)
+
+#: Constructors that take NumPy's implicit (float64) default dtype.
+DEFAULT_DTYPE_CONSTRUCTORS = ("array", "zeros", "ones", "empty", "full")
+
+#: dtype argument position for each constructor (np.array(obj, dtype), ...).
+_DTYPE_POSITION = {"array": 1, "zeros": 1, "ones": 1, "empty": 1, "full": 2}
+
+
+def _is_float64_expr(node: ast.expr) -> bool:
+    """Whether an expression names float64 (np.float64, float, "float64")."""
+    name = dotted_name(node)
+    if name:
+        head, _, tail = name.rpartition(".")
+        if tail in ("float64", "double") or (not head and name == "float"):
+            return True
+    if isinstance(node, ast.Constant) and node.value in ("float64", "f8"):
+        return True
+    return False
+
+
+class DtypeDriftCheck(Check):
+    name = "dtype-drift"
+    tag = "dtype"
+    description = (
+        "model/engine allocations must pass an explicit dtype and must not "
+        "hard-code float64"
+    )
+    required_scope = None  # scoping handled in applies_to (model OR engine)
+
+    def applies_to(self, src: SourceFile) -> bool:
+        return bool(src.scopes & {"model", "engine"})
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        aliases = numpy_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_constructor(src, node, aliases))
+            findings.extend(self._check_astype(src, node))
+            findings.extend(self._check_float64_kwarg(src, node))
+        return findings
+
+    def _check_constructor(self, src: SourceFile, node: ast.Call,
+                           aliases) -> List[Finding]:
+        name = dotted_name(node.func)
+        head, _, func = name.rpartition(".")
+        if head not in aliases or func not in DEFAULT_DTYPE_CONSTRUCTORS:
+            return []
+        if "dtype" in call_keywords(node) or has_star_kwargs(node):
+            return []
+        if len(node.args) > _DTYPE_POSITION[func]:  # positional dtype
+            return []
+        return [src.make_finding(
+            self, node,
+            f"{name}() without an explicit dtype defaults to float64; "
+            f"pass dtype= (model dtype, np.intp, ...) or suppress with "
+            f"'# lint: allow-dtype <reason>'",
+        )]
+
+    def _check_astype(self, src: SourceFile, node: ast.Call) -> List[Finding]:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype" and node.args):
+            return []
+        if not _is_float64_expr(node.args[0]):
+            return []
+        return [src.make_finding(
+            self, node,
+            "astype(float64) hard-codes double precision; use the model "
+            "dtype or suppress with '# lint: allow-dtype <reason>'",
+        )]
+
+    def _check_float64_kwarg(self, src: SourceFile,
+                             node: ast.Call) -> List[Finding]:
+        dtype_arg = call_keywords(node).get("dtype")
+        if dtype_arg is None or not _is_float64_expr(dtype_arg):
+            return []
+        return [src.make_finding(
+            self, node,
+            "dtype=float64 hard-codes double precision on a "
+            "dtype-parameterized path; thread the model dtype or suppress "
+            "with '# lint: allow-dtype <reason>'",
+        )]

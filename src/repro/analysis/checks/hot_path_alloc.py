@@ -1,0 +1,93 @@
+"""``hot-path-alloc``: the steady-state decode loop must not allocate.
+
+The block-sparse fused decode work removed per-step KV concatenation and
+mask allocation (see ``repro.model.perf`` and ``MaskScratch``); this check
+keeps them out.  Inside hot-path files (:data:`repro.analysis.core.HOT_PATH_FILES`)
+and inside any function decorated ``@hot_path``, calls that materialize new
+arrays from existing ones are flagged:
+
+* ``np.concatenate`` / ``np.vstack`` / ``np.hstack`` / ``np.stack`` /
+  ``np.append`` / ``np.tile`` — staging copies; prefer preallocated slabs,
+  zero-copy views, or ``out=`` buffers;
+* ``.copy()`` / ``np.copy`` — defensive copies; prefer in-place edits of a
+  reused scratch.
+
+Reference paths and genuinely cold fallbacks stay — annotated with
+``# lint: allow-alloc <reason>`` so every remaining copy is a recorded
+decision, mirroring how ``perf.add_kv_copy`` charges the dense path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.core import (
+    Check,
+    Finding,
+    SourceFile,
+    decorator_names,
+    dotted_name,
+    numpy_aliases,
+)
+
+ALLOC_FUNCTIONS = ("concatenate", "vstack", "hstack", "stack", "append",
+                   "tile", "copy")
+
+
+class HotPathAllocCheck(Check):
+    name = "hot-path-alloc"
+    tag = "alloc"
+    description = (
+        "no array-materializing calls (concatenate/stack/copy) on the "
+        "decode hot path"
+    )
+    required_scope = None  # hot files via scope; @hot_path functions anywhere
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        file_is_hot = "hot-path" in src.scopes
+        hot_spans = self._hot_function_spans(src)
+        aliases = numpy_aliases(src.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            line = node.lineno
+            if not (file_is_hot
+                    or any(lo <= line <= hi for lo, hi in hot_spans)):
+                continue
+            label = self._alloc_label(node, aliases)
+            if label is None:
+                continue
+            findings.append(src.make_finding(
+                self, node,
+                f"{label} allocates on the decode hot path; preallocate, "
+                f"use a zero-copy view / out= buffer, or annotate with "
+                f"'# lint: allow-alloc <reason>'",
+            ))
+        return findings
+
+    def _hot_function_spans(self, src: SourceFile) -> List[tuple]:
+        """(first, last) line ranges of functions decorated ``@hot_path``."""
+        spans: List[tuple] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            names: Set[str] = {n.rpartition(".")[2]
+                               for n in decorator_names(node)}
+            if "hot_path" in names:
+                spans.append((node.lineno, max(
+                    getattr(node, "end_lineno", node.lineno), node.lineno
+                )))
+        return spans
+
+    def _alloc_label(self, node: ast.Call, aliases) -> "str | None":
+        name = dotted_name(node.func)
+        head, _, func = name.rpartition(".")
+        if head in aliases and func in ALLOC_FUNCTIONS:
+            return f"{name}()"
+        # Method-style .copy() on any receiver (arrays are the common case).
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "copy" and not node.args):
+            return ".copy()"
+        return None

@@ -1,0 +1,155 @@
+"""``mask-contract``: ``forward_masked*`` call sites honor the primitive's
+signature, and mask constructors carry an explicit dtype.
+
+Tree attention is only correct if every call site agrees with
+:meth:`repro.model.transformer.TransformerLM.forward_masked` on what goes
+where: ``(tokens, positions, mask, cache)``.  Swapping ``positions`` and
+``mask`` produces garbage logits, not an exception — both are arrays, and
+broadcasting frequently makes the shapes line up.  Statically, each call is
+checked for:
+
+* arity — the exact parameter count of the primitive being called;
+* keyword names — only the declared parameter names are accepted;
+* slot/name agreement — a positional argument whose *name* says it is a
+  mask/position/token must sit in the matching slot (``fm(mask, pos, tok,
+  cache)`` is flagged; neutral names like ``seq`` are not guessed at).
+
+Additionally, calls to the mask constructors (``causal_mask``,
+``cross_mask``, ``topology_causal_mask``) must pass ``dtype=`` explicitly:
+their default is float64, so an implicit call feeds the transformer a mask
+that upcasts every score matrix when the model runs at float32.  The
+runtime half of this contract (shape/dtype of the actual arrays) lives in
+:mod:`repro.analysis.sanitizer`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    Check,
+    Finding,
+    SourceFile,
+    call_keywords,
+    dotted_name,
+    has_star_kwargs,
+)
+
+#: Parameter names, in order, of each decode primitive (self excluded).
+PRIMITIVES: Dict[str, Tuple[Tuple[str, ...], int]] = {
+    # name -> (parameter names, number of required parameters)
+    "forward_masked": (("tokens", "positions", "mask", "cache"), 4),
+    "forward_masked_blocks": (
+        ("tokens", "positions", "masks", "caches", "priors"), 4,
+    ),
+}
+
+#: Substrings that positively identify what an argument expression holds.
+_ROLE_HINTS = {
+    "tokens": ("token", "seq"),
+    "positions": ("position", "pos"),
+    "mask": ("mask",),
+    "masks": ("mask",),
+}
+
+MASK_CONSTRUCTORS = ("causal_mask", "cross_mask", "topology_causal_mask")
+
+
+def _role_of(expr: ast.expr) -> Optional[str]:
+    """The role an argument's *name* claims, or None for neutral names."""
+    name = dotted_name(expr)
+    if not name:
+        return None
+    leaf = name.rpartition(".")[2].lower()
+    for role, hints in _ROLE_HINTS.items():
+        if any(hint in leaf for hint in hints):
+            # "mask"/"masks" share hints; report the singular role.
+            return "mask" if role == "masks" else role
+    return None
+
+
+def _slot_role(param: str) -> Optional[str]:
+    if param in ("tokens", "positions"):
+        return param
+    if param in ("mask", "masks"):
+        return "mask"
+    return None
+
+
+class MaskContractCheck(Check):
+    name = "mask-contract"
+    tag = "mask"
+    description = (
+        "forward_masked* call sites pass (tokens, positions, mask, cache) "
+        "correctly; mask constructors pass an explicit dtype"
+    )
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func).rpartition(".")[2]
+            if func_name in PRIMITIVES:
+                findings.extend(self._check_primitive(src, node, func_name))
+            elif func_name in MASK_CONSTRUCTORS:
+                findings.extend(self._check_constructor(src, node, func_name))
+        return findings
+
+    # -- forward_masked* -------------------------------------------------------
+
+    def _check_primitive(self, src: SourceFile, node: ast.Call,
+                         func_name: str) -> List[Finding]:
+        params, required = PRIMITIVES[func_name]
+        findings: List[Finding] = []
+        if any(isinstance(a, ast.Starred) for a in node.args) \
+                or has_star_kwargs(node):
+            return findings  # dynamic call; runtime sanitizer covers it
+        keywords = call_keywords(node)
+        unknown = sorted(set(keywords) - set(params))
+        if unknown:
+            findings.append(src.make_finding(
+                self, node,
+                f"{func_name}() has no parameter(s) {', '.join(unknown)}; "
+                f"expected {params}",
+            ))
+        supplied = len(node.args) + len(set(keywords) & set(params))
+        if supplied < required or len(node.args) > len(params):
+            findings.append(src.make_finding(
+                self, node,
+                f"{func_name}() takes {required} required arguments "
+                f"{params[:required]}, got {supplied}",
+            ))
+        for i, arg in enumerate(node.args[: len(params)]):
+            claimed = _role_of(arg)
+            expected = _slot_role(params[i])
+            if claimed and expected and claimed != expected:
+                findings.append(src.make_finding(
+                    self, node,
+                    f"{func_name}() argument {i + 1} is the "
+                    f"'{params[i]}' slot but '{dotted_name(arg)}' looks "
+                    f"like {claimed}; arguments are {params}",
+                ))
+        return findings
+
+    # -- mask constructors -----------------------------------------------------
+
+    def _check_constructor(self, src: SourceFile, node: ast.Call,
+                           func_name: str) -> List[Finding]:
+        if has_star_kwargs(node):
+            return []
+        keywords = call_keywords(node)
+        if "dtype" in keywords:
+            return []
+        # Positional dtype: causal_mask(n, dtype), cross_mask(nq, nk, off,
+        # dtype), topology_causal_mask(lin, prefix, dtype).
+        dtype_pos = {"causal_mask": 1, "cross_mask": 3,
+                     "topology_causal_mask": 2}[func_name]
+        if len(node.args) > dtype_pos:
+            return []
+        return [src.make_finding(
+            self, node,
+            f"{func_name}() without dtype= builds a float64 mask; pass the "
+            f"model dtype so attention scores keep the model precision",
+        )]

@@ -1,0 +1,96 @@
+"""``rng-discipline``: randomness flows through explicit Generators.
+
+End-to-end reproducibility (same seed -> same speculation -> same
+acceptance trace) only holds if every random draw comes from a
+:class:`numpy.random.Generator` that the caller seeded and threaded in.
+The legacy global API breaks that in ways that are invisible at the call
+site: ``np.random.seed`` mutates process-global state, ``np.random.rand``
+draws from it, and two modules using both interleave their streams.
+
+Flagged everywhere in the tree:
+
+* calls through the legacy global numpy API (``np.random.rand``,
+  ``np.random.choice``, ``np.random.seed``, ... and ``RandomState``);
+* ``np.random.default_rng()`` with *no* seed argument — a fresh
+  OS-entropy stream, i.e. a run that can never be replayed;
+* calls through the stdlib ``random`` module (same global-state problem).
+
+The fix is mechanical: accept ``rng: np.random.Generator`` as a parameter
+(seeded ``default_rng(seed)`` at the edge of the program) — the convention
+every module in this tree already follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import (
+    Check,
+    Finding,
+    SourceFile,
+    dotted_name,
+    numpy_aliases,
+)
+
+#: Legacy global-state entry points (non-exhaustive but covers NumPy's
+#: commonly used surface; anything not allowlisted below is flagged too).
+ALLOWED_RANDOM_ATTRS = ("default_rng", "Generator", "SeedSequence",
+                        "BitGenerator", "PCG64", "Philox", "SFC64",
+                        "MT19937")
+
+
+class RngDisciplineCheck(Check):
+    name = "rng-discipline"
+    tag = "rng"
+    description = (
+        "no legacy np.random.* / stdlib random global state; thread "
+        "explicit seeded numpy Generators"
+    )
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        aliases = numpy_aliases(src.tree)
+        stdlib_random = self._stdlib_random_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            # np.random.<attr>(...) and numpy.random.<attr>(...)
+            if (len(parts) == 3 and parts[0] in aliases
+                    and parts[1] == "random"):
+                attr = parts[2]
+                if attr == "default_rng" and not (node.args or node.keywords):
+                    findings.append(src.make_finding(
+                        self, node,
+                        "default_rng() without a seed draws OS entropy — "
+                        "the run cannot be replayed; pass a seed or accept "
+                        "an rng parameter ('# lint: allow-rng <reason>' if "
+                        "intentional)",
+                    ))
+                elif attr not in ALLOWED_RANDOM_ATTRS:
+                    findings.append(src.make_finding(
+                        self, node,
+                        f"legacy global-state API {name}(); use an explicit "
+                        f"seeded np.random.Generator parameter instead",
+                    ))
+            # stdlib random module
+            elif (len(parts) == 2 and parts[0] in stdlib_random):
+                findings.append(src.make_finding(
+                    self, node,
+                    f"stdlib {name}() uses hidden global state; use an "
+                    f"explicit seeded np.random.Generator",
+                ))
+        return findings
+
+    def _stdlib_random_aliases(self, tree: ast.AST) -> set:
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return aliases

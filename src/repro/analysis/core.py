@@ -1,0 +1,264 @@
+"""Core of the repro static-analysis framework.
+
+The linter exists because the decode hot path's performance and correctness
+claims rest on invariants NumPy will not enforce for you: masks must carry
+the model dtype (silent float64 upcasts double memory traffic), the steady
+state must not allocate (``perf`` counters only catch paths a test drives),
+and randomness must flow through explicit :class:`numpy.random.Generator`
+objects (or runs stop being reproducible).  Each invariant is an AST *check*
+(:mod:`repro.analysis.checks`) run over every file by the
+:mod:`~repro.analysis.runner`.
+
+This module holds the pieces every check shares:
+
+* :class:`Finding` — one diagnostic, anchored to a file/line/column;
+* :class:`SourceFile` — a parsed file plus its suppression and scope
+  pragmas;
+* :class:`Check` — the visitor base class checks subclass;
+* suppression comments: ``# lint: allow-<tag> [reason]`` silences findings
+  of the matching check on the same line (or, for a standalone comment
+  line, on the next code line); ``# lint: ignore`` silences every check.
+  Suppressed findings are retained (marked ``suppressed=True``) so the
+  reporter can audit them;
+* scope pragmas: ``# lint: scope <name> [<name> ...]`` near the top of a
+  file opts it into path-scoped checks (``model``, ``engine``,
+  ``hot-path``) — how fixture corpora and out-of-tree files exercise
+  checks that are otherwise keyed off the ``repro`` package layout.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+
+#: Scope names a file may belong to.  Path-scoped checks declare which of
+#: these they require; see :meth:`SourceFile.scopes`.
+KNOWN_SCOPES = ("model", "engine", "hot-path")
+
+#: Files (matched by ``repro``-relative suffix) on the decoding hot path.
+#: ``hot-path-alloc`` applies to these plus any function carrying the
+#: ``@hot_path`` decorator (:func:`repro.analysis.sanitizer.hot_path`).
+HOT_PATH_FILES = (
+    "repro/model/transformer.py",
+    "repro/model/attention.py",
+    "repro/model/kv_cache.py",
+    "repro/model/arena.py",
+    "repro/model/paged_cache.py",
+    "repro/engine/batched.py",
+    "repro/verify/decode.py",
+    "repro/verify/greedy.py",
+    "repro/verify/naive.py",
+    "repro/verify/stochastic.py",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(allow-[a-z0-9-]+|ignore)(?:\s+(?P<reason>\S.*))?"
+)
+_SCOPE_RE = re.compile(r"#\s*lint:\s*scope\s+(?P<names>[a-z -]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a check.
+
+    Attributes:
+        check: Name of the producing check (e.g. ``"dtype-drift"``).
+        path: File the finding anchors to.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: Human-readable description of the violation.
+        suppressed: True when a matching ``# lint: allow-*`` comment covers
+            the line; suppressed findings never affect the exit code.
+        suppression_reason: Free text following the suppression tag.
+    """
+
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# lint: allow-<tag>`` / ``# lint: ignore`` comment."""
+
+    line: int
+    tag: str  # "allow-<tag>" or "ignore"
+    reason: str
+    standalone: bool  # comment is the only thing on its line
+    used: bool = False
+
+    def covers(self, check_tag: str, line: int) -> bool:
+        """Whether this comment silences ``check_tag`` findings at ``line``.
+
+        A trailing comment covers its own line; a standalone comment line
+        covers the *next* line (the usual place for long call expressions).
+        """
+        target = self.line + 1 if self.standalone else self.line
+        if line != target:
+            return False
+        return self.tag == "ignore" or self.tag == f"allow-{check_tag}"
+
+
+class SourceFile:
+    """A parsed source file with its pragmas, shared by all checks."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = self._parse_suppressions()
+        self._scopes = self._infer_scopes()
+
+    # -- pragmas ---------------------------------------------------------------
+
+    def _parse_suppressions(self) -> List[Suppression]:
+        found: List[Suppression] = []
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            found.append(
+                Suppression(
+                    line=lineno,
+                    tag=match.group(1),
+                    reason=(match.group("reason") or "").strip(),
+                    standalone=text.lstrip().startswith("#"),
+                )
+            )
+        return found
+
+    def _infer_scopes(self) -> Set[str]:
+        """Scopes from the file path plus any ``# lint: scope`` pragma."""
+        scopes: Set[str] = set()
+        path = self.path.replace("\\", "/")
+        if "repro/model/" in path:
+            scopes.add("model")
+        if "repro/engine/" in path:
+            scopes.add("engine")
+        if any(path.endswith(hot) for hot in HOT_PATH_FILES):
+            scopes.add("hot-path")
+        for text in self.lines[:10]:
+            match = _SCOPE_RE.search(text)
+            if match:
+                for name in match.group("names").split():
+                    if name in KNOWN_SCOPES:
+                        scopes.add(name)
+        return scopes
+
+    @property
+    def scopes(self) -> Set[str]:
+        return self._scopes
+
+    # -- finding assembly ------------------------------------------------------
+
+    def make_finding(self, check: "Check", node: ast.AST,
+                     message: str) -> Finding:
+        """A :class:`Finding` at ``node``, resolving suppressions."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        for supp in self.suppressions:
+            if supp.covers(check.tag, line):
+                supp.used = True
+                return Finding(
+                    check=check.name, path=self.path, line=line, col=col,
+                    message=message, suppressed=True,
+                    suppression_reason=supp.reason,
+                )
+        return Finding(check=check.name, path=self.path, line=line,
+                       col=col, message=message)
+
+
+class Check:
+    """Base class for one lint check.
+
+    Subclasses set ``name`` (reported), ``tag`` (the ``allow-<tag>``
+    suppression key), ``description`` and ``required_scope`` (``None`` for
+    repo-wide checks), then implement :meth:`run`.
+    """
+
+    name: str = ""
+    tag: str = ""
+    description: str = ""
+    required_scope: Optional[str] = None
+
+    def applies_to(self, src: SourceFile) -> bool:
+        if self.required_scope is None:
+            return True
+        return self.required_scope in src.scopes
+
+    def run(self, src: SourceFile) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str:
+    """The dotted name of a Name/Attribute chain (``"np.random.rand"``).
+
+    Returns ``""`` for expressions that are not plain attribute chains
+    (calls, subscripts, ...), which callers treat as "no name".
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_keywords(node: ast.Call) -> Dict[str, ast.expr]:
+    """Keyword arguments of a call, ``**kwargs`` entries excluded."""
+    return {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+
+
+def has_star_kwargs(node: ast.Call) -> bool:
+    return any(kw.arg is None for kw in node.keywords)
+
+
+def numpy_aliases(tree: ast.AST) -> Set[str]:
+    """Module aliases bound to numpy (``import numpy as np`` -> {"np"})."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def decorator_names(node: ast.AST) -> Sequence[str]:
+    """Dotted names of a function's decorators (call parens stripped)."""
+    names: List[str] = []
+    for deco in getattr(node, "decorator_list", []):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name:
+            names.append(name)
+    return names
+
+
+@dataclass
+class FileReport:
+    """Everything the runner learned about one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    error: str = ""  # syntax/read error, reported as its own failure
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]

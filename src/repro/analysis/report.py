@@ -1,0 +1,84 @@
+"""Reporters: render a :class:`~repro.analysis.runner.LintResult`.
+
+Two formats:
+
+* ``text`` — one ``path:line:col: [check] message`` per finding (the
+  format editors and CI log scrapers already understand), a suppressed
+  section when requested, and a one-line summary;
+* ``json`` — machine-readable, stable keys, suitable for dashboards or
+  diffing two runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from repro.analysis.core import Finding
+from repro.analysis.runner import LintResult
+
+
+def _format_finding(finding: Finding) -> str:
+    line = f"{finding.location()}: [{finding.check}] {finding.message}"
+    if finding.suppressed:
+        reason = finding.suppression_reason or "no reason given"
+        line += f" (suppressed: {reason})"
+    return line
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable report."""
+    out: List[str] = []
+    for report in result.errors:
+        out.append(f"{report.path}: error: {report.error}")
+    for finding in result.unsuppressed:
+        out.append(_format_finding(finding))
+    if show_suppressed and result.suppressed:
+        out.append("")
+        out.append(f"suppressed ({len(result.suppressed)}):")
+        for finding in result.suppressed:
+            out.append("  " + _format_finding(finding))
+    by_check = Counter(f.check for f in result.unsuppressed)
+    breakdown = ", ".join(
+        f"{name}: {count}" for name, count in sorted(by_check.items())
+    )
+    summary = (
+        f"{result.files_scanned} files scanned, "
+        f"{len(result.unsuppressed)} findings"
+        f" ({breakdown})" if by_check else
+        f"{result.files_scanned} files scanned, 0 findings "
+        f"({len(result.suppressed)} suppressed)"
+    )
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "files_scanned": result.files_scanned,
+        "checks": list(result.checks),
+        "counts": {
+            "findings": len(result.unsuppressed),
+            "suppressed": len(result.suppressed),
+            "errors": len(result.errors),
+        },
+        "findings": [
+            {
+                "check": f.check,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "suppression_reason": f.suppression_reason,
+            }
+            for f in result.findings
+        ],
+        "errors": [
+            {"path": r.path, "error": r.error} for r in result.errors
+        ],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,99 @@
+"""Lint driver: discover files, run every check, collect findings.
+
+``run_paths`` is the programmatic entry point (the ``repro lint`` CLI and
+the ``lint`` pytest tier both call it); it returns a :class:`LintResult`
+whose exit code follows the usual linter convention — 0 clean, 1 findings,
+2 operational errors (unreadable/unparseable files).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.checks import resolve_checks
+from repro.analysis.core import Check, FileReport, Finding, SourceFile
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of paths."""
+
+    reports: List[FileReport] = field(default_factory=list)
+    checks: List[str] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [f for report in self.reports for f in report.findings]
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def errors(self) -> List[FileReport]:
+        return [report for report in self.reports if report.error]
+
+    @property
+    def files_scanned(self) -> int:
+        return len(self.reports)
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.unsuppressed else 0
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` (files kept as-is, dirs walked)."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git", ".pytest_cache")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_file(path: str, checks: Sequence[Check]) -> FileReport:
+    """Run ``checks`` over one file."""
+    report = FileReport(path=path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        src = SourceFile(path, source)
+    except (OSError, SyntaxError, ValueError) as exc:
+        report.error = f"{type(exc).__name__}: {exc}"
+        return report
+    for check in checks:
+        if check.applies_to(src):
+            report.findings.extend(check.run(src))
+    report.findings.sort(key=lambda f: (f.line, f.col, f.check))
+    return report
+
+
+def run_paths(
+    paths: Sequence[str],
+    check_names: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` with the selected checks."""
+    checks = resolve_checks(check_names)
+    result = LintResult(checks=[c.name for c in checks])
+    for path in discover_files(paths):
+        result.reports.append(lint_file(path, checks))
+    return result

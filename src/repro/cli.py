@@ -7,6 +7,7 @@ Commands:
 * ``serve`` — simulate continuous-batching serving under Poisson arrivals.
 * ``models`` — list the paper-scale model descriptors and placements.
 * ``latency`` — query the hardware cost model for a decoding-step latency.
+* ``lint`` — run the repro static-analysis checks over source paths.
 """
 
 from __future__ import annotations
@@ -215,6 +216,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis checks; exit 0 clean, 1 findings, 2 errors."""
+    from repro.analysis.report import render_json, render_text
+    from repro.analysis.runner import run_paths
+
+    try:
+        result = run_paths(args.paths, check_names=args.check)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -266,6 +284,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--alpha", type=float, default=0.7)
     sweep.add_argument("--max-depth", type=int, default=12)
     sweep.set_defaults(handler=cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro static-analysis checks"
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--check", action="append", metavar="NAME",
+                      help="run only the named check (repeatable)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also list suppressed findings")
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

@@ -30,6 +30,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitizer
 from repro.model.config import ModelConfig
 from repro.model.kv_cache import LayerKV
 
@@ -59,6 +60,9 @@ class BatchArena:
         ]
         # Free row ranges, kept sorted and coalesced: list of (start, stop).
         self._free: List[Tuple[int, int]] = [(0, capacity)]
+        # Ranges currently owned by live ArenaKVCaches; the sanitizer checks
+        # every new registration against these for overlap.
+        self._live: List[Tuple[int, int]] = []
 
     # -- allocation ---------------------------------------------------------------
 
@@ -100,10 +104,23 @@ class BatchArena:
             f"{len(self._free)} ranges)"
         )
 
+    def register(self, start: int, stop: int) -> None:
+        """Record ``[start, stop)`` as owned by a live request cache.
+
+        Called by :class:`ArenaKVCache` on construction.  Under
+        ``REPRO_SANITIZE`` the new range is checked for overlap against
+        every live range — two requests sharing slab rows would silently
+        read each other's keys/values.
+        """
+        sanitizer.guard_disjoint_ranges("KV arena", self._live, (start, stop))
+        self._live.append((start, stop))
+
     def release(self, start: int, stop: int) -> None:
         """Return a row range to the free list, coalescing neighbours."""
         if not 0 <= start <= stop <= self.capacity:
             raise ValueError(f"invalid arena range [{start}, {stop})")
+        if (start, stop) in self._live:
+            self._live.remove((start, stop))
         for free_start, free_stop in self._free:
             if start < free_stop and free_start < stop:
                 raise ValueError(
@@ -135,6 +152,7 @@ class ArenaKVCache:
         self._start = start
         self._stop = stop
         self._freed = False
+        arena.register(start, stop)
         self.layers: List[LayerKV] = [
             LayerKV.from_buffers(
                 arena._keys[i][start:stop], arena._values[i][start:stop]

@@ -12,6 +12,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import hot_path
 from repro.model import perf
 
 LayerCache = Tuple
@@ -20,6 +21,7 @@ LayerCache = Tuple
 # -- linear --------------------------------------------------------------------
 
 
+@hot_path
 def linear_forward(
     x: np.ndarray, w: np.ndarray, b: np.ndarray
 ) -> Tuple[np.ndarray, LayerCache]:
@@ -120,6 +122,7 @@ def embedding_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
 # -- softmax / cross-entropy -----------------------------------------------------
 
 
+@hot_path
 def stable_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax."""
     shifted = logits - logits.max(axis=axis, keepdims=True)

@@ -80,6 +80,7 @@ def distribution_from_logits(
     makes greedy decoding a special case of stochastic verification.
     """
     if config.greedy:
+        # lint: allow-dtype verification distributions are float64 by contract (MSS ratio/residual math)
         probs = np.zeros(logits.shape[-1], dtype=np.float64)
         probs[int(np.argmax(logits))] = 1.0
         return probs

@@ -21,6 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import tensor_contract
 from repro.model.attention import (
     block_diagonal_attention,
     causal_mask,
@@ -79,6 +81,8 @@ class TransformerLM:
 
     # -- inference -------------------------------------------------------------
 
+    @tensor_contract(tokens={"ndim": 1}, positions={"ndim": 1},
+                     mask={"ndim": 2})
     def forward_masked(
         self,
         tokens: np.ndarray,
@@ -173,12 +177,15 @@ class TransformerLM:
             raise ValueError(
                 f"{tokens.shape[0]} tokens but masks describe {n_new} rows"
             )
-        for mask, prior, count in zip(masks, priors, new_counts):
+        for b, (mask, prior, count) in enumerate(
+                zip(masks, priors, new_counts)):
             if mask.shape != (count, prior + count):
                 raise ValueError(
                     f"mask shape {mask.shape} != expected "
                     f"{(count, prior + count)}"
                 )
+            sanitizer.guard_dtype(f"forward_masked_blocks masks[{b}]",
+                                  mask, self.config.dtype)
         if positions.max(initial=0) >= self.config.max_seq_len:
             raise ValueError(
                 f"position {int(positions.max())} exceeds max_seq_len "
@@ -223,7 +230,9 @@ class TransformerLM:
             down, _ = linear_forward(act, p[f"{pre}.mlp.w2"], p[f"{pre}.mlp.b2"])
             x = x + down
         final, _ = layernorm_forward(x, p["final_ln.scale"], p["final_ln.bias"])
-        return final @ p["lm_head"]
+        logits = final @ p["lm_head"]
+        sanitizer.guard_finite("forward_masked_blocks logits", logits)
+        return logits
 
     def prefill(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
         """Process a prompt, filling ``cache``; returns ``(n, vocab)`` logits."""
@@ -241,7 +250,9 @@ class TransformerLM:
         # zeros, so a slice of the preallocated buffer serves every step.
         mask = self._decode_mask[:, : prior + 1]
         logits = self.forward_masked(
-            np.array([token]), np.array([prior]), mask, cache
+            np.array([token], dtype=np.intp),
+            np.array([prior], dtype=np.intp),
+            mask, cache,
         )
         return logits[0]
 

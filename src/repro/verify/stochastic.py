@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis import sanitizer
 from repro.model.sampling import SamplingConfig, sample_from_probs
 from repro.tree.token_tree import TokenTree
 from repro.verify.decode import TreeDecodeOutput
@@ -68,6 +69,7 @@ def verify_stochastic(
     result.accepted_nodes.append(u)
     while True:
         llm_probs = output.distribution_for_node(u, sampling)
+        sanitizer.guard_simplex("MSS llm_probs", llm_probs)
         children = list(tree.nodes[u].children)
         descended = False
         while children:
@@ -76,6 +78,8 @@ def verify_stochastic(
             token = tree.nodes[child].token
             result.num_candidates_considered += 1
             ssm_probs = _proposal_distribution(tree, u, child)
+            if ssm_probs is not None:
+                sanitizer.guard_simplex("MSS ssm_probs", ssm_probs)
             if ssm_probs is None:
                 # No recorded proposal (hand-built tree): treat the child as
                 # a deterministic proposal, accepted iff the LLM could emit it.
@@ -129,7 +133,7 @@ def _normalized_residual(
 
 def _excluding_token(probs: np.ndarray, token: int) -> np.ndarray:
     """Remove a single token's mass and renormalize (proposal-free children)."""
-    out = probs.copy()
+    out = probs.copy()  # lint: allow-alloc cold fallback, proposal-free (hand-built) trees only
     out[token] = 0.0
     total = out.sum()
     if total <= 1e-300:

@@ -1,0 +1,28 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.checks import resolve_checks
+from repro.analysis.runner import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def lint_snippet(tmp_path):
+    """Lint an inline source snippet; returns the FileReport."""
+
+    def _lint(source: str, name: str = "snippet.py", checks=None):
+        path = tmp_path / name
+        path.write_text(source)
+        return lint_file(str(path), resolve_checks(checks))
+
+    return _lint
+
+
+def lint_fixture(name: str, checks=None):
+    """Lint one file from the fixture corpus."""
+    return lint_file(str(FIXTURES / name), resolve_checks(checks))

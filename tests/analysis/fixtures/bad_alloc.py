@@ -1,0 +1,16 @@
+# lint: scope hot-path
+"""Seeded ``hot-path-alloc`` violations (linter test corpus; never imported)."""
+
+import numpy as np
+
+
+def staging_concat(chunks):
+    return np.concatenate(chunks)
+
+
+def staging_stack(rows):
+    return np.vstack(rows)
+
+
+def defensive_copy(x):
+    return x.copy()

@@ -1,0 +1,15 @@
+"""``@hot_path`` function in a *cold* file: body is still checked."""
+
+import numpy as np
+
+from repro.analysis.sanitizer import hot_path
+
+
+@hot_path
+def decode_step(xs):
+    return np.stack(xs)
+
+
+def cold_helper(xs):
+    # Outside any hot function and the file is not hot: not flagged.
+    return np.concatenate(xs)

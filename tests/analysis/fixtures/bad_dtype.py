@@ -1,0 +1,24 @@
+# lint: scope model
+"""Seeded ``dtype-drift`` violations (linter test corpus; never imported)."""
+
+import numpy as np
+
+
+def implicit_default_dtype(n):
+    return np.zeros(n)
+
+
+def implicit_array_dtype(values):
+    return np.array(values)
+
+
+def hardcoded_astype(x):
+    return x.astype(np.float64)
+
+
+def hardcoded_dtype_kwarg(n):
+    return np.empty(n, dtype="float64")
+
+
+def builtin_float_dtype(n):
+    return np.ones(n, dtype=float)

@@ -1,0 +1,19 @@
+"""Seeded ``mask-contract`` violations (linter test corpus; never imported)."""
+
+from repro.model.attention import cross_mask
+
+
+def swapped_positions_and_mask(model, tokens, positions, mask, cache):
+    return model.forward_masked(tokens, mask, positions, cache)
+
+
+def unknown_keyword(model, tokens, positions, mask, cache):
+    return model.forward_masked(tokens, positions, mask, kv_cache=cache)
+
+
+def missing_arguments(model, tokens, mask, cache):
+    return model.forward_masked(tokens, mask)
+
+
+def mask_without_dtype(n, prior):
+    return cross_mask(n, prior + n, prior)

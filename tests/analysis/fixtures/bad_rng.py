@@ -1,0 +1,20 @@
+"""Seeded ``rng-discipline`` violations (linter test corpus; never imported)."""
+
+import random
+
+import numpy as np
+
+
+def legacy_global_draws():
+    np.random.seed(0)
+    values = np.random.rand(4)
+    pick = np.random.choice(values)
+    return values, pick
+
+
+def stdlib_global_draw():
+    return random.random()
+
+
+def unseeded_generator():
+    return np.random.default_rng()

@@ -1,0 +1,34 @@
+# lint: scope model hot-path
+"""Clean counterpart for every check (linter test corpus; never imported)."""
+
+import numpy as np
+
+
+def explicit_dtype_alloc(n, dtype):
+    return np.zeros(n, dtype=dtype)
+
+
+def explicit_index_alloc(values):
+    return np.array(values, dtype=np.intp)
+
+
+def threaded_generator(rng: np.random.Generator) -> float:
+    return float(rng.uniform())
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def faithful_call(model, tokens, positions, mask, cache):
+    return model.forward_masked(tokens, positions, mask, cache)
+
+
+def keyword_call(model, tokens, positions, mask, cache):
+    return model.forward_masked(tokens=tokens, positions=positions,
+                                mask=mask, cache=cache)
+
+
+def in_place_update(buffer, rows):
+    buffer[: len(rows)] = rows
+    return buffer

@@ -1,0 +1,134 @@
+"""Each check catches its seeded violations and passes the clean corpus."""
+
+import pytest
+
+from tests.analysis.conftest import lint_fixture
+
+
+def names(report):
+    return [f.check for f in report.unsuppressed]
+
+
+class TestDtypeDrift:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_dtype.py", checks=["dtype-drift"])
+        assert len(report.unsuppressed) == 5
+        assert set(names(report)) == {"dtype-drift"}
+
+    def test_flags_implicit_default_dtype(self):
+        report = lint_fixture("bad_dtype.py", checks=["dtype-drift"])
+        messages = [f.message for f in report.unsuppressed]
+        assert any("without an explicit dtype" in m for m in messages)
+        assert any("astype(float64)" in m for m in messages)
+        assert any("dtype=float64" in m for m in messages)
+
+    def test_requires_model_or_engine_scope(self, lint_snippet):
+        # Same code, no scope pragma and a neutral path: out of scope.
+        report = lint_snippet("import numpy as np\nx = np.zeros(3)\n",
+                              checks=["dtype-drift"])
+        assert report.findings == []
+
+    def test_scope_pragma_opts_in(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope engine\nimport numpy as np\nx = np.zeros(3)\n",
+            checks=["dtype-drift"],
+        )
+        assert names(report) == ["dtype-drift"]
+
+    def test_explicit_dtype_is_clean(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope model\nimport numpy as np\n"
+            "x = np.zeros(3, dtype=np.float32)\n",
+            checks=["dtype-drift"],
+        )
+        assert report.findings == []
+
+
+class TestHotPathAlloc:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_alloc.py", checks=["hot-path-alloc"])
+        assert len(report.unsuppressed) == 3
+        assert set(names(report)) == {"hot-path-alloc"}
+
+    def test_hot_path_decorator_marks_cold_files(self):
+        report = lint_fixture("bad_alloc_decorated.py",
+                              checks=["hot-path-alloc"])
+        # Only the @hot_path function body is flagged, not the cold helper.
+        assert len(report.unsuppressed) == 1
+        assert report.unsuppressed[0].message.startswith("np.stack()")
+
+    def test_cold_file_not_flagged(self, lint_snippet):
+        report = lint_snippet(
+            "import numpy as np\ndef f(xs):\n    return np.concatenate(xs)\n",
+            checks=["hot-path-alloc"],
+        )
+        assert report.findings == []
+
+
+class TestRngDiscipline:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_rng.py", checks=["rng-discipline"])
+        assert len(report.unsuppressed) == 5
+        assert set(names(report)) == {"rng-discipline"}
+
+    def test_flags_legacy_stdlib_and_unseeded(self):
+        report = lint_fixture("bad_rng.py", checks=["rng-discipline"])
+        messages = " ".join(f.message for f in report.unsuppressed)
+        assert "np.random.seed" in messages
+        assert "np.random.rand" in messages
+        assert "stdlib random.random" in messages
+        assert "without a seed" in messages
+
+    def test_generator_api_is_clean(self, lint_snippet):
+        report = lint_snippet(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.integers(0, 10)\n",
+            checks=["rng-discipline"],
+        )
+        assert report.findings == []
+
+    def test_runs_without_scope(self, lint_snippet):
+        # Repo-wide check: no pragma needed anywhere.
+        report = lint_snippet("import numpy as np\nnp.random.seed(1)\n",
+                              checks=["rng-discipline"])
+        assert names(report) == ["rng-discipline"]
+
+
+class TestMaskContract:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_mask.py", checks=["mask-contract"])
+        assert set(names(report)) == {"mask-contract"}
+        messages = " ".join(f.message for f in report.unsuppressed)
+        assert "looks like mask" in messages          # swapped slots
+        assert "no parameter(s) kv_cache" in messages  # unknown keyword
+        assert "required arguments" in messages        # arity
+        assert "without dtype=" in messages            # constructor dtype
+
+    def test_swapped_args_flagged_by_name(self, lint_snippet):
+        report = lint_snippet(
+            "def f(m, tokens, positions, mask, cache):\n"
+            "    return m.forward_masked(tokens, mask, positions, cache)\n",
+            checks=["mask-contract"],
+        )
+        assert len(report.unsuppressed) == 2
+
+    def test_faithful_calls_are_clean(self):
+        report = lint_fixture("good_clean.py")
+        assert report.findings == []
+
+    def test_neutral_names_are_not_guessed(self, lint_snippet):
+        # `seq` is a token-ish name; `a`/`b` say nothing: no finding.
+        report = lint_snippet(
+            "def f(m, seq, a, b, cache):\n"
+            "    return m.forward_masked(seq, a, b, cache)\n",
+            checks=["mask-contract"],
+        )
+        assert report.findings == []
+
+
+class TestGoodCorpus:
+    def test_clean_fixture_passes_every_check(self):
+        report = lint_fixture("good_clean.py")
+        assert report.findings == []
+        assert report.error == ""

@@ -1,0 +1,66 @@
+"""The ``lint`` tier: the repository itself is lint-clean.
+
+This is the static complement of the ``perf_smoke`` counters — every
+invariant the checks encode holds across the *whole* tree, not just the
+paths a test happens to execute.  Run just this tier with ``-m lint``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.report import render_text
+from repro.analysis.runner import run_paths
+
+from tests.analysis.conftest import FIXTURES, REPO_ROOT
+
+SRC = str(REPO_ROOT / "src")
+
+pytestmark = pytest.mark.lint
+
+
+class TestRepoClean:
+    def test_src_has_zero_unsuppressed_findings(self):
+        result = run_paths([SRC])
+        assert result.exit_code == 0, "\n" + render_text(result)
+
+    def test_every_suppression_carries_a_reason(self):
+        # A suppression without a reason is a decision nobody recorded.
+        result = run_paths([SRC])
+        unexplained = [f for f in result.suppressed
+                       if not f.suppression_reason]
+        assert not unexplained, "\n".join(
+            f.location() for f in unexplained
+        )
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *args],
+        cwd=str(REPO_ROOT), env=env,
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestCliExitCodes:
+    def test_lint_src_exits_zero(self):
+        proc = run_cli("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_bad_corpus_exits_nonzero(self):
+        proc = run_cli(str(FIXTURES))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_json_format(self):
+        proc = run_cli("--format", "json", str(FIXTURES / "bad_rng.py"))
+        assert proc.returncode == 1
+        assert '"rng-discipline"' in proc.stdout
+
+    def test_missing_path_exits_two(self):
+        proc = run_cli("no/such/path")
+        assert proc.returncode == 2

@@ -1,0 +1,93 @@
+"""Text and JSON reporter output, and runner exit-code semantics."""
+
+import json
+
+from repro.analysis.checks import resolve_checks
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import LintResult, lint_file, run_paths
+
+from tests.analysis.conftest import FIXTURES
+
+
+def result_for(names):
+    result = LintResult(checks=[c.name for c in resolve_checks(None)])
+    for name in names:
+        result.reports.append(
+            lint_file(str(FIXTURES / name), resolve_checks(None))
+        )
+    return result
+
+
+class TestTextReporter:
+    def test_findings_use_editor_format(self):
+        result = result_for(["bad_rng.py"])
+        text = render_text(result)
+        assert "bad_rng.py:" in text
+        assert "[rng-discipline]" in text
+        # path:line:col prefix on every finding line
+        first = text.splitlines()[0]
+        path, line, col, _ = first.split(":", 3)
+        assert path.endswith("bad_rng.py")
+        assert line.isdigit() and col.isdigit()
+
+    def test_summary_counts_by_check(self):
+        result = result_for(["bad_rng.py", "bad_dtype.py"])
+        summary = render_text(result).splitlines()[-1]
+        assert "2 files scanned" in summary
+        assert "rng-discipline: 5" in summary
+        assert "dtype-drift: 5" in summary
+
+    def test_clean_run_reports_zero(self):
+        result = result_for(["good_clean.py"])
+        text = render_text(result)
+        assert "0 findings" in text
+
+    def test_suppressed_section_opt_in(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text("# lint: scope model\nimport numpy as np\n"
+                        "x = np.zeros(3)  # lint: allow-dtype fixture\n")
+        result = LintResult(checks=["dtype-drift"])
+        result.reports.append(
+            lint_file(str(path), resolve_checks(["dtype-drift"]))
+        )
+        assert "fixture" not in render_text(result)
+        assert "fixture" in render_text(result, show_suppressed=True)
+
+
+class TestJsonReporter:
+    def test_payload_shape(self):
+        result = result_for(["bad_mask.py"])
+        payload = json.loads(render_json(result))
+        assert payload["files_scanned"] == 1
+        assert payload["counts"]["findings"] == len(result.unsuppressed)
+        assert payload["exit_code"] == 1
+        finding = payload["findings"][0]
+        assert set(finding) == {"check", "path", "line", "col", "message",
+                                "suppressed", "suppression_reason"}
+
+    def test_clean_payload_exit_zero(self):
+        result = result_for(["good_clean.py"])
+        payload = json.loads(render_json(result))
+        assert payload["counts"]["findings"] == 0
+        assert payload["exit_code"] == 0
+
+
+class TestRunner:
+    def test_unreadable_file_is_an_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = run_paths([str(bad)])
+        assert result.errors and result.exit_code == 2
+
+    def test_unknown_check_raises(self):
+        try:
+            run_paths([str(FIXTURES)], check_names=["no-such-check"])
+        except ValueError as exc:
+            assert "unknown check" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_directory_discovery_finds_corpus(self):
+        result = run_paths([str(FIXTURES)])
+        assert result.files_scanned >= 6
+        assert result.exit_code == 1

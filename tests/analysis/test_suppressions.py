@@ -1,0 +1,64 @@
+"""Suppression comments: ``# lint: allow-<tag>`` and ``# lint: ignore``."""
+
+
+SNIPPET = ("# lint: scope model\n"
+           "import numpy as np\n"
+           "x = np.zeros(3)%s\n")
+
+
+class TestSuppressions:
+    def test_trailing_allow_suppresses(self, lint_snippet):
+        report = lint_snippet(
+            SNIPPET % "  # lint: allow-dtype accumulator wants float64",
+            checks=["dtype-drift"],
+        )
+        assert report.unsuppressed == []
+        (finding,) = report.findings
+        assert finding.suppressed
+        assert finding.suppression_reason == "accumulator wants float64"
+
+    def test_standalone_comment_covers_next_line(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope model\n"
+            "import numpy as np\n"
+            "# lint: allow-dtype staged buffer\n"
+            "x = np.zeros(3)\n",
+            checks=["dtype-drift"],
+        )
+        assert report.unsuppressed == []
+        assert report.findings[0].suppressed
+
+    def test_standalone_comment_does_not_leak_further(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope model\n"
+            "import numpy as np\n"
+            "# lint: allow-dtype only the next line\n"
+            "x = np.zeros(3)\n"
+            "y = np.zeros(4)\n",
+            checks=["dtype-drift"],
+        )
+        assert len(report.unsuppressed) == 1
+        assert report.unsuppressed[0].line == 5
+
+    def test_wrong_tag_does_not_suppress(self, lint_snippet):
+        report = lint_snippet(
+            SNIPPET % "  # lint: allow-alloc wrong tag",
+            checks=["dtype-drift"],
+        )
+        assert len(report.unsuppressed) == 1
+
+    def test_ignore_suppresses_every_check(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope model hot-path\n"
+            "import numpy as np\n"
+            "x = np.concatenate([np.zeros(3)])  # lint: ignore fixture\n",
+        )
+        assert report.unsuppressed == []
+        assert len(report.findings) >= 2  # dtype-drift + hot-path-alloc
+        assert all(f.suppressed for f in report.findings)
+
+    def test_reason_defaults_to_empty(self, lint_snippet):
+        report = lint_snippet(SNIPPET % "  # lint: allow-dtype",
+                              checks=["dtype-drift"])
+        assert report.findings[0].suppressed
+        assert report.findings[0].suppression_reason == ""
