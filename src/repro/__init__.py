@@ -21,11 +21,17 @@ the system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 from repro.engine import (
     BatchedTreeVerifier,
     BeamSearchEngine,
+    DecodePipeline,
+    DecodeState,
+    FusedBackend,
     GenerationConfig,
     GenerationResult,
+    IncrementalBackend,
     IncrementalEngine,
+    PerRequestBackend,
     SpecInferEngine,
     StepTrace,
+    VerificationBackend,
     make_sequence_spec_engine,
 )
 from repro.model import (
@@ -65,6 +71,12 @@ __all__ = [
     "IncrementalEngine",
     "SpecInferEngine",
     "make_sequence_spec_engine",
+    "DecodePipeline",
+    "DecodeState",
+    "VerificationBackend",
+    "PerRequestBackend",
+    "FusedBackend",
+    "IncrementalBackend",
     "BatchedTreeVerifier",
     "BeamSearchEngine",
     "GenerationConfig",

@@ -1,9 +1,12 @@
 """Decoding engines.
 
 * :mod:`repro.engine.generation` -- shared request/result/trace types.
+* :mod:`repro.engine.pipeline` -- the unified decode pipeline: the one
+  speculate→fit→verify→commit loop every surface drives, with pluggable
+  verification backends (per-request, fused, incremental).
 * :mod:`repro.engine.incremental` -- Algorithm 1: one token per LLM step
   (what vLLM/TGI/FasterTransformer do; also "SpecInfer w/ incremental
-  decoding" in Figure 7).
+  decoding" in Figure 7) — the pipeline's degenerate one-node-tree case.
 * :mod:`repro.engine.tree_spec` -- Algorithm 2: SpecInfer's tree-based
   speculative inference and verification loop.
 * :mod:`repro.engine.sequence_spec` -- sequence-based speculative decoding
@@ -18,6 +21,18 @@ from repro.engine.generation import (
 from repro.engine.batched import BatchedTreeVerifier
 from repro.engine.beam_search import BeamSearchEngine, BeamSearchResult
 from repro.engine.incremental import IncrementalEngine
+from repro.engine.pipeline import (
+    DecodePipeline,
+    DecodeState,
+    FusedBackend,
+    IncrementalBackend,
+    PerRequestBackend,
+    TickOutcome,
+    TraceRecorder,
+    TreeFitter,
+    VerificationBackend,
+    prune_to_size,
+)
 from repro.engine.tree_spec import SpecInferEngine
 from repro.engine.sequence_spec import make_sequence_spec_engine
 
@@ -31,4 +46,14 @@ __all__ = [
     "BatchedTreeVerifier",
     "BeamSearchEngine",
     "BeamSearchResult",
+    "DecodePipeline",
+    "DecodeState",
+    "TickOutcome",
+    "TraceRecorder",
+    "TreeFitter",
+    "VerificationBackend",
+    "PerRequestBackend",
+    "FusedBackend",
+    "IncrementalBackend",
+    "prune_to_size",
 ]

@@ -4,16 +4,23 @@ The baseline every existing serving system implements: prefill the prompt,
 then generate one token per LLM step.  This is also the reference whose
 output SpecInfer must reproduce exactly under greedy decoding (and in
 distribution under stochastic decoding).
+
+Implemented as the unified pipeline's degenerate case: a
+:class:`~repro.engine.pipeline.DecodeState` with no speculator driven
+through the :class:`~repro.engine.pipeline.IncrementalBackend`, so there is
+no separate incremental loop to keep in sync with Algorithm 2.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.engine.generation import GenerationConfig, GenerationResult, StepTrace
-from repro.model.sampling import sample_token
+from repro.engine.generation import GenerationConfig, GenerationResult
+from repro.engine.pipeline import (
+    DecodePipeline,
+    DecodeState,
+    IncrementalBackend,
+)
 from repro.model.transformer import TransformerLM
 
 
@@ -33,33 +40,6 @@ class IncrementalEngine:
         The prompt's last token is held out as the first "pending" token so
         prefill and decode stages mirror the speculative engines exactly.
         """
-        config = config or GenerationConfig()
-        prompt_arr = np.asarray(list(prompt), dtype=np.intp)
-        if prompt_arr.size == 0:
-            raise ValueError("prompt must be non-empty")
-        rng = np.random.default_rng(config.seed)
-        result = GenerationResult(prompt=prompt_arr)
-        cache = self.model.new_cache()
-        if prompt_arr.size > 1:
-            self.model.prefill(prompt_arr[:-1], cache)
-        pending = int(prompt_arr[-1])
-        eos = self.model.config.eos_token_id
-        while len(result.tokens) < config.max_new_tokens:
-            if cache.length + 1 >= cache.capacity:
-                break
-            prefix_len = cache.length
-            logits = self.model.decode(pending, cache)
-            token = sample_token(logits, config.sampling, rng)
-            result.tokens.append(token)
-            result.steps.append(
-                StepTrace(
-                    llm_tokens_scored=1,
-                    tokens_emitted=1,
-                    prefix_len=prefix_len,
-                )
-            )
-            if config.stop_on_eos and token == eos:
-                result.finished_by_eos = True
-                break
-            pending = token
-        return result
+        state = DecodeState(self.model, prompt, config or GenerationConfig())
+        pipeline = DecodePipeline(self.model, IncrementalBackend(self.model))
+        return pipeline.run_to_completion(state).to_result()

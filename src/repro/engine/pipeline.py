@@ -1,0 +1,510 @@
+"""The unified decode pipeline: one speculate→fit→verify→commit→advance loop.
+
+The paper's Algorithm 2 is *one* loop, and this module is its single home.
+Every execution surface — the offline engines
+(:class:`~repro.engine.incremental.IncrementalEngine`,
+:class:`~repro.engine.tree_spec.SpecInferEngine`), the per-request serving
+sessions (:mod:`repro.serving.session`), and the continuous-batching request
+managers (:mod:`repro.serving.manager`) — is a thin adapter over the pieces
+defined here:
+
+* :class:`DecodeState` — the canonical per-request state machine (KV cache,
+  pending token, RNG, emitted tokens, step traces, termination flags).
+* :class:`TreeFitter` — the only home of tree→cache capacity math and BFS
+  pruning (:func:`prune_to_size`).
+* :class:`TraceRecorder` — the only construction site of
+  :class:`~repro.engine.generation.StepTrace` records.
+* :class:`VerificationBackend` — the pluggable verify seam with three
+  implementations: :class:`PerRequestBackend` (one
+  :class:`~repro.verify.verifier.TokenTreeVerifier` pass per request),
+  :class:`FusedBackend` (one
+  :class:`~repro.engine.batched.BatchedTreeVerifier` pass per batch, block
+  or dense mode), and :class:`IncrementalBackend` (Algorithm 1 as the
+  degenerate one-node tree).
+* :class:`DecodePipeline` — the per-iteration loop itself
+  (:meth:`DecodePipeline.tick`).
+
+Because greedy fused, greedy per-request, and offline generation share this
+one loop, the bit-equivalence suites verify the architecture rather than
+four hand-synchronized copies; future backends (async, sharded,
+disaggregated verify) plug into the same seam.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.analysis.sanitizer import hot_path
+from repro.engine.batched import BatchedTreeVerifier
+from repro.engine.generation import (
+    GenerationConfig,
+    GenerationResult,
+    StepTrace,
+)
+from repro.model.sampling import SamplingConfig, sample_token
+from repro.model.transformer import TransformerLM
+from repro.tree.token_tree import TokenTree
+from repro.verify.result import VerificationResult
+from repro.verify.verifier import TokenTreeVerifier
+
+
+# -- tree fitting ----------------------------------------------------------------
+
+
+def prune_to_size(tree: TokenTree, limit: int,
+                  max_depth: Optional[int] = None) -> TokenTree:
+    """Keep up to ``limit`` nodes in BFS order, optionally bounding depth
+    (root always survives)."""
+    keep = set()
+    queue = deque([0])
+    while queue and len(keep) < limit:
+        idx = queue.popleft()
+        if max_depth is not None and tree.nodes[idx].depth > max_depth:
+            continue
+        keep.add(idx)
+        queue.extend(tree.nodes[idx].children)
+    pruned = TokenTree(tree.root.token)
+    pruned.nodes[0].proposals = dict(tree.nodes[0].proposals)
+    mapping = {0: 0}
+    for idx in sorted(keep - {0}, key=lambda i: tree.path_to(i)):
+        node = tree.nodes[idx]
+        if node.parent not in mapping:
+            continue
+        new_idx = pruned.add_child(
+            mapping[node.parent], node.token, ssm_id=None
+        )
+        pruned.nodes[new_idx].ssm_ids = set(node.ssm_ids)
+        pruned.nodes[new_idx].proposals = dict(node.proposals)
+        mapping[idx] = new_idx
+    return pruned
+
+
+class TreeFitter:
+    """Fits speculated trees into a request's remaining KV capacity.
+
+    The verification pass appends ``len(tree)`` rows before compaction, and
+    a node at depth ``d`` occupies position ``prefix + d``, so trees near
+    end-of-context must shrink in both node count and depth; when not even
+    the root fits, the request cannot decode further and :meth:`fit`
+    returns ``None`` (the pipeline retires the request).
+    """
+
+    def __init__(self, max_seq_len: int):
+        self.max_seq_len = max_seq_len
+
+    def fit(self, tree: TokenTree, cache) -> Optional[TokenTree]:
+        """``tree`` pruned to fit ``cache``, or ``None`` when nothing fits."""
+        available = cache.capacity - cache.length
+        max_depth = self.max_seq_len - 1 - cache.length
+        if available < 1 or max_depth < 0:
+            return None
+        if len(tree) <= available and tree.max_depth() <= max_depth:
+            return tree
+        return prune_to_size(tree, available, max_depth=max_depth)
+
+
+# -- per-request decode state ------------------------------------------------------
+
+
+class DecodeState:
+    """Canonical per-request decode state machine.
+
+    Owns everything one request needs between pipeline ticks: the LLM KV
+    cache, the (optional) speculator with its SSM caches, the pending
+    token, the RNG, the emitted tokens, and the per-step traces.
+
+    Args:
+        model: The LLM.
+        prompt: Input token ids (non-empty).
+        config: Generation bounds / decoding mode.
+        speculator: Optional :class:`~repro.speculate.speculator.Speculator`.
+            ``None`` selects incremental decoding (Algorithm 1) — the
+            pipeline speculates the degenerate one-node tree.
+        cache_factory: Optional KV-cache allocation override (e.g.
+            ``pool.new_sequence`` for paged storage).
+        rng: Optional RNG override; defaults to ``default_rng(config.seed)``.
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        prompt: Sequence[int],
+        config: Optional[GenerationConfig] = None,
+        speculator=None,
+        cache_factory: Optional[Callable] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        config = config or GenerationConfig()
+        prompt_arr = np.asarray(list(prompt), dtype=np.intp)
+        if prompt_arr.size == 0:
+            raise ValueError("prompt must be non-empty")
+        self.model = model
+        self.prompt = prompt_arr
+        self.config = config
+        self.speculator = speculator
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.cache = (cache_factory or model.new_cache)()
+        self.tokens: List[int] = []
+        self.steps: List[StepTrace] = []
+        self.finished_by_eos = False
+        self.retired = False
+        if prompt_arr.size > 1:
+            model.prefill(prompt_arr[:-1], self.cache)
+        if speculator is not None:
+            speculator.reset()
+            if prompt_arr.size > 1:
+                speculator.prefill(prompt_arr[:-1])
+        self.pending = int(prompt_arr[-1])
+
+    @property
+    def sampling(self) -> SamplingConfig:
+        return self.config.sampling
+
+    @property
+    def finished(self) -> bool:
+        """Whether the request is done: EOS, token budget, or context
+        exhausted (the fitter found no room for even a one-node tree)."""
+        return (
+            self.finished_by_eos
+            or self.retired
+            or len(self.tokens) >= self.config.max_new_tokens
+        )
+
+    def emit(self, emitted: Sequence[int]) -> List[int]:
+        """Append tokens, honoring EOS and the token budget."""
+        config = self.config
+        eos = self.model.config.eos_token_id
+        appended: List[int] = []
+        for token in emitted:
+            if len(self.tokens) >= config.max_new_tokens:
+                break
+            self.tokens.append(int(token))
+            appended.append(int(token))
+            if config.stop_on_eos and token == eos:
+                self.finished_by_eos = True
+                break
+        return appended
+
+    def release(self) -> None:
+        """Free cache resources (paged caches return blocks to the pool)."""
+        free = getattr(self.cache, "free", None)
+        if callable(free):
+            free()
+
+    def to_result(self) -> GenerationResult:
+        """Package the state as an offline :class:`GenerationResult`."""
+        result = GenerationResult(prompt=self.prompt)
+        result.tokens = list(self.tokens)
+        result.steps = list(self.steps)
+        result.finished_by_eos = self.finished_by_eos
+        return result
+
+
+# -- trace recording ---------------------------------------------------------------
+
+
+class TraceRecorder:
+    """The sole construction site of :class:`StepTrace` records.
+
+    Every surface shares this one builder, so the cost model's inputs
+    (token counts, tree shapes, prefix lengths) cannot drift between the
+    engines and the serving runtime.
+    """
+
+    def record(self, state: DecodeState, tree: TokenTree,
+               verification: VerificationResult) -> StepTrace:
+        """Build and append the trace for one committed verification step.
+
+        Incremental steps (``state.speculator is None``) record the
+        Algorithm 1 shape — one token scored, one emitted, no tree fields —
+        even though the pipeline modeled them as a one-node tree.
+        """
+        if state.speculator is None:
+            fields = dict(
+                llm_tokens_scored=1,
+                tokens_emitted=1,
+                prefix_len=state.cache.length - 1,
+            )
+        else:
+            leaves = [i for i in range(len(tree)) if tree.is_leaf(i)]
+            fields = dict(
+                llm_tokens_scored=len(tree),
+                tokens_emitted=len(verification.accepted_tokens),
+                ssm_steps=state.speculator.speculation_latency_steps(),
+                tree_size=len(tree),
+                tree_depth=tree.max_depth(),
+                tree_leaves=len(leaves),
+                tree_path_tokens=sum(len(tree.path_to(i)) for i in leaves),
+                prefix_len=state.cache.length - len(verification.accepted_nodes),
+                num_rejections=verification.num_rejections,
+            )
+        trace = StepTrace(**fields)
+        state.steps.append(trace)
+        return trace
+
+
+# -- verification backends ---------------------------------------------------------
+
+
+class VerificationBackend(ABC):
+    """The pipeline's pluggable verify seam.
+
+    A backend turns a batch of (state, fitted tree) pairs into per-request
+    :class:`VerificationResult`s, committing each accepted path to the
+    request's KV cache.  Implementations decide the execution strategy —
+    one pass per request, one fused pass per batch, or plain incremental
+    decoding — without touching the loop around them.
+    """
+
+    #: The LLM the backend verifies against (used by the pipeline to size
+    #: the tree fitter).
+    model: TransformerLM
+
+    @abstractmethod
+    def verify(self, states: Sequence[DecodeState],
+               trees: Sequence[TokenTree]) -> List[VerificationResult]:
+        """Verify each tree against its state's cache; batch order."""
+
+
+class PerRequestBackend(VerificationBackend):
+    """One :class:`TokenTreeVerifier` pass per request.
+
+    Args:
+        model: The LLM.
+        sampling: Decoding mode.  ``None`` (default) uses each state's own
+            sampling config — the per-session discipline the serving
+            sessions and offline engines rely on.
+        rng: Verification randomness.  ``None`` (default) draws from each
+            state's own stream (speculation and verification then share the
+            request RNG, matching the offline engines).  An explicit
+            generator is consumed across the batch in request order — the
+            same discipline :class:`FusedBackend` uses, which makes the two
+            backends exchangeable under stochastic decoding.
+        use_naive_sampling: Swap MSS for the Table 3 naive baseline.
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        sampling: Optional[SamplingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        use_naive_sampling: bool = False,
+    ):
+        self.model = model
+        self.sampling = sampling
+        self.rng = rng
+        self.use_naive_sampling = use_naive_sampling
+        self._verifiers: "WeakKeyDictionary[DecodeState, TokenTreeVerifier]" = (
+            WeakKeyDictionary()
+        )
+
+    def _verifier_for(self, state: DecodeState) -> TokenTreeVerifier:
+        verifier = self._verifiers.get(state)
+        if verifier is None:
+            verifier = TokenTreeVerifier(
+                self.model,
+                sampling=self.sampling or state.sampling,
+                rng=self.rng if self.rng is not None else state.rng,
+                use_naive_sampling=self.use_naive_sampling,
+            )
+            self._verifiers[state] = verifier
+        return verifier
+
+    def verify(self, states: Sequence[DecodeState],
+               trees: Sequence[TokenTree]) -> List[VerificationResult]:
+        return [
+            self._verifier_for(state).verify_step(tree, state.cache)
+            for state, tree in zip(states, trees)
+        ]
+
+
+class FusedBackend(VerificationBackend):
+    """One fused :class:`BatchedTreeVerifier` pass over the whole batch.
+
+    Args:
+        model: The LLM.
+        sampling: Decoding mode shared by the batch.
+        rng: Verification randomness, consumed in request order.
+        use_naive_sampling: Swap MSS for the Table 3 naive baseline.
+        mode: ``"block"`` (block-sparse, default) or ``"dense"``
+            (reference block-diagonal mask); bit-equivalent outputs.
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        sampling: Optional[SamplingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        use_naive_sampling: bool = False,
+        mode: str = "block",
+    ):
+        self.model = model
+        self._verifier = BatchedTreeVerifier(
+            model,
+            sampling=sampling,
+            rng=rng,
+            use_naive_sampling=use_naive_sampling,
+            mode=mode,
+        )
+
+    @property
+    def mode(self) -> str:
+        return self._verifier.mode
+
+    def verify(self, states: Sequence[DecodeState],
+               trees: Sequence[TokenTree]) -> List[VerificationResult]:
+        return self._verifier.verify_batch(
+            list(trees), [state.cache for state in states]
+        )
+
+
+class IncrementalBackend(VerificationBackend):
+    """Algorithm 1 as the degenerate one-node tree.
+
+    The speculate phase hands this backend a bare root (the pending token);
+    verification is a single ``model.decode`` of that root — committing its
+    KV row — followed by one sample, which plays the bonus-token role.
+    Incremental decoding thereby stops being a parallel code path: it is
+    the tree pipeline with tree size one and nothing to reject.
+    """
+
+    def __init__(self, model: TransformerLM):
+        self.model = model
+
+    def verify(self, states: Sequence[DecodeState],
+               trees: Sequence[TokenTree]) -> List[VerificationResult]:
+        results: List[VerificationResult] = []
+        for state, tree in zip(states, trees):
+            logits = self.model.decode(tree.root.token, state.cache)
+            token = int(sample_token(logits, state.sampling, state.rng))
+            results.append(
+                VerificationResult(
+                    accepted_tokens=[token],
+                    accepted_nodes=[0],
+                    bonus_token=token,
+                    num_candidates_considered=1,
+                )
+            )
+        return results
+
+
+# -- the pipeline ------------------------------------------------------------------
+
+
+@dataclass
+class TickOutcome:
+    """What one pipeline tick did to one decode state.
+
+    Attributes:
+        state: The state the outcome describes.
+        emitted: Tokens appended to the request's output this tick.
+        advanced: Whether a verification step ran (exactly when a new
+            :class:`StepTrace` was recorded).
+        retired: Whether the fitter found no room this tick (the state's
+            ``retired`` flag is set; it will report ``finished``).
+    """
+
+    state: DecodeState
+    emitted: List[int] = field(default_factory=list)
+    advanced: bool = False
+    retired: bool = False
+
+
+class DecodePipeline:
+    """The canonical per-iteration decode loop.
+
+    One :meth:`tick` advances a batch of :class:`DecodeState`s by exactly
+    one LLM iteration: speculate a tree per request (a one-node tree for
+    incremental states), fit each tree to its cache, verify the survivors
+    through the configured :class:`VerificationBackend`, then commit —
+    record the trace, emit accepted tokens, advance the speculator.
+
+    Args:
+        model: The LLM (sizes the tree fitter).
+        backend: The verification backend; defaults to
+            :class:`PerRequestBackend` over ``model``.
+    """
+
+    def __init__(self, model: TransformerLM,
+                 backend: Optional[VerificationBackend] = None):
+        self.model = model
+        self.backend = backend if backend is not None else PerRequestBackend(model)
+        self.fitter = TreeFitter(model.config.max_seq_len)
+        self.recorder = TraceRecorder()
+
+    # -- phases --------------------------------------------------------------------
+
+    def speculate(self, state: DecodeState) -> Optional[TokenTree]:
+        """Phase 1: this iteration's token tree, fitted to the cache.
+
+        Returns ``None`` — and marks the state retired — when the request
+        cannot decode further (context exhausted).
+        """
+        if state.speculator is None:
+            tree = TokenTree(state.pending)
+        else:
+            tree = state.speculator.speculate(
+                state.pending,
+                stochastic=not state.sampling.greedy,
+                rng=state.rng,
+            )
+        fitted = self.fitter.fit(tree, state.cache)
+        if fitted is None:
+            state.retired = True
+        return fitted
+
+    def commit(self, state: DecodeState, tree: TokenTree,
+               verification: VerificationResult) -> List[int]:
+        """Phase 3: record the outcome and advance the request's state."""
+        self.recorder.record(state, tree, verification)
+        emitted = state.emit(verification.accepted_tokens)
+        previous_pending = state.pending
+        state.pending = int(verification.bonus_token)
+        if state.speculator is not None and not state.finished:
+            # Accepted speculated tokens (all but the bonus) extend the
+            # verified prefix; the pending token itself was committed by
+            # the verifier's cache compaction.
+            state.speculator.advance(
+                [previous_pending] + verification.accepted_tokens[:-1]
+            )
+        return emitted
+
+    # -- the loop ------------------------------------------------------------------
+
+    @hot_path
+    def tick(self, states: Sequence[DecodeState]) -> List[TickOutcome]:
+        """One canonical iteration over a batch of decode states."""
+        outcomes = [TickOutcome(state=state) for state in states]
+        active: List[DecodeState] = []
+        trees: List[TokenTree] = []
+        slots: List[int] = []
+        for i, state in enumerate(states):
+            if state.finished:
+                outcomes[i].retired = state.retired
+                continue
+            tree = self.speculate(state)
+            if tree is None:
+                outcomes[i].retired = True
+                continue
+            active.append(state)
+            trees.append(tree)
+            slots.append(i)
+        if active:
+            results = self.backend.verify(active, trees)
+            for i, state, tree, result in zip(slots, active, trees, results):
+                outcomes[i].emitted = self.commit(state, tree, result)
+                outcomes[i].advanced = True
+        return outcomes
+
+    def run_to_completion(self, state: DecodeState) -> DecodeState:
+        """Drive one state until it finishes (the offline-engine loop)."""
+        while not state.finished:
+            if not self.tick([state])[0].advanced:
+                break
+        return state

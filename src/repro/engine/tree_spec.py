@@ -1,14 +1,10 @@
 """SpecInfer engine: tree-based speculative inference + verification (Alg. 2).
 
-Per iteration:
-
-1. the :class:`~repro.speculate.speculator.Speculator` expands a token tree
-   rooted at the pending token,
-2. the :class:`~repro.verify.verifier.TokenTreeVerifier` scores the whole
-   tree in one LLM pass (tree-parallel decoding) and verifies it (greedy or
-   multi-step speculative sampling),
-3. the accepted path is committed to the LLM's KV cache, the speculator's
-   caches advance, and the bonus token seeds the next iteration.
+A thin adapter over the unified :class:`~repro.engine.pipeline.DecodePipeline`:
+``generate`` builds one :class:`~repro.engine.pipeline.DecodeState` and
+drives it to completion through a
+:class:`~repro.engine.pipeline.PerRequestBackend` (speculation and
+verification share the request's seeded RNG, so stochastic runs replay).
 
 Greedy mode emits *exactly* the incremental-decoding sequence; stochastic
 mode emits tokens from exactly the LLM's distribution (Theorem 4.2).  The
@@ -19,12 +15,17 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.engine.generation import GenerationConfig, GenerationResult, StepTrace
+from repro.engine.generation import GenerationConfig, GenerationResult
+from repro.engine.pipeline import (
+    DecodePipeline,
+    DecodeState,
+    PerRequestBackend,
+    prune_to_size as _prune_to_size,  # re-export: legacy import site
+)
 from repro.model.transformer import TransformerLM
 from repro.speculate.speculator import Speculator
-from repro.verify.verifier import TokenTreeVerifier
+
+__all__ = ["SpecInferEngine", "_prune_to_size"]
 
 
 class SpecInferEngine:
@@ -53,111 +54,14 @@ class SpecInferEngine:
         config: Optional[GenerationConfig] = None,
     ) -> GenerationResult:
         """Generate a completion for ``prompt`` with Algorithm 2."""
-        config = config or GenerationConfig()
-        prompt_arr = np.asarray(list(prompt), dtype=np.intp)
-        if prompt_arr.size == 0:
-            raise ValueError("prompt must be non-empty")
-        rng = np.random.default_rng(config.seed)
-        verifier = TokenTreeVerifier(
+        state = DecodeState(
+            self.model, prompt, config or GenerationConfig(),
+            speculator=self.speculator,
+        )
+        pipeline = DecodePipeline(
             self.model,
-            sampling=config.sampling,
-            rng=rng,
-            use_naive_sampling=self.use_naive_sampling,
+            PerRequestBackend(
+                self.model, use_naive_sampling=self.use_naive_sampling
+            ),
         )
-        result = GenerationResult(prompt=prompt_arr)
-        cache = self.model.new_cache()
-        self.speculator.reset()
-        if prompt_arr.size > 1:
-            self.model.prefill(prompt_arr[:-1], cache)
-            self.speculator.prefill(prompt_arr[:-1])
-        pending = int(prompt_arr[-1])
-        eos = self.model.config.eos_token_id
-        stochastic = not config.sampling.greedy
-        while len(result.tokens) < config.max_new_tokens:
-            tree = self.speculator.speculate(
-                pending, stochastic=stochastic, rng=rng
-            )
-            tree = self._fit_tree_to_cache(tree, cache)
-            if tree is None:
-                break
-            verification = verifier.verify_step(tree, cache)
-            accepted = verification.accepted_tokens
-            leaves = [i for i in range(len(tree)) if tree.is_leaf(i)]
-            path_tokens = sum(len(tree.path_to(i)) for i in leaves)
-            result.steps.append(
-                StepTrace(
-                    llm_tokens_scored=len(tree),
-                    tokens_emitted=len(accepted),
-                    ssm_steps=self.speculator.speculation_latency_steps(),
-                    tree_size=len(tree),
-                    tree_depth=tree.max_depth(),
-                    tree_leaves=len(leaves),
-                    tree_path_tokens=path_tokens,
-                    prefix_len=cache.length - len(verification.accepted_nodes),
-                    num_rejections=verification.num_rejections,
-                )
-            )
-            stop = False
-            for token in accepted:
-                result.tokens.append(int(token))
-                if config.stop_on_eos and token == eos:
-                    result.finished_by_eos = True
-                    stop = True
-                    break
-                if len(result.tokens) >= config.max_new_tokens:
-                    stop = True
-                    break
-            if stop:
-                break
-            # Accepted speculated tokens (all but the bonus) extend the
-            # verified prefix; the pending token itself was committed by the
-            # verifier's cache compaction.
-            self.speculator.advance([pending] + accepted[:-1])
-            pending = verification.bonus_token
-        result.tokens = result.tokens[: config.max_new_tokens]
-        return result
-
-    def _fit_tree_to_cache(self, tree, cache):
-        """Ensure the tree fits in remaining capacity and position range.
-
-        The verification pass appends ``len(tree)`` rows before compaction,
-        and a node at depth d occupies position ``prefix + d``, so trees near
-        end-of-context must shrink in both node count and depth; when not
-        even the root fits, generation ends (the request hit its limit).
-        """
-        available = cache.capacity - cache.length
-        max_depth = self.model.config.max_seq_len - 1 - cache.length
-        if available < 1 or max_depth < 0:
-            return None
-        if len(tree) <= available and tree.max_depth() <= max_depth:
-            return tree
-        return _prune_to_size(tree, available, max_depth=max_depth)
-
-
-def _prune_to_size(tree, limit: int, max_depth: int = None):
-    """Keep up to ``limit`` nodes in BFS order, optionally bounding depth
-    (root always survives)."""
-    from repro.tree.token_tree import TokenTree
-
-    keep = set()
-    queue = [0]
-    while queue and len(keep) < limit:
-        idx = queue.pop(0)
-        if max_depth is not None and tree.nodes[idx].depth > max_depth:
-            continue
-        keep.add(idx)
-        queue.extend(tree.nodes[idx].children)
-    pruned = TokenTree(tree.root.token)
-    pruned.nodes[0].proposals = dict(tree.nodes[0].proposals)
-    mapping = {0: 0}
-    for idx in sorted(keep - {0}, key=lambda i: tree.path_to(i)):
-        node = tree.nodes[idx]
-        if node.parent not in mapping:
-            continue
-        new_idx = pruned.add_child(
-            mapping[node.parent], node.token, ssm_id=None
-        )
-        pruned.nodes[new_idx].ssm_ids = set(node.ssm_ids)
-        pruned.nodes[new_idx].proposals = dict(node.proposals)
-        mapping[idx] = new_idx
-    return pruned
+        return pipeline.run_to_completion(state).to_result()

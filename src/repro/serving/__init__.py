@@ -1,17 +1,27 @@
 """Serving runtime (paper section 5.1).
 
 * :mod:`repro.serving.request` -- request lifecycle types.
-* :mod:`repro.serving.session` -- per-request decode state machines
-  (incremental and speculative), advanced one iteration at a time.
+* :mod:`repro.serving.session` -- per-request decode sessions: thin
+  adapters binding a request to the unified decode pipeline
+  (:mod:`repro.engine.pipeline`), advanced one iteration at a time.
 * :mod:`repro.serving.manager` -- the request manager: iteration-level
-  (Orca-style) scheduling with continuous batching; finished requests leave
+  (Orca-style) scheduling with continuous batching, parameterized by
+  verification backend (per-request or fused); finished requests leave
   and waiting requests join the batch between iterations.
+* :mod:`repro.serving.batched_manager` -- compatibility shim for the fused
+  entry point (``RequestManager`` + ``FusedBackend``).
 * :mod:`repro.serving.policies` -- admission-ordering policies (FCFS, SJF,
   priority).
 * :mod:`repro.serving.memory` -- KV-cache memory pool and admission control.
 * :mod:`repro.serving.metrics` -- TTFT / TPOT / throughput reporting.
 """
 
+from repro.engine.pipeline import (
+    FusedBackend,
+    IncrementalBackend,
+    PerRequestBackend,
+    VerificationBackend,
+)
 from repro.serving.request import Request, RequestOutput, RequestState
 from repro.serving.session import (
     DecodeSession,
@@ -45,6 +55,10 @@ __all__ = [
     "RequestManager",
     "BatchedRequestManager",
     "IterationStats",
+    "VerificationBackend",
+    "PerRequestBackend",
+    "FusedBackend",
+    "IncrementalBackend",
     "KvMemoryPool",
     "KvReservation",
     "RequestLatency",

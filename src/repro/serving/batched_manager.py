@@ -1,30 +1,33 @@
-"""Request manager with fused cross-request verification.
+"""Compatibility shim: the fused-verification request manager entry point.
 
-The base :class:`~repro.serving.manager.RequestManager` advances sessions
-one by one; the real system (and its cost model) verifies the *whole
-batch's* token trees in one fused pass per iteration — Figure 6's workflow.
-:class:`BatchedRequestManager` realizes that: each iteration it collects
-every running speculative session's tree (phase 1), runs a single
+Historically this module implemented its own scheduling loop; that loop now
+lives in :class:`~repro.serving.manager.RequestManager`, parameterized by a
+:class:`~repro.engine.pipeline.VerificationBackend`.
+:class:`BatchedRequestManager` survives as a constructor shim so downstream
+benchmarks, examples, and the cluster simulator keep working: it is exactly
+``RequestManager(session_factory, backend=FusedBackend(model, ...))``.
+
+Each iteration the fused backend collects every running speculative
+session's token tree (phase 1), runs a single
 :class:`~repro.engine.batched.BatchedTreeVerifier` pass over the batch, and
-commits the per-request outcomes (phase 2).
-
-Outputs are identical to per-request serving (the fused pass is
-bit-equivalent — see ``tests/engine/test_batched.py``); what changes is
-fidelity: the iteration really is one decoding pass, so per-iteration
-statistics map one-to-one onto cost-model steps.
+commits the per-request outcomes (phase 2) — Figure 6's workflow.  Outputs
+are identical to per-request serving (the fused pass is bit-equivalent —
+see ``tests/engine/test_batched.py`` and
+``tests/serving/test_backend_parity.py``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.engine.batched import BatchedTreeVerifier
+from repro.engine.pipeline import FusedBackend
 from repro.model.sampling import SamplingConfig
 from repro.model.transformer import TransformerLM
 from repro.serving.manager import IterationStats, RequestManager
-from repro.serving.session import SpeculativeSession
+
+__all__ = ["BatchedRequestManager", "IterationStats"]
 
 
 class BatchedRequestManager(RequestManager):
@@ -59,66 +62,13 @@ class BatchedRequestManager(RequestManager):
         mode: str = "block",
         **manager_kwargs,
     ):
-        super().__init__(session_factory, **manager_kwargs)
-        self._batched_verifier = BatchedTreeVerifier(
-            model,
-            sampling=sampling or SamplingConfig(greedy=True),
-            rng=np.random.default_rng(seed),
-            mode=mode,
+        super().__init__(
+            session_factory,
+            backend=FusedBackend(
+                model,
+                sampling=sampling or SamplingConfig(greedy=True),
+                rng=np.random.default_rng(seed),
+                mode=mode,
+            ),
+            **manager_kwargs,
         )
-
-    def run_iteration(self) -> IterationStats:
-        """One iteration: admit, speculate all, verify fused, commit all."""
-        admitted = self._admit()
-        active: List[int] = []
-        trees = []
-        caches = []
-        for request_id in self._running:
-            session = self._tracked[request_id].session
-            if not isinstance(session, SpeculativeSession):
-                raise TypeError(
-                    "BatchedRequestManager requires SpeculativeSession "
-                    f"sessions; got {type(session).__name__}"
-                )
-            if session.finished:
-                continue
-            tree = session.prepare_step()
-            if tree is None:
-                continue
-            active.append(request_id)
-            trees.append(tree)
-            caches.append(session.cache)
-
-        results = self._batched_verifier.verify_batch(trees, caches)
-
-        tokens_emitted = 0
-        llm_tokens = 0
-        finished_ids: List[int] = []
-        committed = dict(zip(active, zip(trees, results)))
-        for request_id in list(self._running):
-            tracked = self._tracked[request_id]
-            session = tracked.session
-            emitted: List[int] = []
-            if request_id in committed:
-                tree, result = committed[request_id]
-                emitted = session.commit_step(tree, result)
-                tokens_emitted += len(emitted)
-                llm_tokens += len(tree)
-            output = tracked.output
-            if emitted and output.first_token_iteration is None:
-                output.first_token_iteration = self.iteration
-            if session.finished or request_id not in committed:
-                finished_ids.append(request_id)
-        for request_id in finished_ids:
-            self._retire(request_id)
-        stats = IterationStats(
-            iteration=self.iteration,
-            batch_size=len(active),
-            tokens_emitted=tokens_emitted,
-            llm_tokens_scored=llm_tokens,
-            admitted=admitted,
-            finished=len(finished_ids),
-        )
-        self.iteration_stats.append(stats)
-        self.iteration += 1
-        return stats

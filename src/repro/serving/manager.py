@@ -6,18 +6,32 @@ waiting requests into free batch slots, (2) advances every running session
 by one LLM decoding iteration, and (3) retires finished requests — so new
 requests start without waiting for the current batch to drain, and finished
 requests stop consuming slots immediately.
+
+One manager serves every execution mode, parameterized by verification
+backend:
+
+* ``backend=None`` (default): per-request serving — each session advances
+  through its own single-lane pipeline (one verification pass per request).
+* ``backend=FusedBackend(...)``: fused serving — every running session's
+  token tree is verified in one batched pass per iteration (Figure 6's
+  workflow); :class:`~repro.serving.batched_manager.BatchedRequestManager`
+  is the compatibility shim that configures this.
+* ``backend=PerRequestBackend(model, rng=...)``: the per-request execution
+  strategy under the fused scheduling discipline — used by the parity
+  suites to show all backends emit identical tokens.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.generation import GenerationConfig
+from repro.engine.pipeline import DecodePipeline, VerificationBackend
 from repro.serving.request import Request, RequestOutput, RequestState
-from repro.serving.session import DecodeSession
+from repro.serving.session import DecodeSession, SpeculativeSession
 
 
 @dataclass
@@ -26,7 +40,11 @@ class IterationStats:
 
     Attributes:
         iteration: Iteration index.
-        batch_size: Sessions advanced this iteration.
+        batch_size: Sessions advanced this iteration — every running
+            session the scheduler processed, *including* sessions that
+            finished or were retired (context exhausted) during the
+            iteration.  Identical across per-request and fused serving for
+            the same workload.
         tokens_emitted: Tokens emitted across the batch.
         llm_tokens_scored: Token positions scored across the batch.
         admitted: Requests admitted this iteration.
@@ -64,6 +82,10 @@ class RequestManager:
             head-of-line blocking) and retried once memory frees up.
         kv_headroom: Extra KV tokens reserved per request for transient
             tree-verification rows (section 5.3's memory overhead).
+        backend: Optional :class:`VerificationBackend`.  ``None`` steps each
+            session through its own pipeline; a backend verifies the whole
+            batch per iteration through one shared pipeline (and requires
+            :class:`SpeculativeSession` sessions).
     """
 
     def __init__(
@@ -73,6 +95,7 @@ class RequestManager:
         policy: Optional[Callable] = None,
         memory_pool: Optional["KvMemoryPool"] = None,
         kv_headroom: int = 0,
+        backend: Optional[VerificationBackend] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -85,6 +108,11 @@ class RequestManager:
         self.policy = policy or fcfs
         self.memory_pool = memory_pool
         self.kv_headroom = kv_headroom
+        self.backend = backend
+        self._pipeline = (
+            DecodePipeline(backend.model, backend)
+            if backend is not None else None
+        )
         self.iteration = 0
         self.iteration_stats: List[IterationStats] = []
         self._next_id = 0
@@ -128,26 +156,16 @@ class RequestManager:
     def run_iteration(self) -> IterationStats:
         """One scheduler iteration: admit, advance, retire."""
         admitted = self._admit()
-        tokens_emitted = 0
-        llm_tokens = 0
-        finished_ids: List[int] = []
-        for request_id in self._running:
-            tracked = self._tracked[request_id]
-            session = tracked.session
-            emitted = session.step()
-            tokens_emitted += len(emitted)
-            if session.steps:
-                llm_tokens += session.steps[-1].llm_tokens_scored
-            output = tracked.output
-            if emitted and output.first_token_iteration is None:
-                output.first_token_iteration = self.iteration
-            if session.finished:
-                finished_ids.append(request_id)
+        batch_size = len(self._running)
+        if self.backend is None:
+            tokens_emitted, llm_tokens, finished_ids = self._advance_each()
+        else:
+            tokens_emitted, llm_tokens, finished_ids = self._advance_fused()
         for request_id in finished_ids:
             self._retire(request_id)
         stats = IterationStats(
             iteration=self.iteration,
-            batch_size=len(self._running) + len(finished_ids),
+            batch_size=batch_size,
             tokens_emitted=tokens_emitted,
             llm_tokens_scored=llm_tokens,
             admitted=admitted,
@@ -156,6 +174,58 @@ class RequestManager:
         self.iteration_stats.append(stats)
         self.iteration += 1
         return stats
+
+    def _advance_each(self) -> Tuple[int, int, List[int]]:
+        """Per-request serving: each session steps through its own pipeline."""
+        tokens_emitted = 0
+        llm_tokens = 0
+        finished_ids: List[int] = []
+        for request_id in self._running:
+            tracked = self._tracked[request_id]
+            session = tracked.session
+            steps_before = len(session.steps)
+            emitted = session.step()
+            tokens_emitted += len(emitted)
+            if len(session.steps) > steps_before:
+                # Only count steps that actually ran: a retiring session
+                # emits nothing and records no trace, and re-reading the
+                # previous trace would double-count its scored tokens.
+                llm_tokens += session.steps[-1].llm_tokens_scored
+            self._note_emission(tracked, emitted)
+            if session.finished:
+                finished_ids.append(request_id)
+        return tokens_emitted, llm_tokens, finished_ids
+
+    def _advance_fused(self) -> Tuple[int, int, List[int]]:
+        """Batched serving: one pipeline tick verifies every session's tree
+        through the shared backend."""
+        sessions: List[DecodeSession] = []
+        for request_id in self._running:
+            session = self._tracked[request_id].session
+            if not isinstance(session, SpeculativeSession):
+                raise TypeError(
+                    "batched verification requires SpeculativeSession "
+                    f"sessions; got {type(session).__name__}"
+                )
+            sessions.append(session)
+        outcomes = self._pipeline.tick([s.state for s in sessions])
+        tokens_emitted = 0
+        llm_tokens = 0
+        finished_ids: List[int] = []
+        for request_id, session, outcome in zip(
+            list(self._running), sessions, outcomes
+        ):
+            tokens_emitted += len(outcome.emitted)
+            if outcome.advanced:
+                llm_tokens += session.steps[-1].llm_tokens_scored
+            self._note_emission(self._tracked[request_id], outcome.emitted)
+            if session.finished:
+                finished_ids.append(request_id)
+        return tokens_emitted, llm_tokens, finished_ids
+
+    def _note_emission(self, tracked: _Tracked, emitted: List[int]) -> None:
+        if emitted and tracked.output.first_token_iteration is None:
+            tracked.output.first_token_iteration = self.iteration
 
     def run_until_complete(self, max_iterations: int = 100000) -> List[RequestOutput]:
         """Drain the queue; returns finished outputs in completion order."""

@@ -1,25 +1,33 @@
-"""Per-request decode sessions: incremental and speculative state machines.
+"""Per-request decode sessions: thin adapters over the unified pipeline.
 
-A session owns everything one request needs between scheduler iterations —
-LLM KV cache, speculator caches, the pending token, the RNG — and exposes a
-single ``step()`` that performs one LLM decoding iteration and returns the
-tokens it emitted.  The request manager interleaves sessions at iteration
-granularity (continuous batching).
+A session binds one :class:`~repro.serving.request.Request` to a
+:class:`~repro.engine.pipeline.DecodeState` and a single-lane
+:class:`~repro.engine.pipeline.DecodePipeline`; ``step()`` is one pipeline
+tick.  The request managers interleave sessions at iteration granularity
+(continuous batching) — either by stepping each session through its own
+pipeline (per-request serving) or by ticking every session's state through
+one shared pipeline with a fused backend (see
+:class:`~repro.serving.manager.RequestManager`).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, List
-
-import numpy as np
+from typing import Callable, List, Optional
 
 from repro.engine.generation import StepTrace
-from repro.model.sampling import sample_token
+from repro.engine.pipeline import (
+    DecodePipeline,
+    DecodeState,
+    IncrementalBackend,
+    PerRequestBackend,
+    VerificationBackend,
+)
 from repro.model.transformer import TransformerLM
 from repro.serving.request import Request
 from repro.speculate.speculator import Speculator
-from repro.verify.verifier import TokenTreeVerifier
+from repro.tree.token_tree import TokenTree
+from repro.verify.result import VerificationResult
 
 
 class DecodeSession(ABC):
@@ -32,75 +40,75 @@ class DecodeSession(ABC):
             ``pool.new_sequence`` to place this request's cache in a shared
             :class:`~repro.model.paged_cache.PagedKVPool`.  Defaults to a
             private contiguous cache.
+        speculator_factory: Builds a fresh per-request speculator, or
+            ``None`` for incremental decoding.
     """
 
     def __init__(self, request: Request, model: TransformerLM,
-                 cache_factory: Callable = None):
+                 cache_factory: Callable = None,
+                 speculator_factory: Optional[Callable[[], Speculator]] = None):
         self.request = request
         self.model = model
-        self.tokens: List[int] = []
-        self.steps: List[StepTrace] = []
-        self.finished_by_eos = False
-        self._cache = (cache_factory or model.new_cache)()
-        prompt = request.prompt
-        if prompt.size > 1:
-            model.prefill(prompt[:-1], self._cache)
-        self._pending = int(prompt[-1])
-        self._rng = np.random.default_rng(request.config.seed)
+        self.state = DecodeState(
+            model,
+            request.prompt,
+            request.config,
+            speculator=speculator_factory() if speculator_factory else None,
+            cache_factory=cache_factory,
+        )
+        self._pipeline = DecodePipeline(model, self._make_backend(model))
+
+    @abstractmethod
+    def _make_backend(self, model: TransformerLM) -> VerificationBackend:
+        """The backend standalone ``step()`` calls verify through."""
+
+    # -- legacy surface (delegates to the pipeline state) --------------------------
+
+    @property
+    def tokens(self) -> List[int]:
+        return self.state.tokens
+
+    @property
+    def steps(self) -> List[StepTrace]:
+        return self.state.steps
+
+    @property
+    def finished_by_eos(self) -> bool:
+        return self.state.finished_by_eos
 
     @property
     def finished(self) -> bool:
-        return (
-            self.finished_by_eos
-            or len(self.tokens) >= self.request.config.max_new_tokens
-            or self._cache.length + 1 >= self._cache.capacity
-        )
+        return self.state.finished
 
-    def _emit(self, emitted: List[int]) -> List[int]:
-        """Append tokens, honoring EOS and the token budget."""
-        config = self.request.config
-        eos = self.model.config.eos_token_id
-        appended: List[int] = []
-        for token in emitted:
-            if len(self.tokens) >= config.max_new_tokens:
-                break
-            self.tokens.append(int(token))
-            appended.append(int(token))
-            if config.stop_on_eos and token == eos:
-                self.finished_by_eos = True
-                break
-        return appended
+    @property
+    def cache(self):
+        """The session's KV cache (batched verifiers compact it)."""
+        return self.state.cache
 
-    @abstractmethod
+    @property
+    def speculator(self):
+        return self.state.speculator
+
     def step(self) -> List[int]:
         """One LLM decoding iteration; returns emitted tokens."""
-
+        return self._pipeline.tick([self.state])[0].emitted
 
     def release(self) -> None:
         """Free the session's cache resources (paged caches return their
         blocks to the pool; contiguous caches have nothing to do)."""
-        free = getattr(self._cache, "free", None)
-        if callable(free):
-            free()
+        self.state.release()
 
 
 class IncrementalSession(DecodeSession):
-    """One token per iteration (Algorithm 1)."""
+    """One token per iteration (Algorithm 1 — the pipeline's degenerate
+    one-node-tree case)."""
 
-    def step(self) -> List[int]:
-        if self.finished:
-            return []
-        logits = self.model.decode(self._pending, self._cache)
-        token = sample_token(logits, self.request.config.sampling, self._rng)
-        self.steps.append(
-            StepTrace(
-                llm_tokens_scored=1,
-                tokens_emitted=1,
-                prefix_len=self._cache.length - 1,
-            )
-        )
-        self._pending = token
-        return self._emit([token])
+    def __init__(self, request: Request, model: TransformerLM,
+                 cache_factory: Callable = None):
+        super().__init__(request, model, cache_factory=cache_factory)
+
+    def _make_backend(self, model: TransformerLM) -> VerificationBackend:
+        return IncrementalBackend(model)
 
 
 class SpeculativeSession(DecodeSession):
@@ -120,72 +128,26 @@ class SpeculativeSession(DecodeSession):
         speculator_factory: Callable[[], Speculator],
         cache_factory: Callable = None,
     ):
-        super().__init__(request, model, cache_factory=cache_factory)
-        self.speculator = speculator_factory()
-        if request.prompt.size > 1:
-            self.speculator.prefill(request.prompt[:-1])
-        self._verifier = TokenTreeVerifier(
-            model, sampling=request.config.sampling, rng=self._rng
-        )
+        super().__init__(request, model, cache_factory=cache_factory,
+                         speculator_factory=speculator_factory)
 
-    def step(self) -> List[int]:
-        if self.finished:
-            return []
-        tree = self.prepare_step()
-        if tree is None:
-            return []
-        verification = self._verifier.verify_step(tree, self._cache)
-        return self.commit_step(tree, verification)
+    def _make_backend(self, model: TransformerLM) -> VerificationBackend:
+        # Speculation and verification share the request's seeded RNG, so a
+        # standalone session replays exactly like the offline engine.
+        return PerRequestBackend(model)
 
-    # -- two-phase interface (used by the batched manager) -----------------------
+    # -- two-phase interface (legacy surface of the fused managers) ----------------
 
-    def prepare_step(self):
-        """Phase 1: speculate (and prune) this iteration's token tree.
+    def prepare_step(self) -> Optional[TokenTree]:
+        """Phase 1: speculate (and fit) this iteration's token tree.
 
         Returns ``None`` when the request cannot decode further (context
-        exhausted).  The batched request manager calls this on every
-        running session, verifies all trees in one fused pass, then calls
-        :meth:`commit_step` per session.
+        exhausted); the session then reports ``finished`` and the manager
+        retires it.
         """
-        tree = self.speculator.speculate(
-            self._pending,
-            stochastic=not self.request.config.sampling.greedy,
-            rng=self._rng,
-        )
-        available = self._cache.capacity - self._cache.length
-        max_depth = self.model.config.max_seq_len - 1 - self._cache.length
-        if len(tree) > available or tree.max_depth() > max_depth:
-            from repro.engine.tree_spec import _prune_to_size
+        return self._pipeline.speculate(self.state)
 
-            if available < 1 or max_depth < 0:
-                return None
-            tree = _prune_to_size(tree, available, max_depth=max_depth)
-        return tree
-
-    @property
-    def cache(self):
-        """The session's KV cache (the batched verifier compacts it)."""
-        return self._cache
-
-    def commit_step(self, tree, verification) -> List[int]:
+    def commit_step(self, tree: TokenTree,
+                    verification: VerificationResult) -> List[int]:
         """Phase 2: record the verification outcome and advance state."""
-        accepted = verification.accepted_tokens
-        leaves = [i for i in range(len(tree)) if tree.is_leaf(i)]
-        self.steps.append(
-            StepTrace(
-                llm_tokens_scored=len(tree),
-                tokens_emitted=len(accepted),
-                ssm_steps=self.speculator.speculation_latency_steps(),
-                tree_size=len(tree),
-                tree_depth=tree.max_depth(),
-                tree_leaves=len(leaves),
-                tree_path_tokens=sum(len(tree.path_to(i)) for i in leaves),
-                prefix_len=self._cache.length - len(verification.accepted_nodes),
-                num_rejections=verification.num_rejections,
-            )
-        )
-        emitted = self._emit(accepted)
-        if not self.finished:
-            self.speculator.advance([self._pending] + accepted[:-1])
-            self._pending = verification.bonus_token
-        return emitted
+        return self._pipeline.commit(self.state, tree, verification)

@@ -1,0 +1,188 @@
+"""Backend parity suite: every verification backend emits the same tokens.
+
+The refactor's core promise: per-request, fused-block, and fused-dense
+verification are *execution strategies*, not semantics.  For the same
+seeds, the same requests come out token-identical under both greedy and
+stochastic sampling — including when a request exhausts its context
+mid-batch and is retired by the tree fitter.
+
+Run standalone with ``pytest -m serving``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.engine.pipeline import FusedBackend, PerRequestBackend
+from repro.model.coupled import CoupledSSM
+from repro.model.sampling import SamplingConfig
+from repro.serving.batched_manager import BatchedRequestManager
+from repro.serving.manager import RequestManager
+from repro.serving.session import SpeculativeSession
+from repro.speculate.expansion import ExpansionConfig
+from repro.speculate.speculator import Speculator
+from tests.conftest import make_prompt
+
+pytestmark = pytest.mark.serving
+
+SEED = 11
+
+GREEDY = SamplingConfig(greedy=True)
+STOCHASTIC = SamplingConfig(temperature=1.0)
+
+
+def spec_factory(llm):
+    def factory(request):
+        return SpeculativeSession(
+            request, llm,
+            lambda: Speculator(
+                [CoupledSSM(llm, alignment=0.9, seed=7, noise_scale=2.0)],
+                ExpansionConfig((1, 2, 1)),
+            ),
+        )
+
+    return factory
+
+
+def make_backend(kind, llm, sampling):
+    """Build a manager-level backend with its own seeded verification rng.
+
+    All three consume the shared stream in batch order, so for the same
+    seed the stochastic draws line up across backends.
+    """
+    rng = np.random.default_rng(SEED)
+    if kind == "per-request":
+        return PerRequestBackend(llm, sampling=sampling, rng=rng)
+    return FusedBackend(llm, sampling=sampling, rng=rng, mode=kind)
+
+
+BACKENDS = ["per-request", "block", "dense"]
+
+
+def run_workload(llm, kind, sampling, prompts, configs):
+    manager = RequestManager(
+        spec_factory(llm),
+        max_batch_size=len(prompts),
+        backend=make_backend(kind, llm, sampling),
+    )
+    ids = [manager.submit(p, c) for p, c in zip(prompts, configs)]
+    manager.run_until_complete()
+    return manager, [manager.output_for(rid).tokens for rid in ids]
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("sampling", [GREEDY, STOCHASTIC],
+                             ids=["greedy", "stochastic"])
+    def test_all_backends_emit_identical_tokens(self, llm, rng, sampling):
+        prompts = [make_prompt(rng, length=4 + i) for i in range(4)]
+        configs = [
+            GenerationConfig(max_new_tokens=8, sampling=sampling,
+                             stop_on_eos=False)
+            for _ in prompts
+        ]
+        results = {
+            kind: run_workload(llm, kind, sampling, prompts, configs)[1]
+            for kind in BACKENDS
+        }
+        assert results["per-request"] == results["block"]
+        assert results["per-request"] == results["dense"]
+
+    @pytest.mark.parametrize("sampling", [GREEDY, STOCHASTIC],
+                             ids=["greedy", "stochastic"])
+    def test_context_exhaustion_mid_batch(self, llm, rng, sampling):
+        """One request runs out of context while its batchmates keep going:
+        the fitter returns ``None``, the state is retired, and every
+        backend agrees on what was emitted before retirement."""
+        long_prompt = make_prompt(rng, length=llm.config.max_seq_len - 12)
+        short_prompt = make_prompt(rng, length=5)
+        prompts = [long_prompt, short_prompt]
+        configs = [
+            GenerationConfig(max_new_tokens=500, sampling=sampling,
+                             stop_on_eos=False),
+            GenerationConfig(max_new_tokens=20, sampling=sampling,
+                             stop_on_eos=False),
+        ]
+        results = {}
+        for kind in BACKENDS:
+            manager, tokens = run_workload(llm, kind, sampling, prompts,
+                                           configs)
+            results[kind] = tokens
+            # The long request was cut off by context, not by its budget.
+            assert 0 < len(tokens[0]) < 500
+            assert len(tokens[1]) == 20
+        assert results["per-request"] == results["block"]
+        assert results["per-request"] == results["dense"]
+
+    def test_per_request_backend_matches_legacy_manager(self, llm, rng):
+        """The backend-driven manager reproduces per-session serving
+        (greedy, where rng plumbing is irrelevant)."""
+        prompts = [make_prompt(rng, length=5) for _ in range(3)]
+        configs = [GenerationConfig(max_new_tokens=10, stop_on_eos=False)
+                   for _ in prompts]
+        _, via_backend = run_workload(llm, "per-request", GREEDY, prompts,
+                                      configs)
+        legacy = RequestManager(spec_factory(llm), max_batch_size=3)
+        ids = [legacy.submit(p, c) for p, c in zip(prompts, configs)]
+        legacy.run_until_complete()
+        assert via_backend == [legacy.output_for(rid).tokens for rid in ids]
+
+
+class TestIterationAccounting:
+    def test_batch_size_counts_sessions_advanced(self, llm, rng):
+        """Satellite: ``batch_size`` means "sessions advanced this
+        iteration" in *both* managers — including the iteration in which a
+        session finishes or is retired."""
+        prompts = [make_prompt(rng, length=llm.config.max_seq_len - 10),
+                   make_prompt(rng, length=5)]
+        configs = [
+            GenerationConfig(max_new_tokens=500, stop_on_eos=False),
+            GenerationConfig(max_new_tokens=12, stop_on_eos=False),
+        ]
+
+        plain = RequestManager(spec_factory(llm), max_batch_size=2)
+        for p, c in zip(prompts, configs):
+            plain.submit(p, c)
+        plain.run_until_complete()
+
+        fused = BatchedRequestManager(spec_factory(llm), llm,
+                                      max_batch_size=2)
+        for p, c in zip(prompts, configs):
+            fused.submit(p, c)
+        fused.run_until_complete()
+
+        plain_sizes = [s.batch_size for s in plain.iteration_stats]
+        fused_sizes = [s.batch_size for s in fused.iteration_stats]
+        assert plain_sizes == fused_sizes
+        # The retiring iterations still count their sessions: every
+        # iteration that finished requests processed at least that many.
+        for stats in plain.iteration_stats + fused.iteration_stats:
+            assert stats.batch_size >= stats.finished
+            if stats.finished:
+                assert stats.batch_size > 0
+
+    def test_llm_tokens_scored_not_double_counted(self, llm, rng):
+        """Satellite: per-session serving accumulates ``llm_tokens_scored``
+        only when the session actually recorded a new trace.  A session
+        retired by context exhaustion runs extra no-op iterations; those
+        must not re-add its last trace."""
+        prompt = make_prompt(rng, length=llm.config.max_seq_len - 8)
+        config = GenerationConfig(max_new_tokens=500, stop_on_eos=False)
+        manager = RequestManager(spec_factory(llm), max_batch_size=1)
+        rid = manager.submit(prompt, config)
+        manager.run_until_complete()
+        output = manager.output_for(rid)
+
+        from repro.engine.tree_spec import SpecInferEngine
+
+        engine = SpecInferEngine(
+            llm,
+            Speculator(
+                [CoupledSSM(llm, alignment=0.9, seed=7, noise_scale=2.0)],
+                ExpansionConfig((1, 2, 1)),
+            ),
+        )
+        result = engine.generate(prompt, config)
+        assert output.tokens == result.tokens
+        assert output.num_llm_steps == len(result.steps)
+        assert sum(s.llm_tokens_scored for s in manager.iteration_stats) == \
+            sum(s.llm_tokens_scored for s in result.steps)
