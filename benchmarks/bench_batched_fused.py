@@ -13,12 +13,15 @@ FLOPs, bytes of KV staged per step) that explain the gap.  Results go to
 ``benchmarks/results/batched_fused.txt`` and the README perf table.
 """
 
+import argparse
+import json
 import time
 
 import numpy as np
 import pytest
 
 from benchmarks.harness import save_report
+from repro.obs import REGISTRY
 from repro.engine.batched import BatchedTreeVerifier
 from repro.model import perf
 from repro.model.arena import BatchArena
@@ -65,8 +68,8 @@ def _build_batch(llm, ssm, n_requests, arena=None):
     return trees, caches
 
 
-def _time_batch_step(step, caches):
-    """Best-of-``REPEATS`` wall-clock of one full batch verification step."""
+def _time_batch_step(step, caches, repeats=REPEATS):
+    """Best-of-``repeats`` wall-clock of one full batch verification step."""
     snapshots = [c.snapshot() for c in caches]
 
     def restore():
@@ -75,7 +78,7 @@ def _time_batch_step(step, caches):
 
     best = float("inf")
     results = None
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         restore()
         start = time.perf_counter()
         results = step()
@@ -88,7 +91,7 @@ def _accepted(results):
     return [r.accepted_tokens for r in results]
 
 
-def run_comparison():
+def run_comparison(batch_sizes=BATCH_SIZES, repeats=REPEATS):
     """Time the three paths at every batch size; return (table, measures)."""
     llm = TransformerLM(FUSED_BENCH_CONFIG, seed=7)
     ssm = CoupledSSM(llm, alignment=0.8, seed=11, noise_scale=2.0)
@@ -99,7 +102,7 @@ def run_comparison():
               "vs block-sparse (wall-clock per batch step)",
     )
     measures = {}
-    for batch in BATCH_SIZES:
+    for batch in batch_sizes:
         trees, caches = _build_batch(llm, ssm, batch)
         loop_verifier = TokenTreeVerifier(llm)
 
@@ -109,12 +112,14 @@ def run_comparison():
                 for tree, cache in zip(trees, caches)
             ]
 
-        loop_s, loop_results = _time_batch_step(loop_step, caches)
+        loop_s, loop_results = _time_batch_step(loop_step, caches,
+                                                repeats=repeats)
 
         dense_verifier = BatchedTreeVerifier(llm, mode="dense")
         with perf.track() as dense_counters:
             dense_s, dense_results = _time_batch_step(
-                lambda: dense_verifier.verify_batch(trees, caches), caches
+                lambda: dense_verifier.verify_batch(trees, caches), caches,
+                repeats=repeats,
             )
 
         arena = BatchArena(FUSED_BENCH_CONFIG, max_requests=batch)
@@ -126,6 +131,7 @@ def run_comparison():
                 lambda: block_verifier.verify_batch(arena_trees,
                                                     arena_caches),
                 arena_caches,
+                repeats=repeats,
             )
 
         assert _accepted(dense_results) == _accepted(loop_results)
@@ -139,9 +145,9 @@ def run_comparison():
             "dense_s": dense_s,
             "block_s": block_s,
             "dense_cross_flops":
-                dense_counters.cross_request_score_flops // REPEATS,
-            "dense_kv_bytes": dense_counters.kv_bytes_copied // REPEATS,
-            "block_kv_bytes": block_counters.kv_bytes_copied // REPEATS,
+                dense_counters.cross_request_score_flops // repeats,
+            "dense_kv_bytes": dense_counters.kv_bytes_copied // repeats,
+            "block_kv_bytes": block_counters.kv_bytes_copied // repeats,
         }
         table.add_row(
             str(batch), str(n_tokens),
@@ -176,6 +182,64 @@ def test_batched_fused_paths(benchmark):
     assert measures[8]["block_kv_bytes"] == 0
 
 
+def record_registry_metrics(measures):
+    """Mirror the benchmark measures into the metrics registry.
+
+    CI reads the resulting JSON (``repro.bench.fused.*``) instead of
+    parsing the ASCII table; gauges hold per-batch-size seconds and the
+    dense/block speedup scaled into integer microseconds / millionths so
+    the registry's numeric model stays simple.
+    """
+    for batch, m in measures.items():
+        prefix = f"repro.bench.fused.batch{batch}"
+        REGISTRY.gauge(f"{prefix}.tokens").set(m["tokens"])
+        for key in ("loop_s", "dense_s", "block_s"):
+            REGISTRY.gauge(f"{prefix}.{key}").set(m[key])
+        REGISTRY.gauge(f"{prefix}.speedup_block_vs_dense").set(
+            m["dense_s"] / m["block_s"]
+        )
+        REGISTRY.gauge(f"{prefix}.dense_cross_flops").set(
+            m["dense_cross_flops"]
+        )
+        REGISTRY.gauge(f"{prefix}.dense_kv_bytes").set(m["dense_kv_bytes"])
+        REGISTRY.gauge(f"{prefix}.block_kv_bytes").set(m["block_kv_bytes"])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Batched fused verification benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: batch sizes 1 and 8 only, fewer repeats",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the registry snapshot of the measures as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report, measures = run_comparison(batch_sizes=(1, 8), repeats=3)
+    else:
+        report, measures = run_comparison()
+        save_report("batched_fused", report)
+        print()
+
+    if args.quick:
+        print(report)
+
+    if args.json:
+        record_registry_metrics(measures)
+        snapshot = {
+            name: value
+            for name, value in REGISTRY.snapshot().items()
+            if name.startswith("repro.bench.fused.")
+        }
+        with open(args.json, "w") as fh:
+            fh.write(REGISTRY.to_json(snapshot) + "\n")
+        print(f"wrote {len(snapshot)} benchmark metrics to {args.json}")
+
+
 if __name__ == "__main__":
-    report, _ = run_comparison()
-    save_report("batched_fused", report)
+    main()

@@ -1,0 +1,133 @@
+"""Perf-regression gate for CI.
+
+Two checks, both driven by the metrics registry rather than parsed
+benchmark tables:
+
+1. **Fused speedup** — reads the ``BENCH_ci.json`` written by
+   ``bench_batched_fused.py --quick --json`` and fails when the
+   block-sparse vs dense-fused speedup at batch 8 drops below
+   ``MIN_FUSED_SPEEDUP``.
+2. **Verified tokens per step** — runs the seeded observability workload
+   (deterministic: fixed seeds, cost-model time only) and compares the
+   ``repro.engine.tokens_per_step`` histogram mean against the committed
+   baseline ``benchmarks/results/baseline_ci.json``.  A drop below
+   ``baseline * (1 - TOKENS_PER_STEP_SLACK)`` fails the job.
+
+Regenerate the baseline after an intentional algorithmic change with::
+
+    PYTHONPATH=src:. python benchmarks/ci_gate.py --write-baseline
+
+Exit codes: 0 pass, 1 regression, 2 usage/infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Gate: block-sparse must beat dense-fused by at least this much at batch 8.
+MIN_FUSED_SPEEDUP = 3.0
+
+#: Relative slack on the tokens/step baseline.  The workload is seeded and
+#: deterministic on one platform; the slack absorbs BLAS/platform jitter in
+#: float reductions across CI runners, not algorithmic drift.
+TOKENS_PER_STEP_SLACK = 0.01
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "baseline_ci.json"
+)
+
+
+def measure_tokens_per_step() -> dict:
+    """Verified-tokens-per-step stats for the seeded CI workload."""
+    from repro.obs import REGISTRY, reset_observability
+    from repro.obs.workload import WorkloadSpec, run_observed_workload
+
+    reset_observability()
+    run_observed_workload(WorkloadSpec())
+    snap = REGISTRY.snapshot()["repro.engine.tokens_per_step"]
+    steps = int(snap["count"])
+    if steps == 0:
+        raise RuntimeError("workload recorded no verification steps")
+    return {
+        "steps": steps,
+        "tokens": snap["sum"],
+        "tokens_per_step": snap["sum"] / steps,
+    }
+
+
+def gate_fused_speedup(bench_json: str) -> list:
+    """Failure messages from the fused-benchmark metrics file."""
+    with open(bench_json) as fh:
+        metrics = json.load(fh)
+    key = "repro.bench.fused.batch8.speedup_block_vs_dense"
+    if key not in metrics:
+        raise RuntimeError(f"{bench_json} is missing {key}")
+    speedup = float(metrics[key]["value"])
+    print(f"fused speedup at batch 8: {speedup:.2f}x "
+          f"(gate: >= {MIN_FUSED_SPEEDUP:.1f}x)")
+    if speedup < MIN_FUSED_SPEEDUP:
+        return [f"fused speedup {speedup:.2f}x is below the "
+                f"{MIN_FUSED_SPEEDUP:.1f}x gate"]
+    return []
+
+
+def gate_tokens_per_step(baseline_path: str) -> list:
+    """Failure messages from the tokens/step comparison."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    measured = measure_tokens_per_step()
+    base = float(baseline["tokens_per_step"])
+    now = measured["tokens_per_step"]
+    floor = base * (1.0 - TOKENS_PER_STEP_SLACK)
+    print(f"verified tokens/step: {now:.4f} over {measured['steps']} steps "
+          f"(baseline {base:.4f}, floor {floor:.4f})")
+    if now < floor:
+        return [f"verified tokens/step {now:.4f} regressed below the "
+                f"baseline floor {floor:.4f}"]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-json", default=None,
+        help="BENCH_ci.json from bench_batched_fused.py --quick --json",
+    )
+    parser.add_argument(
+        "--baseline", default=BASELINE_PATH,
+        help="committed tokens/step baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="measure tokens/step and rewrite the baseline file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        stats = measure_tokens_per_step()
+        payload = dict(stats, workload="obs-default-seed7")
+        with open(args.baseline, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {payload['tokens_per_step']:.4f} "
+              f"tokens/step to {args.baseline}")
+        return 0
+
+    failures = []
+    if args.bench_json:
+        failures += gate_fused_speedup(args.bench_json)
+    failures += gate_tokens_per_step(args.baseline)
+
+    if failures:
+        for message in failures:
+            print(f"PERF REGRESSION: {message}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

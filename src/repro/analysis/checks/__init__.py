@@ -8,6 +8,7 @@ from repro.analysis.checks.dtype_drift import DtypeDriftCheck
 from repro.analysis.checks.hot_path_alloc import HotPathAllocCheck
 from repro.analysis.checks.mask_contract import MaskContractCheck
 from repro.analysis.checks.rng_discipline import RngDisciplineCheck
+from repro.analysis.checks.wall_clock import WallClockCheck
 from repro.analysis.core import Check
 
 ALL_CHECKS = (
@@ -15,6 +16,7 @@ ALL_CHECKS = (
     HotPathAllocCheck,
     RngDisciplineCheck,
     MaskContractCheck,
+    WallClockCheck,
 )
 
 

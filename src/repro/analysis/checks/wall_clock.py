@@ -1,0 +1,143 @@
+"""``wall-clock``: no ``time.time()`` where determinism or tracing live.
+
+The observability layer's core guarantee is that recorded values are
+deterministic under seeds: span/event attributes carry logical clocks and
+seed-derived counts, and durations are ``time.perf_counter()`` *deltas*
+observed into registry histograms.  A stray ``time.time()`` breaks both
+properties at once — it is an absolute wall-clock read (never meaningful as
+a duration source) and it makes any value derived from it
+non-reproducible.  This check flags direct wall-clock reads:
+
+* inside hot-path code — files in
+  :data:`repro.analysis.core.HOT_PATH_FILES` or functions decorated
+  ``@hot_path`` (the same awareness ``hot-path-alloc`` has), where
+  instrumentation runs on every decoding step;
+* inside instrumented spans — the body of any ``with ...span(...):``
+  block, where a wall-clock value would end up in trace attributes.
+
+Flagged calls: ``time.time()``, ``time.time_ns()``, and bare ``time()``
+from ``from time import time``.  The fix is ``time.perf_counter()`` for
+durations or a logical clock (iteration / cost-model step) for ordering;
+genuinely wall-clock-needing cold paths annotate with
+``# lint: allow-wall-clock <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from repro.analysis.core import (
+    Check,
+    Finding,
+    SourceFile,
+    decorator_names,
+    dotted_name,
+)
+
+#: ``time``-module attributes that read the wall clock.
+WALL_CLOCK_ATTRS = ("time", "time_ns")
+
+
+def _time_module_aliases(tree: ast.AST) -> Set[str]:
+    """Names bound to the ``time`` module (``import time [as t]``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+def _bare_time_names(tree: ast.AST) -> Set[str]:
+    """Names bound to wall-clock functions via ``from time import ...``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_ATTRS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+class WallClockCheck(Check):
+    name = "wall-clock"
+    tag = "wall-clock"
+    description = (
+        "no direct time.time() reads on the hot path or inside "
+        "instrumented spans (use perf_counter deltas or logical clocks)"
+    )
+    required_scope = None  # hot files via scope; spans/@hot_path anywhere
+
+    def run(self, src: SourceFile) -> List[Finding]:
+        file_is_hot = "hot-path" in src.scopes
+        hot_spans = self._decorated_spans(src)
+        trace_spans = self._traced_with_spans(src)
+        module_aliases = _time_module_aliases(src.tree)
+        bare_names = _bare_time_names(src.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._wall_clock_label(node, module_aliases, bare_names)
+            if label is None:
+                continue
+            line = node.lineno
+            in_hot = file_is_hot or any(
+                lo <= line <= hi for lo, hi in hot_spans
+            )
+            in_span = any(lo <= line <= hi for lo, hi in trace_spans)
+            if not (in_hot or in_span):
+                continue
+            where = ("an instrumented span" if in_span
+                     else "the decode hot path")
+            findings.append(src.make_finding(
+                self, node,
+                f"{label} reads the wall clock inside {where}; use "
+                f"time.perf_counter() deltas or a logical clock, or "
+                f"annotate with '# lint: allow-wall-clock <reason>'",
+            ))
+        return findings
+
+    def _decorated_spans(self, src: SourceFile) -> List[Tuple[int, int]]:
+        """(first, last) line ranges of functions decorated ``@hot_path``."""
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            names = {n.rpartition(".")[2] for n in decorator_names(node)}
+            if "hot_path" in names:
+                spans.append((node.lineno, max(
+                    getattr(node, "end_lineno", node.lineno), node.lineno
+                )))
+        return spans
+
+    def _traced_with_spans(self, src: SourceFile) -> List[Tuple[int, int]]:
+        """Line ranges of ``with ...span(...):`` blocks (tracer spans)."""
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if not isinstance(expr, ast.Call):
+                    continue
+                name = dotted_name(expr.func)
+                if name.rpartition(".")[2] == "span":
+                    spans.append((node.lineno, max(
+                        getattr(node, "end_lineno", node.lineno),
+                        node.lineno,
+                    )))
+                    break
+        return spans
+
+    def _wall_clock_label(self, node: ast.Call, module_aliases: Set[str],
+                          bare_names: Set[str]) -> "str | None":
+        name = dotted_name(node.func)
+        head, _, func = name.rpartition(".")
+        if head in module_aliases and func in WALL_CLOCK_ATTRS:
+            return f"{name}()"
+        if not head and name in bare_names:
+            return f"{name}()"
+        return None

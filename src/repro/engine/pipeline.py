@@ -49,9 +49,37 @@ from repro.engine.generation import (
 )
 from repro.model.sampling import SamplingConfig, sample_token
 from repro.model.transformer import TransformerLM
+from repro.obs import DEFAULT_COUNT_BUCKETS, REGISTRY, TRACER
 from repro.tree.token_tree import TokenTree
 from repro.verify.result import VerificationResult
 from repro.verify.verifier import TokenTreeVerifier
+
+# Interned once at import; REGISTRY.reset() zeroes these in place.
+_TICKS = REGISTRY.counter(
+    "repro.engine.ticks", help="pipeline iterations executed")
+_RETIRED = REGISTRY.counter(
+    "repro.engine.retired", help="states retired by the tree fitter")
+_TREES_PRUNED = REGISTRY.counter(
+    "repro.engine.trees_pruned", help="speculated trees shrunk to fit")
+_SPECULATED_NODES = REGISTRY.counter(
+    "repro.engine.speculated_nodes", help="tree nodes before fitting")
+_TOKENS_EMITTED = REGISTRY.counter(
+    "repro.engine.tokens_emitted", help="verified tokens appended")
+_TREE_SIZE = REGISTRY.histogram(
+    "repro.engine.tree_size", buckets=DEFAULT_COUNT_BUCKETS,
+    help="fitted tree sizes per verification step")
+_TOKENS_PER_STEP = REGISTRY.histogram(
+    "repro.engine.tokens_per_step", buckets=DEFAULT_COUNT_BUCKETS,
+    help="verified tokens emitted per committed step (Table 2)")
+
+
+def _observe_verify(kind: str, trees: Sequence[TokenTree]) -> None:
+    """Charge one backend verification pass to ``repro.verify.<kind>.*``."""
+    REGISTRY.counter(f"repro.verify.{kind}.passes").inc()
+    REGISTRY.counter(f"repro.verify.{kind}.requests").inc(len(trees))
+    REGISTRY.counter(f"repro.verify.{kind}.tokens_scored").inc(
+        sum(len(tree) for tree in trees)
+    )
 
 
 # -- tree fitting ----------------------------------------------------------------
@@ -246,6 +274,18 @@ class TraceRecorder:
             )
         trace = StepTrace(**fields)
         state.steps.append(trace)
+        _TOKENS_PER_STEP.observe(trace.tokens_emitted)
+        if trace.tree_size:
+            _TREE_SIZE.observe(trace.tree_size)
+        TRACER.event(
+            "repro.engine.step",
+            llm_tokens_scored=trace.llm_tokens_scored,
+            tokens_emitted=trace.tokens_emitted,
+            tree_size=trace.tree_size,
+            tree_depth=trace.tree_depth,
+            prefix_len=trace.prefix_len,
+            num_rejections=trace.num_rejections,
+        )
         return trace
 
 
@@ -318,10 +358,12 @@ class PerRequestBackend(VerificationBackend):
 
     def verify(self, states: Sequence[DecodeState],
                trees: Sequence[TokenTree]) -> List[VerificationResult]:
-        return [
-            self._verifier_for(state).verify_step(tree, state.cache)
-            for state, tree in zip(states, trees)
-        ]
+        _observe_verify("per_request", trees)
+        with TRACER.span("repro.verify.per_request", requests=len(trees)):
+            return [
+                self._verifier_for(state).verify_step(tree, state.cache)
+                for state, tree in zip(states, trees)
+            ]
 
 
 class FusedBackend(VerificationBackend):
@@ -359,9 +401,12 @@ class FusedBackend(VerificationBackend):
 
     def verify(self, states: Sequence[DecodeState],
                trees: Sequence[TokenTree]) -> List[VerificationResult]:
-        return self._verifier.verify_batch(
-            list(trees), [state.cache for state in states]
-        )
+        _observe_verify("fused", trees)
+        with TRACER.span("repro.verify.fused", requests=len(trees),
+                         mode=self.mode):
+            return self._verifier.verify_batch(
+                list(trees), [state.cache for state in states]
+            )
 
 
 class IncrementalBackend(VerificationBackend):
@@ -379,19 +424,21 @@ class IncrementalBackend(VerificationBackend):
 
     def verify(self, states: Sequence[DecodeState],
                trees: Sequence[TokenTree]) -> List[VerificationResult]:
-        results: List[VerificationResult] = []
-        for state, tree in zip(states, trees):
-            logits = self.model.decode(tree.root.token, state.cache)
-            token = int(sample_token(logits, state.sampling, state.rng))
-            results.append(
-                VerificationResult(
-                    accepted_tokens=[token],
-                    accepted_nodes=[0],
-                    bonus_token=token,
-                    num_candidates_considered=1,
+        _observe_verify("incremental", trees)
+        with TRACER.span("repro.verify.incremental", requests=len(trees)):
+            results: List[VerificationResult] = []
+            for state, tree in zip(states, trees):
+                logits = self.model.decode(tree.root.token, state.cache)
+                token = int(sample_token(logits, state.sampling, state.rng))
+                results.append(
+                    VerificationResult(
+                        accepted_tokens=[token],
+                        accepted_nodes=[0],
+                        bonus_token=token,
+                        num_candidates_considered=1,
+                    )
                 )
-            )
-        return results
+            return results
 
 
 # -- the pipeline ------------------------------------------------------------------
@@ -437,27 +484,40 @@ class DecodePipeline:
         self.backend = backend if backend is not None else PerRequestBackend(model)
         self.fitter = TreeFitter(model.config.max_seq_len)
         self.recorder = TraceRecorder()
+        self._ticks = 0
 
     # -- phases --------------------------------------------------------------------
 
-    def speculate(self, state: DecodeState) -> Optional[TokenTree]:
-        """Phase 1: this iteration's token tree, fitted to the cache.
-
-        Returns ``None`` — and marks the state retired — when the request
-        cannot decode further (context exhausted).
-        """
+    def _speculate_tree(self, state: DecodeState) -> TokenTree:
+        """This iteration's raw (unfitted) token tree for one state."""
         if state.speculator is None:
-            tree = TokenTree(state.pending)
-        else:
-            tree = state.speculator.speculate(
-                state.pending,
-                stochastic=not state.sampling.greedy,
-                rng=state.rng,
-            )
+            return TokenTree(state.pending)
+        return state.speculator.speculate(
+            state.pending,
+            stochastic=not state.sampling.greedy,
+            rng=state.rng,
+        )
+
+    def _fit_tree(self, state: DecodeState,
+                  tree: TokenTree) -> Optional[TokenTree]:
+        """Fit one raw tree; marks the state retired when nothing fits."""
         fitted = self.fitter.fit(tree, state.cache)
         if fitted is None:
             state.retired = True
+            _RETIRED.inc()
+        elif fitted is not tree:
+            _TREES_PRUNED.inc()
         return fitted
+
+    def speculate(self, state: DecodeState) -> Optional[TokenTree]:
+        """Phases 1+2 for one state: speculate, then fit to the cache.
+
+        Returns ``None`` — and marks the state retired — when the request
+        cannot decode further (context exhausted).  Single-state surface
+        used by the sessions' two-phase stepping; :meth:`tick` runs the
+        same two phases batch-wide under their own trace spans.
+        """
+        return self._fit_tree(state, self._speculate_tree(state))
 
     def commit(self, state: DecodeState, tree: TokenTree,
                verification: VerificationResult) -> List[int]:
@@ -479,27 +539,71 @@ class DecodePipeline:
 
     @hot_path
     def tick(self, states: Sequence[DecodeState]) -> List[TickOutcome]:
-        """One canonical iteration over a batch of decode states."""
+        """One canonical iteration over a batch of decode states.
+
+        Each of the four phases runs batch-wide under its own trace span
+        (``repro.engine.speculate`` / ``fit`` / ``verify`` / ``commit``),
+        nested in one ``repro.engine.tick`` span per iteration; phase
+        latencies land in the ``*.host_seconds`` registry histograms.
+        """
+        _TICKS.inc()
         outcomes = [TickOutcome(state=state) for state in states]
-        active: List[DecodeState] = []
-        trees: List[TokenTree] = []
-        slots: List[int] = []
-        for i, state in enumerate(states):
-            if state.finished:
-                outcomes[i].retired = state.retired
-                continue
-            tree = self.speculate(state)
-            if tree is None:
-                outcomes[i].retired = True
-                continue
-            active.append(state)
-            trees.append(tree)
-            slots.append(i)
-        if active:
-            results = self.backend.verify(active, trees)
-            for i, state, tree, result in zip(slots, active, trees, results):
-                outcomes[i].emitted = self.commit(state, tree, result)
-                outcomes[i].advanced = True
+        with TRACER.span("repro.engine.tick", iteration=self._ticks,
+                         batch=len(states)) as tick_span:
+            self._ticks += 1
+
+            with TRACER.span("repro.engine.speculate") as span:
+                raw: List[Optional[TokenTree]] = []
+                for i, state in enumerate(states):
+                    if state.finished:
+                        outcomes[i].retired = state.retired
+                        raw.append(None)
+                    else:
+                        raw.append(self._speculate_tree(state))
+                nodes = sum(len(t) for t in raw if t is not None)
+                _SPECULATED_NODES.inc(nodes)
+                span.set(trees=sum(t is not None for t in raw), nodes=nodes)
+
+            with TRACER.span("repro.engine.fit") as span:
+                active: List[DecodeState] = []
+                trees: List[TokenTree] = []
+                slots: List[int] = []
+                for i, (state, tree) in enumerate(zip(states, raw)):
+                    if tree is None:
+                        continue
+                    fitted = self._fit_tree(state, tree)
+                    if fitted is None:
+                        outcomes[i].retired = True
+                        continue
+                    active.append(state)
+                    trees.append(fitted)
+                    slots.append(i)
+                span.set(
+                    fitted=len(trees),
+                    retired=sum(
+                        o.retired for o, t in zip(outcomes, raw)
+                        if t is not None
+                    ),
+                    nodes=sum(len(t) for t in trees),
+                )
+
+            with TRACER.span("repro.engine.verify", requests=len(active),
+                             tokens=sum(len(t) for t in trees)):
+                results = (
+                    self.backend.verify(active, trees) if active else []
+                )
+
+            with TRACER.span("repro.engine.commit") as span:
+                emitted_total = 0
+                for i, state, tree, result in zip(slots, active, trees,
+                                                  results):
+                    outcomes[i].emitted = self.commit(state, tree, result)
+                    outcomes[i].advanced = True
+                    emitted_total += len(outcomes[i].emitted)
+                _TOKENS_EMITTED.inc(emitted_total)
+                span.set(steps=len(results), tokens_emitted=emitted_total)
+
+            tick_span.set(advanced=len(results), tokens_emitted=emitted_total)
         return outcomes
 
     def run_to_completion(self, state: DecodeState) -> DecodeState:

@@ -33,6 +33,24 @@ import numpy as np
 from repro.analysis import sanitizer
 from repro.model.config import ModelConfig
 from repro.model.kv_cache import LayerKV
+from repro.obs import REGISTRY
+
+# Aggregated across every arena in the process (see docs/observability.md).
+_ALLOCATIONS = REGISTRY.counter(
+    "repro.model.arena.allocations", help="row ranges carved for requests")
+_RELEASES = REGISTRY.counter(
+    "repro.model.arena.releases", help="row ranges returned to free lists")
+_ROWS_USED = REGISTRY.gauge(
+    "repro.model.arena.rows_used", help="slab rows currently carved out")
+_BYTES_RESIDENT = REGISTRY.gauge(
+    "repro.model.arena.bytes_resident",
+    help="K/V bytes of currently carved-out rows across all layers")
+_BYTES_HIGH_WATER = REGISTRY.gauge(
+    "repro.model.arena.bytes_high_water",
+    help="largest bytes_resident seen since the last registry reset")
+_ROWS_COMPACTED = REGISTRY.counter(
+    "repro.model.arena.rows_compacted",
+    help="slab rows moved by post-verification keep_rows compaction")
 
 
 class BatchArena:
@@ -58,6 +76,11 @@ class BatchArena:
         self._values = [
             np.zeros(shape, dtype=config.dtype) for _ in range(config.n_layers)
         ]
+        # K/V bytes one slab row occupies across all layers (both slabs).
+        self.row_bytes = (
+            2 * config.n_layers * config.n_heads * config.d_head
+            * np.dtype(config.dtype).itemsize
+        )
         # Free row ranges, kept sorted and coalesced: list of (start, stop).
         self._free: List[Tuple[int, int]] = [(0, capacity)]
         # Ranges currently owned by live ArenaKVCaches; the sanitizer checks
@@ -114,6 +137,10 @@ class BatchArena:
         """
         sanitizer.guard_disjoint_ranges("KV arena", self._live, (start, stop))
         self._live.append((start, stop))
+        _ALLOCATIONS.inc()
+        _ROWS_USED.add(stop - start)
+        _BYTES_RESIDENT.add((stop - start) * self.row_bytes)
+        _BYTES_HIGH_WATER.set_max(_BYTES_RESIDENT.value)
 
     def release(self, start: int, stop: int) -> None:
         """Return a row range to the free list, coalescing neighbours."""
@@ -126,6 +153,9 @@ class BatchArena:
                 raise ValueError(
                     f"double free of arena rows [{start}, {stop})"
                 )
+        _RELEASES.inc()
+        _ROWS_USED.add(start - stop)
+        _BYTES_RESIDENT.add((start - stop) * self.row_bytes)
         self._free.append((start, stop))
         self._free.sort()
         merged: List[Tuple[int, int]] = []
@@ -178,6 +208,7 @@ class ArenaKVCache:
             layer.truncate(length)
 
     def keep_rows(self, base: int, rows: Sequence[int]) -> None:
+        _ROWS_COMPACTED.inc(len(rows) * len(self.layers))
         for layer in self.layers:
             layer.keep_rows(base, rows)
 

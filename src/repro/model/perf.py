@@ -1,4 +1,4 @@
-"""Lightweight operation counters for the decoding hot path.
+"""Operation counters for the decoding hot path (registry shim).
 
 The fused-batching work (block-sparse attention over a shared KV arena)
 makes claims that are easy to regress silently: "no cross-request score
@@ -8,8 +8,12 @@ claims are *asserted* by the ``perf_smoke`` tier-1 tests and *reported* by
 ``benchmarks/bench_batched_fused.py`` — the NumPy analogue of a CUDA
 profiler's achieved-FLOPs/bytes-moved columns.
 
-Counting is always on (a handful of integer adds per layer per step) and
-accumulates into a module-level :class:`PerfCounters`.  Use::
+Since the unified observability layer landed, this module is a thin shim:
+the counts live in the process-wide metrics registry
+(:data:`repro.obs.REGISTRY`) as ``repro.model.<counter>`` series, where
+``repro metrics`` and the CI perf gate read them alongside everything else.
+The legacy surface is unchanged — ``add_*`` helpers, :func:`reset`,
+:data:`COUNTERS` attribute access, and::
 
     with perf.track() as c:
         verifier.verify_batch(trees, caches)
@@ -24,10 +28,12 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 
+from repro.obs import REGISTRY
+
 
 @dataclass
 class PerfCounters:
-    """Accumulated operation counts for the decoding hot path.
+    """A point-in-time copy (or delta) of the hot-path operation counts.
 
     Attributes:
         gemm_flops: Multiply-add FLOPs (counted as 2*m*n*k) spent in
@@ -55,7 +61,7 @@ class PerfCounters:
     mask_cells_allocated: int = 0
 
     def snapshot(self) -> "PerfCounters":
-        """An independent copy of the current counts."""
+        """An independent copy of these counts."""
         return PerfCounters(
             **{f.name: getattr(self, f.name) for f in fields(self)}
         )
@@ -70,14 +76,50 @@ class PerfCounters:
         )
 
 
-#: The global accumulator the primitives add into.
-COUNTERS = PerfCounters()
+#: The registry series backing each legacy counter field, interned once.
+_METRICS = {
+    f.name: REGISTRY.counter(f"repro.model.{f.name}")
+    for f in fields(PerfCounters)
+}
+
+
+class _RegistryView:
+    """Live attribute view over the registry-backed hot-path counters.
+
+    ``perf.COUNTERS.gemm_flops`` reads the registry series
+    ``repro.model.gemm_flops`` at access time — the legacy accumulator
+    object, now a window onto the shared registry.
+    """
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return _METRICS[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def snapshot(self) -> PerfCounters:
+        """An independent :class:`PerfCounters` copy of the current counts."""
+        return PerfCounters(
+            **{name: metric.value for name, metric in _METRICS.items()}
+        )
+
+    def delta(self, earlier: PerfCounters) -> PerfCounters:
+        """Counts accumulated since ``earlier`` was snapshotted."""
+        return self.snapshot().delta(earlier)
+
+
+#: The global accumulator the primitives add into (registry-backed view).
+COUNTERS = _RegistryView()
 
 
 def reset() -> None:
-    """Zero the global counters (tests and benchmarks start fresh)."""
-    for f in fields(PerfCounters):
-        setattr(COUNTERS, f.name, 0)
+    """Zero the hot-path counters (tests and benchmarks start fresh).
+
+    Only the ``repro.model.*`` operation counters are touched; use
+    :func:`repro.obs.reset_observability` to zero the whole registry.
+    """
+    for metric in _METRICS.values():
+        metric.value = 0
 
 
 @contextmanager
@@ -99,24 +141,24 @@ def track():
 
 def add_gemm(m: int, k: int, n: int) -> None:
     """Record one ``(m, k) @ (k, n)`` GEMM."""
-    COUNTERS.gemm_flops += 2 * m * k * n
+    _METRICS["gemm_flops"].value += 2 * m * k * n
 
 
 def add_attention(n_heads: int, n_q: int, n_k: int, d_head: int) -> None:
     """Record one masked attention block (scores + weighted sum)."""
-    COUNTERS.attn_score_flops += 2 * 2 * n_heads * n_q * n_k * d_head
+    _METRICS["attn_score_flops"].value += 2 * 2 * n_heads * n_q * n_k * d_head
 
 
 def add_cross_request_scores(n_heads: int, cells: int, d_head: int) -> None:
     """Record score FLOPs spent on cross-request (always-masked) cells."""
-    COUNTERS.cross_request_score_flops += 2 * 2 * n_heads * cells * d_head
+    _METRICS["cross_request_score_flops"].value += 2 * 2 * n_heads * cells * d_head
 
 
 def add_kv_copy(n_bytes: int) -> None:
     """Record bytes of K/V copied to stage an attention input."""
-    COUNTERS.kv_bytes_copied += n_bytes
+    _METRICS["kv_bytes_copied"].value += n_bytes
 
 
 def add_mask_alloc(cells: int) -> None:
     """Record a freshly allocated mask buffer of ``cells`` cells."""
-    COUNTERS.mask_cells_allocated += cells
+    _METRICS["mask_cells_allocated"].value += cells

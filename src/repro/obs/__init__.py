@@ -1,0 +1,49 @@
+"""Unified observability: one metrics registry + one tracer for the system.
+
+Everything the paper's evaluation measures — verified tokens per step,
+per-phase latency, arena residency, simulated speedups — flows through this
+package:
+
+* :mod:`repro.obs.registry` — process-wide counters/gauges/histograms
+  (:data:`REGISTRY`), deterministic under seeds;
+* :mod:`repro.obs.trace` — structured spans/events (:data:`TRACER`) with
+  byte-deterministic JSONL export;
+* :mod:`repro.obs.workload` — the seeded reference workload the ``repro
+  trace`` / ``repro metrics`` CLI subcommands (and the trace golden tests)
+  observe.
+
+See ``docs/observability.md`` for the naming convention
+(``repro.<layer>.<metric>``), the trace schema, and how to add a metric.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import SpanHandle, Tracer, TRACER, tracing
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SpanHandle",
+    "Tracer",
+    "TRACER",
+    "tracing",
+    "reset_observability",
+]
+
+
+def reset_observability() -> None:
+    """Zero the registry and clear the tracer (tests, CLI runs)."""
+    REGISTRY.reset()
+    TRACER.reset()

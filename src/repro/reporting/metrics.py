@@ -1,0 +1,72 @@
+"""Render a metrics-registry snapshot as an ASCII table.
+
+``repro metrics --format text`` and the CI perf-gate logs both print this;
+the column layout follows the other benchmark tables so EXPERIMENTS.md can
+quote it verbatim.  Counters and gauges print their value; histograms print
+``count / mean / max-bucket`` plus a compact per-bucket breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.reporting.tables import AsciiTable
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _histogram_detail(data: Dict[str, object]) -> str:
+    """``le=bound:count`` pairs for non-empty buckets, overflow last."""
+    bounds = list(data["buckets"])
+    counts = list(data["counts"])
+    parts = [
+        f"le={_format_value(bound)}:{count}"
+        for bound, count in zip(bounds, counts[:-1])
+        if count
+    ]
+    if counts[-1]:
+        parts.append(f"inf:{counts[-1]}")
+    return " ".join(parts) if parts else "-"
+
+
+def render_metrics_table(snapshot: Dict[str, Dict[str, object]],
+                         title: str = "metrics registry") -> str:
+    """One row per metric, sorted by name (the snapshot's natural order).
+
+    Args:
+        snapshot: A :meth:`repro.obs.MetricsRegistry.snapshot` (or
+            :meth:`delta`) mapping.
+        title: Table title line.
+    """
+    table = AsciiTable(["metric", "kind", "value", "detail"], title=title)
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data["kind"]
+        if kind == "histogram":
+            count = data["count"]
+            mean = (data["sum"] / count) if count else 0.0
+            table.add_row(
+                name, kind,
+                f"n={count} mean={_format_value(mean)}",
+                _histogram_detail(data),
+            )
+        else:
+            table.add_row(name, kind, _format_value(data["value"]), "-")
+    return table.render()
+
+
+def render_metrics(snapshot: Dict[str, Dict[str, object]],
+                   format: str = "text",
+                   title: Optional[str] = None) -> str:
+    """``render_metrics_table`` or deterministic JSON, by ``format``."""
+    if format == "json":
+        import json
+
+        return json.dumps(snapshot, indent=2, sort_keys=True)
+    return render_metrics_table(
+        snapshot, title=title if title is not None else "metrics registry"
+    )

@@ -30,8 +30,27 @@ import numpy as np
 
 from repro.engine.generation import GenerationConfig
 from repro.engine.pipeline import DecodePipeline, VerificationBackend
+from repro.obs import DEFAULT_COUNT_BUCKETS, REGISTRY, TRACER
 from repro.serving.request import Request, RequestOutput, RequestState
 from repro.serving.session import DecodeSession, SpeculativeSession
+
+_ITERATIONS = REGISTRY.counter(
+    "repro.serving.iterations", help="scheduler iterations executed")
+_ADMITTED = REGISTRY.counter(
+    "repro.serving.admitted", help="requests admitted into batch slots")
+_RETIRED = REGISTRY.counter(
+    "repro.serving.retired", help="requests retired (finished) by the manager")
+_TOKENS = REGISTRY.counter(
+    "repro.serving.tokens_emitted", help="tokens emitted across all batches")
+_SCORED = REGISTRY.counter(
+    "repro.serving.llm_tokens_scored", help="token positions scored by the LLM")
+_RUNNING = REGISTRY.gauge(
+    "repro.serving.running", help="requests currently holding batch slots")
+_WAITING = REGISTRY.gauge(
+    "repro.serving.waiting", help="requests queued for admission")
+_OCCUPANCY = REGISTRY.histogram(
+    "repro.serving.batch_occupancy", buckets=DEFAULT_COUNT_BUCKETS,
+    help="sessions advanced per non-idle scheduler iteration")
 
 
 @dataclass
@@ -155,22 +174,34 @@ class RequestManager:
 
     def run_iteration(self) -> IterationStats:
         """One scheduler iteration: admit, advance, retire."""
-        admitted = self._admit()
-        batch_size = len(self._running)
-        if self.backend is None:
-            tokens_emitted, llm_tokens, finished_ids = self._advance_each()
-        else:
-            tokens_emitted, llm_tokens, finished_ids = self._advance_fused()
-        for request_id in finished_ids:
-            self._retire(request_id)
-        stats = IterationStats(
-            iteration=self.iteration,
-            batch_size=batch_size,
-            tokens_emitted=tokens_emitted,
-            llm_tokens_scored=llm_tokens,
-            admitted=admitted,
-            finished=len(finished_ids),
-        )
+        with TRACER.span("repro.serving.iteration",
+                         iteration=self.iteration) as span:
+            admitted = self._admit()
+            batch_size = len(self._running)
+            if self.backend is None:
+                tokens_emitted, llm_tokens, finished_ids = self._advance_each()
+            else:
+                tokens_emitted, llm_tokens, finished_ids = self._advance_fused()
+            for request_id in finished_ids:
+                self._retire(request_id)
+            stats = IterationStats(
+                iteration=self.iteration,
+                batch_size=batch_size,
+                tokens_emitted=tokens_emitted,
+                llm_tokens_scored=llm_tokens,
+                admitted=admitted,
+                finished=len(finished_ids),
+            )
+            span.set(batch=batch_size, admitted=admitted,
+                     finished=len(finished_ids),
+                     tokens_emitted=tokens_emitted)
+        _ITERATIONS.inc()
+        _TOKENS.inc(tokens_emitted)
+        _SCORED.inc(llm_tokens)
+        _RUNNING.set(len(self._running))
+        _WAITING.set(len(self._waiting))
+        if batch_size:
+            _OCCUPANCY.observe(batch_size)
         self.iteration_stats.append(stats)
         self.iteration += 1
         return stats
@@ -299,6 +330,14 @@ class RequestManager:
             tracked.request.state = RequestState.RUNNING
             self._running.append(request_id)
             admitted += 1
+            _ADMITTED.inc()
+            TRACER.event(
+                "repro.serving.admit",
+                request=request_id,
+                iteration=self.iteration,
+                queued=self.iteration - tracked.request.arrival_iteration,
+                prompt_len=len(tracked.request.prompt),
+            )
         return admitted
 
     def _try_reserve(self, request: Request) -> bool:
@@ -325,6 +364,15 @@ class RequestManager:
         output.finish_iteration = self.iteration
         output.num_llm_steps = len(session.steps)
         tracked.request.state = RequestState.FINISHED
+        _RETIRED.inc()
+        TRACER.event(
+            "repro.serving.retire",
+            request=request_id,
+            iteration=self.iteration,
+            tokens=len(output.tokens),
+            llm_steps=output.num_llm_steps,
+            finished_by_eos=output.finished_by_eos,
+        )
         release = getattr(session, "release", None)
         if callable(release):
             release()  # paged caches return their blocks to the pool

@@ -1,0 +1,26 @@
+"""Wall-clock reads on the hot path and inside instrumented spans."""
+
+import time
+from time import time as now
+
+from repro.analysis.sanitizer import hot_path
+from repro.obs import TRACER
+
+
+@hot_path
+def decode_step(xs):
+    start = time.time()  # finding: wall clock in a @hot_path function
+    return xs, start
+
+
+def traced_phase(tracer):
+    with tracer.span("repro.engine.speculate"):
+        stamp = time.time_ns()  # finding: wall clock inside a span
+    with TRACER.span("repro.engine.commit", batch=1):
+        started = now()  # finding: from-imported wall clock inside a span
+    return stamp, started
+
+
+def cold_helper():
+    # Cold code outside any span: wall clock is fine here.
+    return time.time()

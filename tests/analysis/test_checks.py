@@ -132,3 +132,55 @@ class TestGoodCorpus:
         report = lint_fixture("good_clean.py")
         assert report.findings == []
         assert report.error == ""
+
+
+class TestWallClock:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_wall_clock.py", checks=["wall-clock"])
+        assert len(report.unsuppressed) == 3
+        assert set(names(report)) == {"wall-clock"}
+        messages = [f.message for f in report.unsuppressed]
+        assert any("time.time()" in m and "hot path" in m for m in messages)
+        assert any("time.time_ns()" in m and "instrumented span" in m
+                   for m in messages)
+        assert any(m.startswith("now()") for m in messages)
+
+    def test_cold_code_outside_spans_is_clean(self, lint_snippet):
+        report = lint_snippet(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n",
+            checks=["wall-clock"],
+        )
+        assert report.findings == []
+
+    def test_hot_scope_pragma_opts_in(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope hot-path\n"
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n",
+            checks=["wall-clock"],
+        )
+        assert names(report) == ["wall-clock"]
+
+    def test_perf_counter_is_clean_in_spans(self, lint_snippet):
+        report = lint_snippet(
+            "import time\n"
+            "def phase(tracer):\n"
+            "    with tracer.span('repro.engine.tick'):\n"
+            "        return time.perf_counter()\n",
+            checks=["wall-clock"],
+        )
+        assert report.findings == []
+
+    def test_suppression_is_honored(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope hot-path\n"
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()  # lint: allow-wall-clock batch stamp\n",
+            checks=["wall-clock"],
+        )
+        assert report.findings != []
+        assert report.unsuppressed == []

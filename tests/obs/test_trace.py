@@ -1,0 +1,130 @@
+"""Tracer unit + schema golden tests.
+
+The JSONL schema is a contract with external consumers (CI trace diffs,
+``docs/observability.md``): key set, key order (sorted), separators, and
+the seq/id/parent numbering discipline are all pinned here.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, tracing
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(registry=MetricsRegistry())
+
+
+class TestRecording:
+    def test_disabled_by_default_records_nothing(self, tracer):
+        with tracer.span("repro.t.phase") as span:
+            span.set(tokens=3)
+            tracer.event("repro.t.mark")
+        assert tracer.records() == []
+
+    def test_disabled_spans_still_time_into_registry(self, tracer):
+        with tracer.span("repro.t.phase"):
+            pass
+        hist = tracer.registry.get("repro.t.phase.host_seconds")
+        assert hist is not None and hist.count == 1
+
+    def test_span_nesting_and_parent_ids(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.outer"):
+            with tracer.span("repro.t.inner"):
+                tracer.event("repro.t.mark")
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["repro.t.outer"]["parent"] is None
+        assert records["repro.t.inner"]["parent"] == \
+            records["repro.t.outer"]["id"]
+        assert records["repro.t.mark"]["span"] == \
+            records["repro.t.inner"]["id"]
+
+    def test_records_sorted_by_start_seq(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.outer"):   # opens first, closes last
+            with tracer.span("repro.t.inner"):
+                pass
+        assert [r["name"] for r in tracer.records()] == \
+            ["repro.t.outer", "repro.t.inner"]
+
+    def test_set_amends_attrs_before_close(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.phase", requests=2) as span:
+            span.set(tokens=9)
+        (record,) = tracer.records()
+        assert record["attrs"] == {"requests": 2, "tokens": 9}
+
+    def test_reset_restarts_ids(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.phase"):
+            pass
+        tracer.reset()
+        tracer.enable()
+        with tracer.span("repro.t.phase"):
+            pass
+        (record,) = tracer.records()
+        assert record["id"] == 0 and record["seq"] == 0
+
+
+class TestSchemaGolden:
+    """Byte-exact golden lines for both record kinds."""
+
+    def test_jsonl_golden(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.tick", iteration=1) as span:
+            tracer.event("repro.t.admit", request=0)
+            span.set(batch=2)
+        expected = "\n".join([
+            '{"attrs":{"batch":2,"iteration":1},"end":2,"id":0,'
+            '"kind":"span","name":"repro.t.tick","parent":null,"seq":0}',
+            '{"attrs":{"request":0},"kind":"event","name":"repro.t.admit",'
+            '"seq":1,"span":0}',
+        ])
+        assert tracer.to_jsonl() == expected
+
+    def test_span_key_set_is_pinned(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.tick"):
+            tracer.event("repro.t.mark")
+        span, event = (r for r in tracer.records())
+        assert sorted(span) == \
+            ["attrs", "end", "id", "kind", "name", "parent", "seq"]
+        assert sorted(event) == ["attrs", "kind", "name", "seq", "span"]
+
+    def test_export_jsonl_newline_terminated(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.tick"):
+            pass
+        buf = io.StringIO()
+        assert tracer.export_jsonl(buf) == 1
+        text = buf.getvalue()
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        assert json.loads(text) == tracer.records()[0]
+
+    def test_empty_export_writes_nothing(self, tracer):
+        buf = io.StringIO()
+        assert tracer.export_jsonl(buf) == 0
+        assert buf.getvalue() == ""
+
+
+class TestTracingContext:
+    def test_enables_and_restores(self, tracer):
+        assert not tracer.enabled
+        with tracing(tracer):
+            assert tracer.enabled
+            with tracer.span("repro.t.phase"):
+                pass
+        assert not tracer.enabled
+        assert len(tracer.records()) == 1
+
+    def test_starts_from_clean_slate(self, tracer):
+        tracer.enable()
+        with tracer.span("repro.t.stale"):
+            pass
+        with tracing(tracer):
+            assert tracer.records() == []

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -84,3 +86,47 @@ class TestLatency:
         code = main(["latency", "--model", "llama-65b", "--tp", "4",
                      "--pp", "2"])
         assert code == 0
+
+
+class TestTrace:
+    def test_trace_to_file_is_deterministic(self, capsys, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        argv = ["trace", "Alpaca", "--requests", "2", "--tokens", "4",
+                "--seed", "3"]
+        assert main(argv + ["--out", str(first)]) == 0
+        assert main(argv + ["--out", str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert first.read_bytes() == second.read_bytes()
+        lines = first.read_text().splitlines()
+        names = {json.loads(line)["name"] for line in lines}
+        for phase in ("speculate", "fit", "verify", "commit"):
+            assert f"repro.engine.{phase}" in names
+
+    def test_trace_to_stdout(self, capsys):
+        code = main(["trace", "Alpaca", "--requests", "1", "--tokens", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        line = out.splitlines()[0]
+        record = json.loads(line)
+        assert record["kind"] in ("span", "event")
+
+
+class TestMetrics:
+    def test_text_table(self, capsys):
+        code = main(["metrics", "--requests", "2", "--tokens", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro.engine.ticks" in out
+        assert "repro.serving.retired" in out
+        assert "histogram" in out
+
+    def test_json_snapshot(self, capsys):
+        code = main(["metrics", "--requests", "2", "--tokens", "4",
+                     "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["repro.serving.retired"]["value"] == 2
+        assert snapshot["repro.engine.tick.host_seconds"]["count"] > 0
