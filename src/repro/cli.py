@@ -10,6 +10,7 @@ Commands:
 * ``lint`` — run the repro static-analysis checks over source paths.
 * ``trace`` — run a seeded workload, export the span/event trace as JSONL.
 * ``metrics`` — run a seeded workload, dump the metrics registry.
+* ``chaos`` — run a workload under seeded fault injection; report survival.
 """
 
 from __future__ import annotations
@@ -312,6 +313,58 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Serve a workload twice — clean, then under seeded fault injection —
+    and report whether the serving stack survived.
+
+    Survival means every request finished (none FAILED) and, because the
+    workload verifies greedily, every finished request's tokens are
+    bit-identical to the fault-free run despite preemptions, retries, and
+    speculation fallbacks.  Exit 0 on survival, 1 otherwise.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.obs import REGISTRY, reset_observability
+    from repro.obs.workload import run_observed_workload
+
+    spec = _workload_spec(args)
+    # The cost-model replay contributes nothing to the parity check.
+    reset_observability()
+    clean = run_observed_workload(dc_replace(spec, simulate=False))
+    expected = {o.request_id: o.tokens for o in clean.finished_outputs()}
+
+    reset_observability()
+    chaotic = run_observed_workload(
+        dc_replace(spec, simulate=False, fault_rate=args.fault_rate)
+    )
+    actual = {o.request_id: o.tokens for o in chaotic.finished_outputs()}
+    failed = chaotic.failed_outputs()
+
+    def metric(name: str) -> int:
+        m = REGISTRY.get(name)
+        return int(m.value) if m is not None else 0
+
+    parity = actual == expected
+    print(f"workload            : {args.workload} ({spec.requests} requests, "
+          f"seed {spec.seed})")
+    print(f"fault rate          : {args.fault_rate}")
+    print(f"faults injected     : {metric('repro.faults.injected')} "
+          f"of {metric('repro.faults.checks')} checks")
+    print(f"  speculation       : {metric('repro.faults.speculation')}")
+    print(f"  verification      : {metric('repro.faults.verification')}")
+    print(f"  session           : {metric('repro.faults.session')}")
+    print(f"  kv_pressure       : {metric('repro.faults.kv_pressure')}")
+    print(f"preemptions         : {metric('repro.serving.preemptions')}")
+    print(f"retries             : {metric('repro.serving.retries')}")
+    print(f"fallback ticks      : {metric('repro.engine.fallback_ticks')}")
+    print(f"requests finished   : {len(actual)} / {spec.requests}")
+    print(f"requests failed     : {len(failed)}")
+    print(f"token parity        : {parity}")
+    survived = parity and not failed and len(actual) == len(expected)
+    print(f"survived            : {survived}")
+    return 0 if survived else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -393,6 +446,15 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("text", "json"),
                          default="text")
     metrics.set_defaults(handler=cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="serve a workload under seeded fault injection",
+    )
+    _add_workload_args(chaos, positional=True)
+    chaos.add_argument("--fault-rate", type=float, default=0.05,
+                       help="per-site fault-injection probability")
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 

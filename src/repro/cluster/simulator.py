@@ -56,17 +56,25 @@ class SimulatedLatency:
     """End-to-end simulated latency of one replayed generation.
 
     Attributes:
-        total_seconds: Wall-clock for the whole generation (one request's
-            view; the batch advances together).
-        tokens: Tokens generated per request.
+        total_seconds: Modeled serial seconds for the generation(s).  For a
+            single :meth:`ServingSimulator.replay` this is one request's
+            wall-clock (the batch advances together).  For
+            :meth:`ServingSimulator.replay_many` it is the *sum* across
+            requests — a throughput/accounting total, **not** batch
+            wall-clock; see ``batch_wall_seconds``.
+        tokens: Tokens generated (summed across requests for aggregates).
         spec_seconds: Time spent in SSM speculation.
         verify_seconds: Time spent in LLM decoding/verification steps.
+        batch_wall_seconds: Wall-clock of the slowest request when this
+            latency aggregates concurrent requests (``replay_many``);
+            ``None`` for a single-request replay.
     """
 
     total_seconds: float
     tokens: int
     spec_seconds: float
     verify_seconds: float
+    batch_wall_seconds: Optional[float] = None
 
     @property
     def per_token_seconds(self) -> float:
@@ -141,7 +149,15 @@ class ServingSimulator:
         batch_size: int = 1,
         sequence_based_decoding: bool = False,
     ) -> SimulatedLatency:
-        """Aggregate replay over several requests (mean per-token latency)."""
+        """Aggregate replay over several requests.
+
+        The returned ``total_seconds`` is the **sum** of each request's
+        serial seconds — the right denominator-weighting for the
+        ``per_token_seconds`` property, which then equals the token-weighted
+        mean per-token latency across requests.  It is *not* the wall-clock
+        of running the requests concurrently; that is the slowest request's
+        time and is reported as ``batch_wall_seconds``.
+        """
         if not results:
             raise ValueError("results must be non-empty")
         sims = [
@@ -153,6 +169,7 @@ class ServingSimulator:
             tokens=int(sum(s.tokens for s in sims)),
             spec_seconds=float(sum(s.spec_seconds for s in sims)),
             verify_seconds=float(sum(s.verify_seconds for s in sims)),
+            batch_wall_seconds=float(max(s.total_seconds for s in sims)),
         )
 
     # -- internals -----------------------------------------------------------------
@@ -177,12 +194,21 @@ class ServingSimulator:
         self, step: StepTrace, batch_size: int, sequence_based: bool
     ) -> float:
         if sequence_based and step.tree_size > 0:
+            # The baseline decodes each root-to-leaf path as its own
+            # sequence, so the KV context it reads covers the redundant
+            # per-path tokens (tree_path_tokens), not the deduplicated
+            # tree positions the fused kernel scores.
             scored = batch_size * max(step.tree_path_tokens, 1)
             kernels = max(step.tree_leaves, 1)
+            context = batch_size * (
+                step.prefix_len + max(step.tree_path_tokens, 1)
+            )
         else:
             scored = batch_size * max(step.llm_tokens_scored, 1)
             kernels = 1
-        context = batch_size * (step.prefix_len + max(step.llm_tokens_scored, 1))
+            context = batch_size * (
+                step.prefix_len + max(step.llm_tokens_scored, 1)
+            )
         if isinstance(self.llm_latency, OffloadLatencyModel):
             return self.llm_latency.step_latency(scored, context)
         return self.llm_latency.step_latency(

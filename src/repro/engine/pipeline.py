@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.analysis.sanitizer import hot_path
 from repro.engine.batched import BatchedTreeVerifier
+from repro.faults import FaultError, FaultKind
 from repro.engine.generation import (
     GenerationConfig,
     GenerationResult,
@@ -71,6 +72,12 @@ _TREE_SIZE = REGISTRY.histogram(
 _TOKENS_PER_STEP = REGISTRY.histogram(
     "repro.engine.tokens_per_step", buckets=DEFAULT_COUNT_BUCKETS,
     help="verified tokens emitted per committed step (Table 2)")
+_FALLBACK_ENTRIES = REGISTRY.counter(
+    "repro.engine.fallback_entries",
+    help="faults that switched the pipeline into incremental fallback")
+_FALLBACK_TICKS = REGISTRY.counter(
+    "repro.engine.fallback_ticks",
+    help="pipeline ticks served in incremental fallback mode")
 
 
 def _observe_verify(kind: str, trees: Sequence[TokenTree]) -> None:
@@ -246,14 +253,19 @@ class TraceRecorder:
     """
 
     def record(self, state: DecodeState, tree: TokenTree,
-               verification: VerificationResult) -> StepTrace:
+               verification: VerificationResult,
+               incremental_shape: bool = False) -> StepTrace:
         """Build and append the trace for one committed verification step.
 
         Incremental steps (``state.speculator is None``) record the
         Algorithm 1 shape — one token scored, one emitted, no tree fields —
         even though the pipeline modeled them as a one-node tree.
+        ``incremental_shape`` forces that shape for a *speculative* state
+        whose tick degraded to incremental decoding (fault fallback): no
+        speculation ran, so charging SSM steps or tree fields to the cost
+        model would misprice the step.
         """
-        if state.speculator is None:
+        if state.speculator is None or incremental_shape:
             fields = dict(
                 llm_tokens_scored=1,
                 tokens_emitted=1,
@@ -476,15 +488,46 @@ class DecodePipeline:
         model: The LLM (sizes the tree fitter).
         backend: The verification backend; defaults to
             :class:`PerRequestBackend` over ``model``.
+        injector: Optional :class:`~repro.faults.FaultInjector`.  When set,
+            speculation and verification faults can fire each tick; the
+            affected tick *degrades* to incremental decoding (a one-node
+            tree per state, verified by :class:`IncrementalBackend`) instead
+            of crashing, and speculation re-enables after
+            ``fallback_cooldown`` clean ticks.  Under greedy verification
+            degraded ticks emit exactly the tokens the speculative path
+            would — the fallback is lossless, just slower.
+        fallback_cooldown: Clean (degraded) ticks served after a fault
+            before speculation resumes.
     """
 
     def __init__(self, model: TransformerLM,
-                 backend: Optional[VerificationBackend] = None):
+                 backend: Optional[VerificationBackend] = None,
+                 injector: Optional["FaultInjector"] = None,
+                 fallback_cooldown: int = 3):
+        if fallback_cooldown < 0:
+            raise ValueError("fallback_cooldown must be >= 0")
         self.model = model
         self.backend = backend if backend is not None else PerRequestBackend(model)
+        self.injector = injector
+        self.fallback_cooldown = fallback_cooldown
         self.fitter = TreeFitter(model.config.max_seq_len)
         self.recorder = TraceRecorder()
+        self._fallback_backend = IncrementalBackend(model)
+        self._fallback_remaining = 0
         self._ticks = 0
+
+    # -- fault fallback ------------------------------------------------------------
+
+    @property
+    def speculation_suppressed(self) -> bool:
+        """Whether the pipeline is currently in incremental fallback mode."""
+        return self._fallback_remaining > 0
+
+    def _enter_fallback(self, cause: str) -> None:
+        self._fallback_remaining = self.fallback_cooldown
+        _FALLBACK_ENTRIES.inc()
+        TRACER.event("repro.engine.fallback", cause=cause,
+                     cooldown=self.fallback_cooldown, iteration=self._ticks)
 
     # -- phases --------------------------------------------------------------------
 
@@ -520,9 +563,11 @@ class DecodePipeline:
         return self._fit_tree(state, self._speculate_tree(state))
 
     def commit(self, state: DecodeState, tree: TokenTree,
-               verification: VerificationResult) -> List[int]:
+               verification: VerificationResult,
+               incremental_shape: bool = False) -> List[int]:
         """Phase 3: record the outcome and advance the request's state."""
-        self.recorder.record(state, tree, verification)
+        self.recorder.record(state, tree, verification,
+                             incremental_shape=incremental_shape)
         emitted = state.emit(verification.accepted_tokens)
         previous_pending = state.pending
         state.pending = int(verification.bonus_token)
@@ -552,12 +597,31 @@ class DecodePipeline:
                          batch=len(states)) as tick_span:
             self._ticks += 1
 
+            # Fault fallback: a tick is degraded when a previous fault's
+            # cooldown is still draining, or when a speculation fault fires
+            # now.  Degraded ticks speculate the one-node tree (Algorithm 1)
+            # for every state and verify through the incremental backend.
+            degraded = self._fallback_remaining > 0
+            entered = False
+            can_speculate = any(
+                s.speculator is not None and not s.finished for s in states
+            )
+            if not degraded and can_speculate and self.injector is not None:
+                try:
+                    self.injector.maybe_fail(FaultKind.SPECULATION,
+                                             iteration=self._ticks - 1)
+                except FaultError:
+                    self._enter_fallback("speculation")
+                    degraded = entered = True
+
             with TRACER.span("repro.engine.speculate") as span:
                 raw: List[Optional[TokenTree]] = []
                 for i, state in enumerate(states):
                     if state.finished:
                         outcomes[i].retired = state.retired
                         raw.append(None)
+                    elif degraded:
+                        raw.append(TokenTree(state.pending))
                     else:
                         raw.append(self._speculate_tree(state))
                 nodes = sum(len(t) for t in raw if t is not None)
@@ -589,21 +653,38 @@ class DecodePipeline:
 
             with TRACER.span("repro.engine.verify", requests=len(active),
                              tokens=sum(len(t) for t in trees)):
-                results = (
-                    self.backend.verify(active, trees) if active else []
-                )
+                if active and not degraded and self.injector is not None:
+                    try:
+                        self.injector.maybe_fail(FaultKind.VERIFICATION,
+                                                 iteration=self._ticks - 1)
+                    except FaultError:
+                        # The backend is down this tick: discard the
+                        # speculated trees (nothing touched the caches yet)
+                        # and decode each pending token incrementally.
+                        self._enter_fallback("verification")
+                        degraded = entered = True
+                        trees = [TokenTree(s.pending) for s in active]
+                backend = self._fallback_backend if degraded else self.backend
+                results = backend.verify(active, trees) if active else []
 
             with TRACER.span("repro.engine.commit") as span:
                 emitted_total = 0
                 for i, state, tree, result in zip(slots, active, trees,
                                                   results):
-                    outcomes[i].emitted = self.commit(state, tree, result)
+                    outcomes[i].emitted = self.commit(
+                        state, tree, result, incremental_shape=degraded
+                    )
                     outcomes[i].advanced = True
                     emitted_total += len(outcomes[i].emitted)
                 _TOKENS_EMITTED.inc(emitted_total)
                 span.set(steps=len(results), tokens_emitted=emitted_total)
 
-            tick_span.set(advanced=len(results), tokens_emitted=emitted_total)
+            if degraded:
+                _FALLBACK_TICKS.inc()
+                if not entered:
+                    self._fallback_remaining -= 1
+            tick_span.set(advanced=len(results), tokens_emitted=emitted_total,
+                          degraded=degraded)
         return outcomes
 
     def run_to_completion(self, state: DecodeState) -> DecodeState:

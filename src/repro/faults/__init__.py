@@ -1,0 +1,41 @@
+"""Seeded, deterministic fault injection for the serving runtime.
+
+The paper's serving substrate (section 5.1) assumes every admitted request
+runs to completion; production serving cannot.  This package makes failure
+a first-class, *tested* code path: a :class:`FaultPlan` derives one RNG
+stream per fault site from a single seed, a :class:`FaultInjector` turns
+those streams into injected exceptions (and metrics / trace events), and
+the serving stack — :class:`~repro.serving.manager.RequestManager` and
+:class:`~repro.engine.pipeline.DecodePipeline` — is taught to survive
+them: preempt-and-requeue, bounded retry with backoff-in-iterations, and
+graceful speculation fallback.  See ``docs/fault_tolerance.md``.
+
+Because every decision comes from a per-site seeded stream, a chaos run is
+exactly reproducible: same seed, same rate, same workload -> the same
+faults fire at the same points, which is what lets the chaos parity suite
+pin bit-identical outputs against the fault-free run.
+"""
+
+from repro.faults.plan import (
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    KvPressureFault,
+    SpeculationFault,
+    TransientSessionFault,
+    VerificationFault,
+    exception_for,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "KvPressureFault",
+    "SpeculationFault",
+    "TransientSessionFault",
+    "VerificationFault",
+    "exception_for",
+]

@@ -1,0 +1,95 @@
+"""The fault injector: seeded decisions -> injected exceptions + telemetry.
+
+An injector is the single mutable object of the fault layer.  Call sites
+ask it one question — "does a fault of this kind fire here?" — either as a
+boolean (:meth:`FaultInjector.should_fire`, used where the caller handles
+the fault as a signal, e.g. KV-pressure preemption) or as an exception
+(:meth:`FaultInjector.maybe_fail`, used where the fault interrupts a code
+path, e.g. speculation).  Every check and every injection is counted in the
+``repro.faults.*`` metrics and injected faults emit ``repro.faults.inject``
+trace events, so a chaos run's failure surface is fully observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultKind, FaultPlan, exception_for
+from repro.obs import REGISTRY, TRACER
+
+_CHECKS = REGISTRY.counter(
+    "repro.faults.checks", help="fault-injection decision points evaluated")
+_INJECTED = REGISTRY.counter(
+    "repro.faults.injected", help="faults injected (all kinds)")
+_BY_KIND = {
+    kind: REGISTRY.counter(
+        f"repro.faults.{kind.value}",
+        help=f"injected {kind.value.replace('_', ' ')} faults",
+    )
+    for kind in FaultKind
+}
+
+
+class FaultInjector:
+    """Draws per-site seeded decisions and raises the matching faults.
+
+    Args:
+        rate: Base per-check fire probability (ignored when ``plan`` given).
+        seed: Master seed (ignored when ``plan`` given).
+        rates: Optional per-kind rate overrides (ignored when ``plan`` given).
+        plan: An explicit :class:`FaultPlan` to use instead.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        seed: int = 0,
+        rates: Optional[Dict[FaultKind, float]] = None,
+        plan: Optional[FaultPlan] = None,
+    ):
+        self.plan = plan if plan is not None else FaultPlan(
+            rate=rate, seed=seed, rates=rates
+        )
+        self._streams = {kind: self.plan.stream(kind) for kind in FaultKind}
+        self.checks: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+        self.injected: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+
+    # -- decision ------------------------------------------------------------------
+
+    def _decide(self, kind: FaultKind) -> bool:
+        """One seeded draw for ``kind`` (overridable by scripted test doubles)."""
+        rate = self.plan.rate_for(kind)
+        if rate <= 0.0:
+            return False
+        return float(self._streams[kind].random()) < rate
+
+    def should_fire(self, kind: FaultKind, **context) -> bool:
+        """Whether a fault of ``kind`` fires at this check point.
+
+        ``context`` keys (request id, iteration, ...) are attached to the
+        ``repro.faults.inject`` trace event when the fault fires.
+        """
+        self.checks[kind] += 1
+        _CHECKS.inc()
+        if not self._decide(kind):
+            return False
+        self.injected[kind] += 1
+        _INJECTED.inc()
+        _BY_KIND[kind].inc()
+        TRACER.event("repro.faults.inject", kind=kind.value, **context)
+        return True
+
+    def maybe_fail(self, kind: FaultKind, **context) -> None:
+        """Raise the fault of ``kind`` if this check point fires."""
+        if self.should_fire(kind, **context):
+            raise exception_for(kind)(
+                f"injected {kind.value} fault"
+                + (f" ({context})" if context else "")
+            )
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected across all kinds since construction."""
+        return sum(self.injected.values())

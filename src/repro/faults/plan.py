@@ -1,0 +1,112 @@
+"""Fault taxonomy and the seeded plan that decides when faults fire.
+
+A :class:`FaultPlan` is pure configuration: a base rate, optional per-kind
+rate overrides, and a seed.  It owns no mutable state — the
+:class:`~repro.faults.injector.FaultInjector` materializes the per-site RNG
+streams — so plans can be shared, compared, and embedded in test fixtures.
+
+Determinism contract: each :class:`FaultKind` gets its *own* RNG stream,
+seeded from ``(seed, crc32(kind))``.  Decisions at one site therefore never
+shift another site's stream, and a run is fully determined by (seed, rates,
+workload): the ``n``-th check of a given kind always sees the same draw.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Mapping, Optional, Type
+
+import numpy as np
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector can simulate.
+
+    Attributes:
+        SPECULATION: The SSM fleet fails to speculate (speculator crash,
+            draft-model OOM); the pipeline tick degrades to incremental
+            decoding.
+        VERIFICATION: The verification backend fails (fused kernel fault);
+            the tick degrades to incremental decoding.
+        SESSION: A transient per-request session error (lost connection,
+            worker restart); the manager retries with backoff-in-iterations
+            and eventually marks the request FAILED.
+        KV_PRESSURE: A simulated KV-memory pressure spike; the manager
+            preempts a victim request to shed load.
+    """
+
+    SPECULATION = "speculation"
+    VERIFICATION = "verification"
+    SESSION = "session"
+    KV_PRESSURE = "kv_pressure"
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected fault."""
+
+
+class SpeculationFault(FaultError):
+    """Injected SSM-speculation failure."""
+
+
+class VerificationFault(FaultError):
+    """Injected verification-backend failure."""
+
+
+class TransientSessionFault(FaultError):
+    """Injected transient per-request session error."""
+
+
+class KvPressureFault(FaultError):
+    """Injected KV-memory pressure spike."""
+
+
+_EXCEPTION_FOR: Mapping[FaultKind, Type[FaultError]] = {
+    FaultKind.SPECULATION: SpeculationFault,
+    FaultKind.VERIFICATION: VerificationFault,
+    FaultKind.SESSION: TransientSessionFault,
+    FaultKind.KV_PRESSURE: KvPressureFault,
+}
+
+
+def exception_for(kind: FaultKind) -> Type[FaultError]:
+    """The exception class an injected fault of ``kind`` raises."""
+    return _EXCEPTION_FOR[kind]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of *when* faults fire.
+
+    Args:
+        rate: Base per-check fire probability in ``[0, 1]`` applied to every
+            kind without an override.
+        seed: Master seed; each kind's stream derives from it.
+        rates: Optional per-kind rate overrides (e.g. KV pressure only).
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    rates: Optional[Mapping[FaultKind, float]] = None
+
+    def __post_init__(self) -> None:
+        for kind in FaultKind:
+            r = self.rate_for(kind)
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(
+                    f"fault rate for {kind.value} must be in [0, 1], got {r}"
+                )
+
+    def rate_for(self, kind: FaultKind) -> float:
+        """The fire probability of one fault kind."""
+        if self.rates is not None and kind in self.rates:
+            return float(self.rates[kind])
+        return float(self.rate)
+
+    def stream(self, kind: FaultKind) -> np.random.Generator:
+        """A fresh RNG stream for ``kind``, independent across kinds."""
+        return np.random.default_rng(
+            [self.seed, zlib.crc32(kind.value.encode("ascii"))]
+        )

@@ -38,6 +38,12 @@ class WorkloadSpec:
         mode: Fused verification mode, ``"block"`` or ``"dense"``.
         simulate: Also replay one offline generation through the cluster
             cost model (populates ``repro.cluster.*`` metrics).
+        fault_rate: Per-site fault-injection probability; 0.0 (default)
+            serves without an injector, byte-identical to the pre-fault
+            workload.
+        fault_seed: Seed for the injector's fault streams; defaults to a
+            fixed offset of ``seed`` so fault decisions never perturb the
+            workload's own RNG streams.
     """
 
     dataset: str = "Alpaca"
@@ -49,6 +55,8 @@ class WorkloadSpec:
     alignment: float = 0.88
     mode: str = "block"
     simulate: bool = True
+    fault_rate: float = 0.0
+    fault_seed: Optional[int] = None
 
 
 def _build_toy_pair(alignment: float, seed: int):
@@ -99,11 +107,19 @@ def run_observed_workload(spec: Optional[WorkloadSpec] = None):
             cache_factory=arena.new_sequence,
         )
 
+    injector = None
+    if spec.fault_rate > 0:
+        from repro.faults import FaultInjector
+
+        fault_seed = (spec.fault_seed if spec.fault_seed is not None
+                      else spec.seed + 9973)
+        injector = FaultInjector(rate=spec.fault_rate, seed=fault_seed)
     manager = RequestManager(
         session_factory,
         max_batch_size=spec.batch,
         backend=FusedBackend(llm, rng=np.random.default_rng(spec.seed),
                              mode=spec.mode),
+        injector=injector,
     )
     dataset = make_dataset(spec.dataset, vocab_size=llm.config.vocab_size)
     arrivals = PoissonArrivals(

@@ -41,7 +41,10 @@ from repro.serving.metrics import (
 from repro.serving.policies import (
     fcfs,
     longest_job_first,
+    make_preemption_policy,
     make_priority_policy,
+    preempt_newest_first,
+    preempt_oldest_first,
     shortest_job_first,
 )
 
@@ -70,4 +73,7 @@ __all__ = [
     "shortest_job_first",
     "longest_job_first",
     "make_priority_policy",
+    "preempt_newest_first",
+    "preempt_oldest_first",
+    "make_preemption_policy",
 ]

@@ -19,17 +19,30 @@ backend:
 * ``backend=PerRequestBackend(model, rng=...)``: the per-request execution
   strategy under the fused scheduling discipline — used by the parity
   suites to show all backends emit identical tokens.
+
+Failure is a first-class code path (see ``docs/fault_tolerance.md``).  With
+a :class:`~repro.faults.FaultInjector` attached the manager survives every
+injected failure mode: transient session faults are absorbed by **bounded
+retry with backoff-in-iterations** (then the terminal
+:class:`RequestState.FAILED` so one poisoned request cannot stall the
+batch), KV-pressure spikes trigger **preempt-and-requeue** (victim chosen
+by a :data:`~repro.serving.policies.PreemptionPolicy`, KV reservation
+released, session dropped, request recomputes from its committed tokens on
+re-admission), and speculation/verification faults degrade the decode
+pipeline to incremental decoding.  Under greedy verification all of these
+paths emit bit-identical final tokens to a fault-free run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.generation import GenerationConfig
 from repro.engine.pipeline import DecodePipeline, VerificationBackend
+from repro.faults import FaultError, FaultInjector, FaultKind
 from repro.obs import DEFAULT_COUNT_BUCKETS, REGISTRY, TRACER
 from repro.serving.request import Request, RequestOutput, RequestState
 from repro.serving.session import DecodeSession, SpeculativeSession
@@ -51,6 +64,15 @@ _WAITING = REGISTRY.gauge(
 _OCCUPANCY = REGISTRY.histogram(
     "repro.serving.batch_occupancy", buckets=DEFAULT_COUNT_BUCKETS,
     help="sessions advanced per non-idle scheduler iteration")
+_PREEMPTIONS = REGISTRY.counter(
+    "repro.serving.preemptions",
+    help="requests preempted and requeued (KV pressure or explicit)")
+_RETRIES = REGISTRY.counter(
+    "repro.serving.retries",
+    help="transient session faults absorbed by bounded retry")
+_FAILED = REGISTRY.counter(
+    "repro.serving.failed",
+    help="requests terminally failed after exhausting retries")
 
 
 @dataclass
@@ -59,11 +81,12 @@ class IterationStats:
 
     Attributes:
         iteration: Iteration index.
-        batch_size: Sessions advanced this iteration — every running
-            session the scheduler processed, *including* sessions that
-            finished or were retired (context exhausted) during the
-            iteration.  Identical across per-request and fused serving for
-            the same workload.
+        batch_size: Sessions holding batch slots this iteration — every
+            running session the scheduler processed, *including* sessions
+            that finished or were retired (context exhausted) during the
+            iteration and sessions skipped while backing off after a
+            transient fault.  Identical across per-request and fused
+            serving for the same workload.
         tokens_emitted: Tokens emitted across the batch.
         llm_tokens_scored: Token positions scored across the batch.
         admitted: Requests admitted this iteration.
@@ -83,6 +106,20 @@ class _Tracked:
     request: Request
     session: Optional[DecodeSession] = None
     output: Optional[RequestOutput] = None
+    #: Tokens committed by earlier session incarnations (preemption saves
+    #: them here; re-admission recomputes from prompt + committed).
+    committed: List[int] = field(default_factory=list)
+    #: LLM steps consumed by earlier incarnations.
+    llm_steps_prior: int = 0
+    #: Consecutive transient session faults (reset on successful advance).
+    retry_streak: int = 0
+    #: Total transient session faults absorbed over the lifetime.
+    total_retries: int = 0
+    #: Times this request was preempted and requeued.
+    preemptions: int = 0
+    #: The request does not advance (or re-admit) before this iteration —
+    #: backoff-in-iterations after a transient fault.
+    cooldown_until: int = 0
 
 
 class RequestManager:
@@ -91,6 +128,9 @@ class RequestManager:
     Args:
         session_factory: Builds a :class:`DecodeSession` for a request —
             this is where incremental vs speculative serving is chosen.
+            After a preemption the factory receives the *resume view* of
+            the request: prompt extended by the committed tokens, token
+            budget reduced accordingly.
         max_batch_size: Maximum concurrently running requests.
         policy: Admission-ordering policy over the waiting queue
             (default FCFS; see :mod:`repro.serving.policies`).
@@ -105,6 +145,16 @@ class RequestManager:
             session through its own pipeline; a backend verifies the whole
             batch per iteration through one shared pipeline (and requires
             :class:`SpeculativeSession` sessions).
+        injector: Optional :class:`~repro.faults.FaultInjector` driving the
+            failure paths (chaos testing); ``None`` disables injection at
+            zero cost.
+        preemption_policy: Victim ordering for KV-pressure preemption
+            (default :func:`~repro.serving.policies.preempt_newest_first`).
+        max_session_retries: Consecutive transient session faults tolerated
+            per request before it is marked ``FAILED``.
+        fallback_cooldown: Clean pipeline ticks before speculation re-enables
+            after a speculation/verification fault (forwarded to
+            :class:`DecodePipeline`).
     """
 
     def __init__(
@@ -115,12 +165,18 @@ class RequestManager:
         memory_pool: Optional["KvMemoryPool"] = None,
         kv_headroom: int = 0,
         backend: Optional[VerificationBackend] = None,
+        injector: Optional[FaultInjector] = None,
+        preemption_policy: Optional[Callable] = None,
+        max_session_retries: int = 3,
+        fallback_cooldown: int = 3,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if kv_headroom < 0:
             raise ValueError("kv_headroom must be >= 0")
-        from repro.serving.policies import fcfs
+        if max_session_retries < 0:
+            raise ValueError("max_session_retries must be >= 0")
+        from repro.serving.policies import fcfs, preempt_newest_first
 
         self.session_factory = session_factory
         self.max_batch_size = max_batch_size
@@ -128,8 +184,13 @@ class RequestManager:
         self.memory_pool = memory_pool
         self.kv_headroom = kv_headroom
         self.backend = backend
+        self.injector = injector
+        self.preemption_policy = preemption_policy or preempt_newest_first
+        self.max_session_retries = max_session_retries
+        self.fallback_cooldown = fallback_cooldown
         self._pipeline = (
-            DecodePipeline(backend.model, backend)
+            DecodePipeline(backend.model, backend, injector=injector,
+                           fallback_cooldown=fallback_cooldown)
             if backend is not None else None
         )
         self.iteration = 0
@@ -177,6 +238,8 @@ class RequestManager:
         with TRACER.span("repro.serving.iteration",
                          iteration=self.iteration) as span:
             admitted = self._admit()
+            if self.injector is not None:
+                self._apply_kv_pressure()
             batch_size = len(self._running)
             if self.backend is None:
                 tokens_emitted, llm_tokens, finished_ids = self._advance_each()
@@ -206,16 +269,40 @@ class RequestManager:
         self.iteration += 1
         return stats
 
+    def _schedulable(self) -> List[int]:
+        """Running requests that advance this iteration.
+
+        Applies the failure paths before any session touches the model:
+        requests backing off after a transient fault are skipped (they keep
+        their slot and reservation), and injected session faults are
+        absorbed here — bounded retry with exponential
+        backoff-in-iterations, then terminal ``FAILED``.
+        """
+        ready: List[int] = []
+        for request_id in list(self._running):
+            tracked = self._tracked[request_id]
+            if tracked.cooldown_until > self.iteration:
+                continue
+            if self.injector is not None and self.injector.should_fire(
+                FaultKind.SESSION, request=request_id,
+                iteration=self.iteration,
+            ):
+                self._note_session_fault(request_id)
+                continue
+            ready.append(request_id)
+        return ready
+
     def _advance_each(self) -> Tuple[int, int, List[int]]:
         """Per-request serving: each session steps through its own pipeline."""
         tokens_emitted = 0
         llm_tokens = 0
         finished_ids: List[int] = []
-        for request_id in self._running:
+        for request_id in self._schedulable():
             tracked = self._tracked[request_id]
             session = tracked.session
             steps_before = len(session.steps)
             emitted = session.step()
+            tracked.retry_streak = 0
             tokens_emitted += len(emitted)
             if len(session.steps) > steps_before:
                 # Only count steps that actually ran: a retiring session
@@ -230,8 +317,9 @@ class RequestManager:
     def _advance_fused(self) -> Tuple[int, int, List[int]]:
         """Batched serving: one pipeline tick verifies every session's tree
         through the shared backend."""
+        scheduled = self._schedulable()
         sessions: List[DecodeSession] = []
-        for request_id in self._running:
+        for request_id in scheduled:
             session = self._tracked[request_id].session
             if not isinstance(session, SpeculativeSession):
                 raise TypeError(
@@ -243,9 +331,8 @@ class RequestManager:
         tokens_emitted = 0
         llm_tokens = 0
         finished_ids: List[int] = []
-        for request_id, session, outcome in zip(
-            list(self._running), sessions, outcomes
-        ):
+        for request_id, session, outcome in zip(scheduled, sessions, outcomes):
+            self._tracked[request_id].retry_streak = 0
             tokens_emitted += len(outcome.emitted)
             if outcome.advanced:
                 llm_tokens += session.steps[-1].llm_tokens_scored
@@ -259,7 +346,11 @@ class RequestManager:
             tracked.output.first_token_iteration = self.iteration
 
     def run_until_complete(self, max_iterations: int = 100000) -> List[RequestOutput]:
-        """Drain the queue; returns finished outputs in completion order."""
+        """Drain the queue; returns finished outputs in completion order.
+
+        FAILED requests leave the queue terminally and do not appear in the
+        returned outputs (see :meth:`failed_outputs`).
+        """
         start = self.iteration
         while self.has_work:
             if self.iteration - start >= max_iterations:
@@ -301,16 +392,162 @@ class RequestManager:
         ]
         return sorted(outputs, key=lambda o: (o.finish_iteration, o.request_id))
 
+    def failed_outputs(self) -> List[RequestOutput]:
+        """Partial outputs of terminally FAILED requests (failure order)."""
+        outputs = [
+            t.output
+            for t in self._tracked.values()
+            if t.request.state is RequestState.FAILED
+        ]
+        return sorted(outputs, key=lambda o: (o.finish_iteration, o.request_id))
+
     def output_for(self, request_id: int) -> RequestOutput:
-        """The output of one finished request."""
+        """The output of one finished (or failed) request."""
         tracked = self._tracked.get(request_id)
         if tracked is None:
             raise KeyError(f"unknown request id {request_id}")
-        if tracked.request.state is not RequestState.FINISHED:
+        if tracked.request.state not in (RequestState.FINISHED,
+                                         RequestState.FAILED):
             raise ValueError(f"request {request_id} has not finished")
         return tracked.output
 
+    # -- preemption / failure ----------------------------------------------------
+
+    def preempt(self, request_id: int) -> None:
+        """Preempt a RUNNING request: requeue it and free its resources.
+
+        The session (and its KV cache) is dropped, the KV reservation is
+        released, and the request re-enters the waiting queue with its
+        committed tokens saved; on re-admission a fresh session recomputes
+        from ``prompt + committed``, so under greedy verification the final
+        output is bit-identical to an unpreempted run.
+        """
+        tracked = self._tracked.get(request_id)
+        if tracked is None:
+            raise KeyError(f"unknown request id {request_id}")
+        if tracked.request.state is not RequestState.RUNNING:
+            raise ValueError(f"request {request_id} is not running")
+        session = tracked.session
+        tracked.committed.extend(int(t) for t in session.tokens)
+        tracked.llm_steps_prior += len(session.steps)
+        tracked.preemptions += 1
+        self._drop_session(request_id)
+        tracked.request.state = RequestState.WAITING
+        self._waiting.append(request_id)
+        _PREEMPTIONS.inc()
+        TRACER.event(
+            "repro.serving.preempt",
+            request=request_id,
+            iteration=self.iteration,
+            committed=len(tracked.committed),
+            preemptions=tracked.preemptions,
+        )
+
+    def _apply_kv_pressure(self) -> None:
+        """Preempt one victim when an injected KV-pressure spike fires."""
+        if not self._running:
+            return
+        if not self.injector.should_fire(FaultKind.KV_PRESSURE,
+                                         iteration=self.iteration):
+            return
+        victims = self.preemption_policy(
+            [self._tracked[rid].request for rid in self._running]
+        )
+        if victims:
+            self.preempt(victims[0].request_id)
+
+    def _note_session_fault(self, request_id: int) -> None:
+        """Bounded retry: back off in iterations, then terminally fail."""
+        tracked = self._tracked[request_id]
+        tracked.retry_streak += 1
+        tracked.total_retries += 1
+        _RETRIES.inc()
+        if tracked.retry_streak > self.max_session_retries:
+            self._fail(request_id, "transient session faults exceeded "
+                       f"{self.max_session_retries} consecutive retries")
+            return
+        backoff = 2 ** (tracked.retry_streak - 1)
+        tracked.cooldown_until = self.iteration + backoff
+        TRACER.event(
+            "repro.serving.retry",
+            request=request_id,
+            iteration=self.iteration,
+            attempt=tracked.retry_streak,
+            backoff_iterations=backoff,
+        )
+
+    def _fail(self, request_id: int, reason: str) -> None:
+        """Terminal failure: release every resource, keep partial output."""
+        tracked = self._tracked[request_id]
+        if tracked.output is None:
+            tracked.output = RequestOutput(request_id=request_id)
+        session = tracked.session
+        output = tracked.output
+        output.tokens = tracked.committed + (
+            [int(t) for t in session.tokens] if session is not None else []
+        )
+        output.finish_iteration = self.iteration
+        output.num_llm_steps = tracked.llm_steps_prior + (
+            len(session.steps) if session is not None else 0
+        )
+        output.preemptions = tracked.preemptions
+        output.retries = tracked.total_retries
+        output.error = reason
+        tracked.request.state = RequestState.FAILED
+        if request_id in self._running:
+            self._drop_session(request_id)
+        elif request_id in self._waiting:
+            self._waiting.remove(request_id)
+        _FAILED.inc()
+        TRACER.event(
+            "repro.serving.fail",
+            request=request_id,
+            iteration=self.iteration,
+            tokens=len(output.tokens),
+            reason=reason,
+        )
+
+    def _drop_session(self, request_id: int) -> None:
+        """Free a running request's slot, session cache, and reservation."""
+        if self.memory_pool is not None:
+            self.memory_pool.release(request_id)
+        tracked = self._tracked[request_id]
+        release = getattr(tracked.session, "release", None)
+        if callable(release):
+            release()  # paged/arena caches return their rows to the pool
+        tracked.session = None  # free the KV cache
+        self._running.remove(request_id)
+
     # -- internals -----------------------------------------------------------------
+
+    def _session_request(self, tracked: _Tracked) -> Request:
+        """The request view handed to the session factory.
+
+        First admission passes the request through unchanged.  After a
+        preemption this is the *resume view*: the prompt is extended by the
+        committed tokens and the budget shrinks by the same amount, so the
+        new session's verified prefix is exactly the preempted session's
+        committed state and the concatenated output stays within the
+        original budget.
+        """
+        request = tracked.request
+        if not tracked.committed:
+            return request
+        resume = Request(
+            request_id=request.request_id,
+            prompt=np.concatenate([
+                request.prompt,
+                np.asarray(tracked.committed, dtype=np.intp),
+            ]),
+            config=replace(
+                request.config,
+                max_new_tokens=(request.config.max_new_tokens
+                                - len(tracked.committed)),
+            ),
+            arrival_iteration=request.arrival_iteration,
+        )
+        resume.state = RequestState.RUNNING
+        return resume
 
     def _admit(self) -> int:
         admitted = 0
@@ -320,15 +557,36 @@ class RequestManager:
         for request in ordered:
             if len(self._running) >= self.max_batch_size:
                 break
+            request_id = request.request_id
+            tracked = self._tracked[request_id]
+            if tracked.cooldown_until > self.iteration:
+                continue  # backing off after an admission-time fault
             if not self._try_reserve(request):
                 continue  # does not fit in KV memory right now; skip ahead
-            request_id = request.request_id
-            self._waiting.remove(request_id)
-            tracked = self._tracked[request_id]
-            tracked.session = self.session_factory(tracked.request)
-            tracked.output = RequestOutput(request_id=request_id)
+            try:
+                session = self.session_factory(self._session_request(tracked))
+            except Exception as exc:
+                # The reservation must not outlive a failed admission —
+                # leaking it here would strand KV capacity forever.
+                if self.memory_pool is not None:
+                    self.memory_pool.release(request_id)
+                if isinstance(exc, FaultError):
+                    # Injected transient fault at admission: the request
+                    # stays WAITING and retries with backoff.
+                    self._note_session_fault(request_id)
+                    continue
+                raise
+            tracked.session = session
+            if tracked.output is None:
+                tracked.output = RequestOutput(request_id=request_id)
             tracked.request.state = RequestState.RUNNING
+            self._waiting.remove(request_id)
             self._running.append(request_id)
+            if self.injector is not None and self.backend is None:
+                # Per-request serving: arm each session's standalone
+                # pipeline (fused serving arms the one shared pipeline).
+                session.attach_injector(self.injector,
+                                        self.fallback_cooldown)
             admitted += 1
             _ADMITTED.inc()
             TRACER.event(
@@ -354,16 +612,17 @@ class RequestManager:
         return True
 
     def _retire(self, request_id: int) -> None:
-        if self.memory_pool is not None:
-            self.memory_pool.release(request_id)
         tracked = self._tracked[request_id]
         session = tracked.session
         output = tracked.output
-        output.tokens = list(session.tokens)
+        output.tokens = tracked.committed + [int(t) for t in session.tokens]
         output.finished_by_eos = session.finished_by_eos
         output.finish_iteration = self.iteration
-        output.num_llm_steps = len(session.steps)
+        output.num_llm_steps = tracked.llm_steps_prior + len(session.steps)
+        output.preemptions = tracked.preemptions
+        output.retries = tracked.total_retries
         tracked.request.state = RequestState.FINISHED
+        self._drop_session(request_id)
         _RETIRED.inc()
         TRACER.event(
             "repro.serving.retire",
@@ -373,8 +632,3 @@ class RequestManager:
             llm_steps=output.num_llm_steps,
             finished_by_eos=output.finished_by_eos,
         )
-        release = getattr(session, "release", None)
-        if callable(release):
-            release()  # paged caches return their blocks to the pool
-        tracked.session = None  # free the KV cache
-        self._running.remove(request_id)

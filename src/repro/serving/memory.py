@@ -33,8 +33,15 @@ class KvMemoryPool:
     Reservations are worst-case (made at admission, released at retirement),
     matching how conservative serving systems avoid mid-flight OOM.
 
+    All accounting is in *integer* bytes: reservations add and release
+    exact amounts, so ``reserved_bytes`` returns to exactly 0 after a
+    drained run no matter how many reserve/release (or preempt/readmit)
+    cycles happened — float accumulation would drift and strand capacity
+    over long runs.
+
     Args:
-        budget_bytes: Device memory available for KV caches.
+        budget_bytes: Device memory available for KV caches (floats are
+            truncated to whole bytes).
         model: Architecture whose per-token KV footprint applies.
         bytes_per_value: Cache precision (2 = FP16).
     """
@@ -43,20 +50,22 @@ class KvMemoryPool:
                  bytes_per_value: int = 2):
         if budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive")
-        self.budget_bytes = float(budget_bytes)
+        self.budget_bytes = int(budget_bytes)
+        if self.budget_bytes <= 0:
+            raise ValueError("budget_bytes must be at least one byte")
         self.model = model
-        self.bytes_per_token = kv_bytes_per_token(model, bytes_per_value)
+        self.bytes_per_token = int(kv_bytes_per_token(model, bytes_per_value))
         self._reservations: Dict[int, KvReservation] = {}
-        self._reserved_bytes = 0.0
+        self._reserved_bytes = 0
 
     # -- accounting ---------------------------------------------------------------
 
     @property
-    def reserved_bytes(self) -> float:
+    def reserved_bytes(self) -> int:
         return self._reserved_bytes
 
     @property
-    def available_bytes(self) -> float:
+    def available_bytes(self) -> int:
         return self.budget_bytes - self._reserved_bytes
 
     @property

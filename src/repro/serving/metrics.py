@@ -25,15 +25,19 @@ class RequestLatency:
 
     Attributes:
         request_id: The request.
-        queueing: Iterations spent waiting before the first decode.
-        ttft: Arrival to first emitted token.
+        queueing: Iterations spent waiting before the first decode, or
+            ``None`` when the request never emitted a token.
+        ttft: Arrival to first emitted token, or ``None`` when the request
+            finished (or failed) without emitting — a tokenless request has
+            no first token, so TTFT is undefined rather than zero.
         completion: Arrival to finish.
-        tpot: Mean iterations per emitted token once running.
+        tpot: Mean iterations per emitted token once running (0.0 for a
+            tokenless request).
     """
 
     request_id: int
-    queueing: int
-    ttft: int
+    queueing: Optional[int]
+    ttft: Optional[int]
     completion: int
     tpot: float
 
@@ -55,14 +59,26 @@ class ServingReport:
 
 
 def request_latency(output: RequestOutput, arrival_iteration: int) -> RequestLatency:
-    """Latency decomposition for one finished request."""
-    if output.finish_iteration is None or output.first_token_iteration is None:
-        raise ValueError(
-            f"request {output.request_id} has not finished (or emitted "
-            f"no tokens)"
+    """Latency decomposition for one finished (or failed) request.
+
+    A request that completed without emitting any tokens — it failed, or
+    retired with an exhausted context — gets ``ttft=None`` /
+    ``queueing=None`` / ``tpot=0.0`` rather than raising: completion time is
+    still well-defined for it, and aggregate reports simply exclude it from
+    the token-timing statistics.
+    """
+    if output.finish_iteration is None:
+        raise ValueError(f"request {output.request_id} has not finished")
+    completion = output.finish_iteration - arrival_iteration
+    if output.first_token_iteration is None:
+        return RequestLatency(
+            request_id=output.request_id,
+            queueing=None,
+            ttft=None,
+            completion=completion,
+            tpot=0.0,
         )
     ttft = output.first_token_iteration - arrival_iteration + 1
-    completion = output.finish_iteration - arrival_iteration
     running = max(1, output.num_llm_steps)
     return RequestLatency(
         request_id=output.request_id,
@@ -93,22 +109,26 @@ def build_report(
         request_latency(output, arrival)
         for output, arrival in zip(outputs, arrivals)
     ]
-    ttfts = np.array([l.ttft for l in latencies], dtype=np.float64)
+    # Token-timing statistics only cover requests that actually emitted;
+    # tokenless requests (ttft=None) still count toward completion times.
+    emitting = [l for l in latencies if l.ttft is not None]
+    ttfts = np.array([l.ttft for l in emitting], dtype=np.float64)
+    tpots = np.array([l.tpot for l in emitting], dtype=np.float64)
     completions = np.array([l.completion for l in latencies],
                            dtype=np.float64)
-    tpots = np.array([l.tpot for l in latencies], dtype=np.float64)
     total_tokens = sum(len(o.tokens) for o in outputs)
     busy = [s for s in iteration_stats if s.batch_size > 0]
     total_iterations = len(iteration_stats)
+    nan = float("nan")
     return ServingReport(
         num_requests=len(outputs),
         total_iterations=total_iterations,
         total_tokens=total_tokens,
-        mean_ttft=float(ttfts.mean()),
-        p95_ttft=float(np.percentile(ttfts, 95)),
+        mean_ttft=float(ttfts.mean()) if emitting else nan,
+        p95_ttft=float(np.percentile(ttfts, 95)) if emitting else nan,
         mean_completion=float(completions.mean()),
         p95_completion=float(np.percentile(completions, 95)),
-        mean_tpot=float(tpots.mean()),
+        mean_tpot=float(tpots.mean()) if emitting else nan,
         tokens_per_iteration=total_tokens / max(1, total_iterations),
         mean_batch_occupancy=(
             float(np.mean([s.batch_size for s in busy])) if busy else 0.0

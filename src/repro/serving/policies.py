@@ -62,3 +62,49 @@ def make_priority_policy(
         )
 
     return policy
+
+
+# -- preemption victim selection ---------------------------------------------------
+
+#: Orders the RUNNING requests; the manager preempts from the front.  Used
+#: when KV pressure forces the batch to shed load (fault injection or real
+#: memory spikes); the victim is requeued and recomputes from its committed
+#: tokens.
+PreemptionPolicy = Callable[[Sequence[Request]], List[Request]]
+
+
+def preempt_newest_first(running: Sequence[Request]) -> List[Request]:
+    """Preempt the most recently arrived request first (default).
+
+    The newest request has the least sunk verification work, so requeueing
+    it wastes the least recompute; FCFS fairness is preserved for the
+    requests that have waited longest.  Ties break on the higher request id
+    (later submission) so the ordering stays deterministic.
+    """
+    return sorted(
+        running,
+        key=lambda r: (-r.arrival_iteration, -r.request_id),
+    )
+
+
+def preempt_oldest_first(running: Sequence[Request]) -> List[Request]:
+    """Preempt the oldest request first (drain-the-stragglers heuristic)."""
+    return sorted(
+        running,
+        key=lambda r: (r.arrival_iteration, r.request_id),
+    )
+
+
+def make_preemption_policy(
+    victim_cost: Callable[[Request], float]
+) -> PreemptionPolicy:
+    """Build a preemption policy from a cost function (lower = preempt
+    sooner)."""
+
+    def policy(running: Sequence[Request]) -> List[Request]:
+        return sorted(
+            running,
+            key=lambda r: (victim_cost(r), -r.arrival_iteration, -r.request_id),
+        )
+
+    return policy

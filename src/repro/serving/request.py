@@ -12,11 +12,19 @@ from repro.engine.generation import GenerationConfig
 
 
 class RequestState(enum.Enum):
-    """Where a request is in its lifecycle."""
+    """Where a request is in its lifecycle.
+
+    ``WAITING -> RUNNING -> FINISHED`` is the happy path.  A preempted
+    request moves ``RUNNING -> WAITING`` (it re-enters the queue and
+    recomputes from its committed tokens on re-admission).  ``FAILED`` is
+    terminal: the manager gave up after exhausting bounded retries, so one
+    poisoned request cannot stall the batch.
+    """
 
     WAITING = "waiting"
     RUNNING = "running"
     FINISHED = "finished"
+    FAILED = "failed"
 
 
 @dataclass
@@ -45,15 +53,21 @@ class Request:
 
 @dataclass
 class RequestOutput:
-    """A finished request's result.
+    """A finished (or failed) request's result.
 
     Attributes:
         request_id: The request this output belongs to.
-        tokens: Generated tokens.
+        tokens: Generated tokens (partial for FAILED requests).
         finished_by_eos: Whether generation hit EOS (vs the token budget).
-        first_token_iteration: Iteration at which the first token appeared.
-        finish_iteration: Iteration at which the request completed.
-        num_llm_steps: LLM decoding iterations the request consumed.
+        first_token_iteration: Iteration at which the first token appeared
+            (``None`` when the request never emitted — e.g. it failed or
+            was retired before producing a token).
+        finish_iteration: Iteration at which the request completed/failed.
+        num_llm_steps: LLM decoding iterations the request consumed, summed
+            across preemption incarnations.
+        preemptions: Times the request was preempted and requeued.
+        retries: Transient session faults absorbed by bounded retry.
+        error: Failure reason (``None`` unless the request FAILED).
     """
 
     request_id: int
@@ -62,3 +76,6 @@ class RequestOutput:
     first_token_iteration: Optional[int] = None
     finish_iteration: Optional[int] = None
     num_llm_steps: int = 0
+    preemptions: int = 0
+    retries: int = 0
+    error: Optional[str] = None

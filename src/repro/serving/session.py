@@ -93,6 +93,19 @@ class DecodeSession(ABC):
         """One LLM decoding iteration; returns emitted tokens."""
         return self._pipeline.tick([self.state])[0].emitted
 
+    def attach_injector(self, injector,
+                        fallback_cooldown: Optional[int] = None) -> None:
+        """Arm this session's standalone pipeline with a fault injector.
+
+        Per-request serving has one pipeline per session, so the manager
+        calls this at admission; fused serving instead arms the single
+        shared pipeline.  Speculation/verification faults then degrade this
+        session to incremental decoding for ``fallback_cooldown`` ticks.
+        """
+        self._pipeline.injector = injector
+        if fallback_cooldown is not None:
+            self._pipeline.fallback_cooldown = fallback_cooldown
+
     def release(self) -> None:
         """Free the session's cache resources (paged caches return their
         blocks to the pool; contiguous caches have nothing to do)."""

@@ -119,9 +119,48 @@ class TestReplay:
             sum(s.total_seconds for s in singles)
         )
 
+    def test_replay_many_reports_batch_wall_clock(self, simulator):
+        """total_seconds sums serial seconds across concurrent requests;
+        the wall-clock of the batch is the slowest request, reported
+        separately so callers cannot conflate the two."""
+        traces = [incremental_trace(n_steps=5), incremental_trace(n_steps=7)]
+        combined = simulator.replay_many(traces)
+        singles = [simulator.replay(t) for t in traces]
+        assert combined.batch_wall_seconds == pytest.approx(
+            max(s.total_seconds for s in singles)
+        )
+        assert combined.batch_wall_seconds < combined.total_seconds
+        # A single replay is not a batch aggregate.
+        assert singles[0].batch_wall_seconds is None
+
     def test_replay_many_rejects_empty(self, simulator):
         with pytest.raises(ValueError):
             simulator.replay_many([])
+
+    def test_sequence_based_context_uses_path_tokens(self, simulator):
+        """Regression pin: the sequence-based baseline re-reads the shared
+        prefix once per root-to-leaf path, so its memory context term must
+        scale with tree_path_tokens, not the fused kernel's deduplicated
+        llm_tokens_scored."""
+        step = tree_trace(n_steps=1).steps[0]
+        expected_scored = max(step.tree_path_tokens, 1)
+        expected_context = step.prefix_len + max(step.tree_path_tokens, 1)
+        expected = simulator.llm_latency.step_latency(
+            expected_scored, expected_context,
+            num_kernel_batches=max(step.tree_leaves, 1),
+        )
+        actual = simulator._verify_time(step, batch_size=1,
+                                        sequence_based=True)
+        assert actual == pytest.approx(expected)
+        # And the fused path keeps the deduplicated context term.
+        fused_expected = simulator.llm_latency.step_latency(
+            step.llm_tokens_scored,
+            step.prefix_len + step.llm_tokens_scored,
+            num_kernel_batches=1,
+        )
+        assert simulator._verify_time(step, batch_size=1,
+                                      sequence_based=False) == \
+            pytest.approx(fused_expected)
 
 
 class TestHelpers:

@@ -1,0 +1,115 @@
+"""Tests for the seeded fault-injection layer (plan + injector)."""
+
+import pytest
+
+from repro.faults import (
+    FaultError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    KvPressureFault,
+    SpeculationFault,
+    TransientSessionFault,
+    VerificationFault,
+    exception_for,
+)
+from repro.obs import REGISTRY
+
+
+class TestFaultPlan:
+    def test_rate_for_uses_base_rate(self):
+        plan = FaultPlan(rate=0.25)
+        assert all(plan.rate_for(k) == 0.25 for k in FaultKind)
+
+    def test_rate_for_per_kind_override(self):
+        plan = FaultPlan(rate=0.1, rates={FaultKind.SESSION: 0.9})
+        assert plan.rate_for(FaultKind.SESSION) == 0.9
+        assert plan.rate_for(FaultKind.SPECULATION) == 0.1
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_invalid_rates_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(rate=bad)
+        with pytest.raises(ValueError):
+            FaultPlan(rates={FaultKind.KV_PRESSURE: bad})
+
+    def test_streams_are_deterministic(self):
+        plan = FaultPlan(rate=0.5, seed=17)
+        a = plan.stream(FaultKind.SESSION).random(8)
+        b = plan.stream(FaultKind.SESSION).random(8)
+        assert list(a) == list(b)
+
+    def test_streams_are_independent_across_kinds(self):
+        plan = FaultPlan(rate=0.5, seed=17)
+        a = plan.stream(FaultKind.SESSION).random(8)
+        b = plan.stream(FaultKind.VERIFICATION).random(8)
+        assert list(a) != list(b)
+
+    def test_exception_for_maps_every_kind(self):
+        assert exception_for(FaultKind.SPECULATION) is SpeculationFault
+        assert exception_for(FaultKind.VERIFICATION) is VerificationFault
+        assert exception_for(FaultKind.SESSION) is TransientSessionFault
+        assert exception_for(FaultKind.KV_PRESSURE) is KvPressureFault
+        for kind in FaultKind:
+            assert issubclass(exception_for(kind), FaultError)
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_fires_and_draws_nothing(self):
+        injector = FaultInjector(rate=0.0, seed=1)
+        for _ in range(50):
+            assert not injector.should_fire(FaultKind.SESSION)
+        # rate 0 short-circuits before touching the stream, so attaching a
+        # default injector perturbs no RNG state anywhere.
+        assert list(injector._streams[FaultKind.SESSION].random(4)) == list(
+            FaultPlan(seed=1).stream(FaultKind.SESSION).random(4)
+        )
+        assert injector.total_injected == 0
+        assert injector.checks[FaultKind.SESSION] == 50
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(rate=1.0, seed=1)
+        assert all(injector.should_fire(FaultKind.KV_PRESSURE)
+                   for _ in range(10))
+        assert injector.injected[FaultKind.KV_PRESSURE] == 10
+
+    def test_same_seed_same_decisions(self):
+        a = FaultInjector(rate=0.3, seed=5)
+        b = FaultInjector(rate=0.3, seed=5)
+        seq_a = [a.should_fire(FaultKind.SESSION) for _ in range(64)]
+        seq_b = [b.should_fire(FaultKind.SESSION) for _ in range(64)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_decisions_independent_across_kinds(self):
+        """Draining one kind's stream never shifts another's decisions."""
+        a = FaultInjector(rate=0.3, seed=5)
+        for _ in range(100):
+            a.should_fire(FaultKind.SPECULATION)
+        after_drain = [a.should_fire(FaultKind.SESSION) for _ in range(32)]
+        b = FaultInjector(rate=0.3, seed=5)
+        fresh = [b.should_fire(FaultKind.SESSION) for _ in range(32)]
+        assert after_drain == fresh
+
+    def test_maybe_fail_raises_matching_exception(self):
+        injector = FaultInjector(rates={FaultKind.VERIFICATION: 1.0})
+        with pytest.raises(VerificationFault):
+            injector.maybe_fail(FaultKind.VERIFICATION, iteration=3)
+        # Other kinds stay at rate 0 and pass through.
+        injector.maybe_fail(FaultKind.SESSION)
+
+    def test_metrics_count_checks_and_injections(self):
+        REGISTRY.reset()
+        injector = FaultInjector(rates={FaultKind.SESSION: 1.0})
+        injector.should_fire(FaultKind.SESSION)
+        injector.should_fire(FaultKind.SPECULATION)
+        assert REGISTRY.get("repro.faults.checks").value == 2
+        assert REGISTRY.get("repro.faults.injected").value == 1
+        assert REGISTRY.get("repro.faults.session").value == 1
+        assert REGISTRY.get("repro.faults.speculation").value == 0
+
+    def test_explicit_plan_wins(self):
+        plan = FaultPlan(rate=1.0, seed=3)
+        injector = FaultInjector(rate=0.0, seed=99, plan=plan)
+        assert injector.plan is plan
+        assert injector.should_fire(FaultKind.SESSION)

@@ -56,6 +56,23 @@ class TestKvMemoryPool:
         with pytest.raises(ValueError):
             speculation_headroom(-1)
 
+    def test_accounting_is_integer(self, pool):
+        """Regression: reserved/available bytes are exact ints, so repeated
+        reserve/release cycles can never drift (float accumulation would)."""
+        assert isinstance(pool.reserved_bytes, int)
+        assert isinstance(pool.available_bytes, int)
+        assert isinstance(pool.bytes_per_token, int)
+        for cycle in range(200):
+            pool.reserve(cycle, tokens=7)
+            pool.release(cycle)
+        assert pool.reserved_bytes == 0
+        assert pool.available_bytes == pool.budget_bytes
+
+    def test_float_budget_truncated_to_int(self):
+        pool = KvMemoryPool(budget_bytes=1e6, model=SMALL_CONFIG)
+        assert pool.budget_bytes == 1_000_000
+        assert isinstance(pool.budget_bytes, int)
+
 
 class TestMemoryGatedAdmission:
     def _manager(self, llm, pool):
@@ -116,3 +133,16 @@ class TestMemoryGatedAdmission:
                    GenerationConfig(max_new_tokens=4, stop_on_eos=False))
         mgr.run_iteration()
         assert pool.reserved_bytes == (8 + 4 + 12) * 256
+
+    def test_drained_run_returns_to_exact_zero(self, llm, rng):
+        """After a fully drained run the pool holds exactly 0 reserved
+        bytes — integer accounting, no epsilon tolerance."""
+        pool = KvMemoryPool(budget_bytes=256 * 200, model=SMALL_CONFIG)
+        mgr = self._manager(llm, pool)
+        for _ in range(6):
+            mgr.submit(make_prompt(rng, length=6),
+                       GenerationConfig(max_new_tokens=5, stop_on_eos=False))
+        mgr.run_until_complete()
+        assert pool.reserved_bytes == 0
+        assert pool.available_bytes == pool.budget_bytes
+        assert pool.num_reservations == 0

@@ -37,6 +37,17 @@ class TestRequestLatency:
         with pytest.raises(ValueError, match="not finished"):
             request_latency(output, 0)
 
+    def test_tokenless_request_has_none_ttft(self):
+        """Regression: a request that finished without emitting (failed, or
+        retired on an exhausted context) must not raise — TTFT is simply
+        undefined for it."""
+        output = RequestOutput(request_id=3, finish_iteration=5)
+        latency = request_latency(output, arrival_iteration=1)
+        assert latency.ttft is None
+        assert latency.queueing is None
+        assert latency.completion == 4
+        assert latency.tpot == 0.0
+
 
 class TestBuildReport:
     def test_aggregates(self):
@@ -65,6 +76,31 @@ class TestBuildReport:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             build_report([], [], [])
+
+    def test_tokenless_outputs_excluded_from_token_timing(self):
+        """Tokenless requests count toward completion but not TTFT/TPOT."""
+        import math
+
+        outputs = [
+            finished_output(0, first=0, finish=4, steps=4, tokens=4),
+            RequestOutput(request_id=1, finish_iteration=6),  # no tokens
+        ]
+        report = build_report(outputs, arrivals=[0, 0], iteration_stats=[])
+        assert report.num_requests == 2
+        assert report.total_tokens == 4
+        assert report.mean_ttft == 1.0  # only the emitting request
+        assert report.mean_completion == 5.0  # both requests
+        assert not math.isnan(report.mean_tpot)
+
+    def test_all_tokenless_yields_nan_token_timing(self):
+        import math
+
+        outputs = [RequestOutput(request_id=0, finish_iteration=3)]
+        report = build_report(outputs, arrivals=[0], iteration_stats=[])
+        assert math.isnan(report.mean_ttft)
+        assert math.isnan(report.p95_ttft)
+        assert math.isnan(report.mean_tpot)
+        assert report.mean_completion == 3.0
 
 
 class TestReportFromManager:

@@ -130,3 +130,22 @@ class TestMetrics:
         snapshot = json.loads(out)
         assert snapshot["repro.serving.retired"]["value"] == 2
         assert snapshot["repro.engine.tick.host_seconds"]["count"] > 0
+
+
+class TestChaos:
+    def test_survives_and_exits_zero(self, capsys):
+        code = main(["chaos", "Alpaca", "--requests", "4", "--tokens", "8",
+                     "--seed", "11", "--fault-rate", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "token parity        : True" in out
+        assert "survived            : True" in out
+        assert "faults injected" in out
+        assert "preemptions" in out
+
+    def test_zero_rate_reports_no_faults(self, capsys):
+        code = main(["chaos", "Alpaca", "--requests", "2", "--tokens", "4",
+                     "--fault-rate", "0.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults injected     : 0" in out
