@@ -1,13 +1,22 @@
 """Perf-regression gate for CI.
 
-Two checks, both driven by the metrics registry rather than parsed
+Four checks, all driven by the metrics registry rather than parsed
 benchmark tables:
 
 1. **Fused speedup** — reads the ``BENCH_ci.json`` written by
    ``bench_batched_fused.py --quick --json`` and fails when the
    block-sparse vs dense-fused speedup at batch 8 drops below
    ``MIN_FUSED_SPEEDUP``.
-2. **Verified tokens per step** — runs the seeded observability workload
+2. **Benchmark steady-state allocations** — from the same JSON, the
+   ablation's ``scratch_on`` variant must report zero tracked hot-path
+   allocations per warmed verification step (the precision-ablation
+   gauges ride along in the artifact for trend tracking).
+3. **Pipeline steady-state allocations** — drives a seeded fused-backend
+   decode batch end to end and fails if ``repro.engine.tick.allocs``
+   grows at all after the warm-up ticks: the whole
+   speculate→fit→verify→commit tick must be allocation-free once the
+   scratch arenas are warm.
+4. **Verified tokens per step** — runs the seeded observability workload
    (deterministic: fixed seeds, cost-model time only) and compares the
    ``repro.engine.tokens_per_step`` histogram mean against the committed
    baseline ``benchmarks/results/baseline_ci.json``.  A drop below
@@ -28,7 +37,13 @@ import os
 import sys
 
 #: Gate: block-sparse must beat dense-fused by at least this much at batch 8.
-MIN_FUSED_SPEEDUP = 3.0
+#: Measured 5.4-5.8x after the zero-allocation work; 4.0 leaves headroom for
+#: CI-runner jitter while still catching a return to the pre-scratch floor.
+MIN_FUSED_SPEEDUP = 4.0
+
+#: Ticks driven before the allocation gate starts counting: arena growth and
+#: first-mask construction all happen here.
+ALLOC_WARMUP_TICKS = 5
 
 #: Relative slack on the tokens/step baseline.  The workload is seeded and
 #: deterministic on one platform; the slack absorbs BLAS/platform jitter in
@@ -71,6 +86,94 @@ def gate_fused_speedup(bench_json: str) -> list:
     if speedup < MIN_FUSED_SPEEDUP:
         return [f"fused speedup {speedup:.2f}x is below the "
                 f"{MIN_FUSED_SPEEDUP:.1f}x gate"]
+    return []
+
+
+def gate_bench_allocs(bench_json: str) -> list:
+    """Failure messages from the benchmark's allocation/precision ablation."""
+    with open(bench_json) as fh:
+        metrics = json.load(fh)
+    key = "repro.bench.fused.ablation.alloc.scratch_on.steady_alloc_events"
+    if key not in metrics:
+        raise RuntimeError(f"{bench_json} is missing {key}")
+    allocs = int(metrics[key]["value"])
+    for precision in ("fp16", "int8"):
+        prefix = f"repro.bench.fused.ablation.precision.{precision}"
+        quantized = int(metrics[f"{prefix}.rows_quantized"]["value"])
+        fallback = int(metrics[f"{prefix}.rows_fallback"]["value"])
+        print(f"{precision} draft scoring: {quantized} rows quantized, "
+              f"{fallback} fp32 fallbacks per step")
+    print(f"warmed verification-step allocations: {allocs} (gate: == 0)")
+    if allocs:
+        return [f"warmed block-sparse verification step performed "
+                f"{allocs} tracked allocations (gate: 0)"]
+    return []
+
+
+def measure_steady_state_tick_allocs() -> dict:
+    """``repro.engine.tick.allocs`` growth after warm-up on a seeded batch."""
+    import numpy as np
+
+    from repro.engine.generation import GenerationConfig
+    from repro.engine.pipeline import (
+        DecodePipeline,
+        DecodeState,
+        FusedBackend,
+    )
+    from repro.model.config import ModelConfig
+    from repro.model.coupled import CoupledSSM
+    from repro.model.sampling import SamplingConfig
+    from repro.model.transformer import TransformerLM
+    from repro.obs import REGISTRY, reset_observability
+    from repro.speculate.expansion import ExpansionConfig
+    from repro.speculate.speculator import Speculator
+
+    reset_observability()
+    llm = TransformerLM(
+        ModelConfig(vocab_size=64, d_model=32, n_layers=2, n_heads=4,
+                    max_seq_len=96, name="ci-alloc-gate"),
+        seed=42,
+    )
+    rng = np.random.default_rng(0)
+    states = []
+    for r in range(3):
+        speculator = Speculator(
+            [CoupledSSM(llm, alignment=0.9, seed=7, noise_scale=2.0)],
+            ExpansionConfig((1, 2, 1)),
+        )
+        prompt = rng.integers(1, llm.config.vocab_size,
+                              size=5 + r).astype(np.intp)
+        states.append(DecodeState(
+            llm, prompt,
+            GenerationConfig(max_new_tokens=40,
+                             sampling=SamplingConfig(greedy=True),
+                             seed=r),
+            speculator=speculator,
+        ))
+    pipeline = DecodePipeline(llm, backend=FusedBackend(llm))
+    live = lambda: [s for s in states if not s.finished]
+    for _ in range(ALLOC_WARMUP_TICKS):
+        if live():
+            pipeline.tick(live())
+    before = REGISTRY.snapshot()["repro.engine.tick.allocs"]["value"]
+    steady_ticks = 0
+    while live():
+        pipeline.tick(live())
+        steady_ticks += 1
+    if steady_ticks == 0:
+        raise RuntimeError("alloc-gate batch finished during warm-up")
+    allocs = REGISTRY.snapshot()["repro.engine.tick.allocs"]["value"] - before
+    return {"steady_ticks": steady_ticks, "allocs": allocs}
+
+
+def gate_tick_allocs() -> list:
+    """Failure messages from the steady-state pipeline allocation gate."""
+    measured = measure_steady_state_tick_allocs()
+    print(f"steady-state tick.allocs: {measured['allocs']} over "
+          f"{measured['steady_ticks']} post-warm-up ticks (gate: == 0)")
+    if measured["allocs"]:
+        return [f"steady-state pipeline ticks performed "
+                f"{measured['allocs']} tracked allocations (gate: 0)"]
     return []
 
 
@@ -119,6 +222,8 @@ def main(argv=None) -> int:
     failures = []
     if args.bench_json:
         failures += gate_fused_speedup(args.bench_json)
+        failures += gate_bench_allocs(args.bench_json)
+    failures += gate_tick_allocs()
     failures += gate_tokens_per_step(args.baseline)
 
     if failures:

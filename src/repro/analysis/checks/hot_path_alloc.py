@@ -12,6 +12,17 @@ arrays from existing ones are flagged:
 * ``.copy()`` / ``np.copy`` — defensive copies; prefer in-place edits of a
   reused scratch.
 
+Two refinements keep the check aligned with the scratch-arena pattern
+(:class:`repro.model.scratch.ScratchArena`):
+
+* a call that writes into an explicit ``out=`` destination (typically an
+  arena ``.take(...)`` view) materializes nothing new and is **clean** —
+  ``np.concatenate(parts, out=arena.take(...))`` is the sanctioned way to
+  stage data on the hot path;
+* an allocating call **inside a comprehension** is flagged with a sharper
+  message: the comprehension multiplies the allocation by its iteration
+  count, which is how per-batch-slot costs sneak back in.
+
 Reference paths and genuinely cold fallbacks stay — annotated with
 ``# lint: allow-alloc <reason>`` so every remaining copy is a recorded
 decision, mirroring how ``perf.add_kv_copy`` charges the dense path.
@@ -26,6 +37,7 @@ from repro.analysis.core import (
     Check,
     Finding,
     SourceFile,
+    call_keywords,
     decorator_names,
     dotted_name,
     numpy_aliases,
@@ -33,6 +45,8 @@ from repro.analysis.core import (
 
 ALLOC_FUNCTIONS = ("concatenate", "vstack", "hstack", "stack", "append",
                    "tile", "copy")
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 
 
 class HotPathAllocCheck(Check):
@@ -47,6 +61,7 @@ class HotPathAllocCheck(Check):
     def run(self, src: SourceFile) -> List[Finding]:
         file_is_hot = "hot-path" in src.scopes
         hot_spans = self._hot_function_spans(src)
+        comp_calls = self._comprehension_calls(src)
         aliases = numpy_aliases(src.tree)
         findings: List[Finding] = []
         for node in ast.walk(src.tree):
@@ -59,13 +74,33 @@ class HotPathAllocCheck(Check):
             label = self._alloc_label(node, aliases)
             if label is None:
                 continue
-            findings.append(src.make_finding(
-                self, node,
-                f"{label} allocates on the decode hot path; preallocate, "
-                f"use a zero-copy view / out= buffer, or annotate with "
-                f"'# lint: allow-alloc <reason>'",
-            ))
+            if id(node) in comp_calls:
+                message = (
+                    f"{label} inside a comprehension allocates once per "
+                    f"item on the decode hot path; hoist a preallocated "
+                    f"(scratch-arena) buffer out of the loop and fill "
+                    f"slices, or annotate with '# lint: allow-alloc "
+                    f"<reason>'"
+                )
+            else:
+                message = (
+                    f"{label} allocates on the decode hot path; "
+                    f"preallocate, use a zero-copy view / out= buffer, or "
+                    f"annotate with '# lint: allow-alloc <reason>'"
+                )
+            findings.append(src.make_finding(self, node, message))
         return findings
+
+    def _comprehension_calls(self, src: SourceFile) -> Set[int]:
+        """ids of Call nodes that sit inside a comprehension body."""
+        inside: Set[int] = set()
+        for comp in ast.walk(src.tree):
+            if not isinstance(comp, _COMPREHENSIONS):
+                continue
+            for node in ast.walk(comp):
+                if isinstance(node, ast.Call):
+                    inside.add(id(node))
+        return inside
 
     def _hot_function_spans(self, src: SourceFile) -> List[tuple]:
         """(first, last) line ranges of functions decorated ``@hot_path``."""
@@ -82,6 +117,10 @@ class HotPathAllocCheck(Check):
         return spans
 
     def _alloc_label(self, node: ast.Call, aliases) -> "str | None":
+        # A call writing into an explicit out= destination (typically a
+        # scratch-arena ``.take(...)`` view) materializes no new array.
+        if "out" in call_keywords(node):
+            return None
         name = dotted_name(node.func)
         head, _, func = name.rpartition(".")
         if head in aliases and func in ALLOC_FUNCTIONS:

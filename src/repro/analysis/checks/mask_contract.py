@@ -39,9 +39,10 @@ from repro.analysis.core import (
 #: Parameter names, in order, of each decode primitive (self excluded).
 PRIMITIVES: Dict[str, Tuple[Tuple[str, ...], int]] = {
     # name -> (parameter names, number of required parameters)
-    "forward_masked": (("tokens", "positions", "mask", "cache"), 4),
+    "forward_masked": (("tokens", "positions", "mask", "cache", "scratch"),
+                       4),
     "forward_masked_blocks": (
-        ("tokens", "positions", "masks", "caches", "priors"), 4,
+        ("tokens", "positions", "masks", "caches", "priors", "scratch"), 4,
     ),
 }
 

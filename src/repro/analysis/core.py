@@ -48,6 +48,7 @@ HOT_PATH_FILES = (
     "repro/model/arena.py",
     "repro/model/paged_cache.py",
     "repro/engine/batched.py",
+    "repro/speculate/packed.py",
     "repro/verify/decode.py",
     "repro/verify/greedy.py",
     "repro/verify/naive.py",

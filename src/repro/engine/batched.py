@@ -35,12 +35,14 @@ from repro.model import perf
 from repro.model.attention import NEG_INF, MaskScratch
 from repro.model.config import ModelConfig
 from repro.model.sampling import SamplingConfig
+from repro.model.scratch import ScratchArena
 from repro.model.transformer import TransformerLM
 from repro.tree.masks import linearize, topology_causal_mask
 from repro.tree.token_tree import TokenTree
 from repro.verify.decode import TreeDecodeOutput
 from repro.verify.greedy import verify_greedy
 from repro.verify.naive import verify_naive_sampling
+from repro.verify.precision import apply_precision, validate_precision
 from repro.verify.result import VerificationResult
 from repro.verify.stochastic import verify_stochastic
 
@@ -122,10 +124,12 @@ class _ConcatLayerView:
     """
 
     def __init__(self, layer_index: int, caches: Sequence,
-                 layout: _BatchLayout):
+                 layout: _BatchLayout,
+                 arena: Optional[ScratchArena] = None):
         self._layer = layer_index
         self._caches = caches
         self._layout = layout
+        self._arena = arena
         self._appended = 0
 
     @property
@@ -153,30 +157,31 @@ class _ConcatLayerView:
             k, v = cache.layers[self._layer].view()
             keys.append(k)
             values.append(v)
-        # lint: allow-alloc dense reference path; this copy is exactly the cost the block-sparse path removes (perf-counted below)
-        stacked = np.concatenate(keys, axis=0), np.concatenate(values, axis=0)
+        total = sum(k.shape[0] for k in keys)
+        if self._arena is not None and total:
+            # Concatenate into persistent scratch views: the staging *copy*
+            # still happens (and is still charged to kv_bytes_copied — it is
+            # exactly the cost the block-sparse path removes) but the
+            # staging *buffers* are reused across layers and steps, so the
+            # dense path no longer also pays an allocation per layer per
+            # step.  Trailing dims are bounded exactly so the views are
+            # contiguous; successive layers overwrite the same two buffers,
+            # which is safe because each layer's attention consumes its
+            # concatenated K/V before the next layer's view() call.
+            tail = keys[0].shape[1:]
+            k_out = self._arena.take("dense.k", (total,) + tail,
+                                     keys[0].dtype, bound=(0,) + tail)
+            v_out = self._arena.take("dense.v", (total,) + tail,
+                                     values[0].dtype, bound=(0,) + tail)
+            stacked = (np.concatenate(keys, axis=0, out=k_out),
+                       np.concatenate(values, axis=0, out=v_out))
+        else:
+            stacked = (
+                np.concatenate(keys, axis=0),  # lint: allow-alloc scratch reuse disabled; copy perf-counted below
+                np.concatenate(values, axis=0),  # lint: allow-alloc scratch reuse disabled; copy perf-counted below
+            )
         perf.add_kv_copy(stacked[0].nbytes + stacked[1].nbytes)
         return stacked
-
-
-class _IndexScratch:
-    """Grow-only reusable ``intp`` buffer for per-step index vectors.
-
-    The fused step needs the batch's tree tokens and positions as one
-    contiguous vector each; concatenating fresh arrays every iteration puts
-    two allocations on the steady-state path.  Like ``MaskScratch``, this
-    reuses one buffer that only grows when a step outsizes every previous
-    one.
-    """
-
-    def __init__(self):
-        self._buf = np.empty(0, dtype=np.intp)
-
-    def take(self, n: int) -> np.ndarray:
-        """A writable ``(n,)`` view, reusing the buffer if possible."""
-        if self._buf.shape[0] < n:
-            self._buf = np.empty(n, dtype=np.intp)
-        return self._buf[:n]
 
 
 class _ConcatCache:
@@ -187,10 +192,11 @@ class _ConcatCache:
     """
 
     def __init__(self, config: ModelConfig, caches: Sequence,
-                 layout: _BatchLayout):
+                 layout: _BatchLayout,
+                 arena: Optional[ScratchArena] = None):
         self._length = sum(layout.priors)
         self.layers = [
-            _ConcatLayerView(i, list(caches), layout)
+            _ConcatLayerView(i, list(caches), layout, arena=arena)
             for i in range(config.n_layers)
         ]
 
@@ -211,6 +217,16 @@ class BatchedTreeVerifier:
             ``"dense"`` runs the reference dense-fused path (one combined
             block-diagonal mask over concatenated caches).  Both produce
             identical :class:`VerificationResult`s.
+        reuse_scratch: Reuse one :class:`ScratchArena` of persistent
+            token/position/mask/QKV/attention/logits buffers across
+            iterations, making the steady-state fused tick allocation-free
+            (``repro.engine.tick.allocs == 0``).  ``False`` allocates fresh
+            buffers every call — bit-identical results, exercised by the
+            scratch on/off equivalence suite.
+        precision: ``"fp32"`` (exact), ``"fp16"`` or ``"int8"`` — simulate
+            reduced-precision draft scoring on the verification logits.
+            Requires a greedy sampling config; committed tokens stay
+            bit-identical to fp32 (see :mod:`repro.verify.precision`).
     """
 
     MODES = ("block", "dense")
@@ -222,6 +238,8 @@ class BatchedTreeVerifier:
         rng: Optional[np.random.Generator] = None,
         use_naive_sampling: bool = False,
         mode: str = "block",
+        reuse_scratch: bool = True,
+        precision: str = "fp32",
     ):
         if mode not in self.MODES:
             raise ValueError(
@@ -232,13 +250,23 @@ class BatchedTreeVerifier:
         self.rng = rng or np.random.default_rng(0)
         self.use_naive_sampling = use_naive_sampling
         self.mode = mode
-        # Per-batch-slot mask scratches (block path) and one combined-mask
-        # scratch (dense path), reused across iterations so the steady
-        # state allocates no mask buffers.
+        validate_precision(precision, self.sampling.greedy)
+        self.precision = precision
+        self.reuse_scratch = reuse_scratch
+        # One arena backs every persistent per-step buffer: index vectors,
+        # per-batch-slot topology masks (block path), the combined
+        # block-diagonal mask and concatenated-K/V staging (dense path),
+        # and the model's QKV/attention/logits staging.  Reused across
+        # iterations so the steady state allocates no tracked buffers.
+        self._arena: Optional[ScratchArena] = (
+            ScratchArena() if reuse_scratch else None
+        )
         self._mask_scratches: List[MaskScratch] = []
-        self._dense_scratch = MaskScratch(model.config.dtype)
-        self._token_scratch = _IndexScratch()
-        self._pos_scratch = _IndexScratch()
+        self._dense_scratch = (
+            MaskScratch(model.config.dtype, arena=self._arena,
+                        tag="dense_mask")
+            if reuse_scratch else None
+        )
 
     def verify_batch(
         self,
@@ -275,6 +303,7 @@ class BatchedTreeVerifier:
             logits = self._decode_dense(items, caches, layout)
         else:
             logits = self._decode_blocks(items, caches, layout)
+        logits = apply_precision(logits, self.precision)
 
         results: List[VerificationResult] = []
         for i, item in enumerate(items):
@@ -296,9 +325,14 @@ class BatchedTreeVerifier:
     def _gather_inputs(self, items: Sequence[_BatchItem],
                        layout: _BatchLayout) -> Tuple[np.ndarray, np.ndarray]:
         """The batch's tokens and depth-based positions, written into
-        reused scratch buffers (no per-step concatenation)."""
-        tokens = self._token_scratch.take(layout.n_total)
-        positions = self._pos_scratch.take(layout.n_total)
+        reused arena views (no per-step concatenation)."""
+        if self._arena is not None:
+            tokens = self._arena.take("tokens", (layout.n_total,), np.intp)
+            positions = self._arena.take("positions", (layout.n_total,),
+                                         np.intp)
+        else:
+            tokens = np.empty(layout.n_total, dtype=np.intp)
+            positions = np.empty(layout.n_total, dtype=np.intp)
         for i, item in enumerate(items):
             lo, hi = layout.row_offsets[i], layout.row_offsets[i + 1]
             tokens[lo:hi] = item.lin.tokens
@@ -306,32 +340,48 @@ class BatchedTreeVerifier:
             positions[lo:hi] += item.prefix_len
         return tokens, positions
 
+    def _slot_mask_out(self, i: int, rows: int,
+                       cols: int) -> Optional[np.ndarray]:
+        """Slot ``i``'s reused mask view, or ``None`` without scratch."""
+        if self._arena is None:
+            return None
+        while len(self._mask_scratches) <= i:
+            # Columns are bounded by the sequence capacity, so the per-slot
+            # buffer is allocated at its worst-case width once; rows (tree
+            # size) grow pow2 and settle after the first few ticks.
+            self._mask_scratches.append(MaskScratch(
+                self.model.config.dtype, arena=self._arena,
+                tag=f"mask{len(self._mask_scratches)}",
+                bound=(0, self.model.config.max_seq_len),
+            ))
+        return self._mask_scratches[i].take(rows, cols)
+
     def _decode_blocks(self, items: Sequence[_BatchItem], caches: Sequence,
                        layout: _BatchLayout) -> np.ndarray:
         """Block-sparse fused decode: one pass, per-request attention."""
         dtype = self.model.config.dtype
         tokens, positions = self._gather_inputs(items, layout)
-        while len(self._mask_scratches) < len(items):
-            self._mask_scratches.append(MaskScratch(dtype))
         masks = [
             topology_causal_mask(
                 item.lin, item.prefix_len, dtype=dtype,
-                out=self._mask_scratches[i].take(
-                    layout.new_counts[i],
+                out=self._slot_mask_out(
+                    i, layout.new_counts[i],
                     layout.priors[i] + layout.new_counts[i],
                 ),
             )
             for i, item in enumerate(items)
         ]
         return self.model.forward_masked_blocks(
-            tokens, positions, masks, caches, priors=layout.priors
+            tokens, positions, masks, caches, priors=layout.priors,
+            scratch=self._arena,
         )
 
     def _decode_dense(self, items: Sequence[_BatchItem], caches: Sequence,
                       layout: _BatchLayout) -> np.ndarray:
         """Dense-fused reference decode under one block-diagonal mask."""
         tokens, positions, mask = self._combine(items, layout)
-        concat = _ConcatCache(self.model.config, caches, layout)
+        concat = _ConcatCache(self.model.config, caches, layout,
+                              arena=self._arena)
         # Every score cell outside the diagonal blocks is guaranteed-masked
         # cross-request work; charge it so regressions are measurable.
         perf.add_cross_request_scores(
@@ -339,7 +389,8 @@ class BatchedTreeVerifier:
             layout.cross_cells * self.model.config.n_layers,
             self.model.config.d_head,
         )
-        return self.model.forward_masked(tokens, positions, mask, concat)
+        return self.model.forward_masked(tokens, positions, mask, concat,
+                                         scratch=self._arena)
 
     def _combine(self, items: Sequence[_BatchItem], layout: _BatchLayout):
         """Concatenated tokens/positions and the block-diagonal mask.
@@ -349,7 +400,11 @@ class BatchedTreeVerifier:
         """
         dtype = self.model.config.dtype
         tokens, positions = self._gather_inputs(items, layout)
-        mask = self._dense_scratch.take(layout.n_total, layout.k_total)
+        if self._dense_scratch is not None:
+            mask = self._dense_scratch.take(layout.n_total, layout.k_total)
+        else:
+            perf.add_mask_alloc(layout.n_total * layout.k_total)
+            mask = np.empty((layout.n_total, layout.k_total), dtype=dtype)
         mask[:] = NEG_INF
         for i, item in enumerate(items):
             row = layout.row_offsets[i]

@@ -48,9 +48,11 @@ from repro.engine.generation import (
     GenerationResult,
     StepTrace,
 )
+from repro.model import perf
 from repro.model.sampling import SamplingConfig, sample_token
 from repro.model.transformer import TransformerLM
 from repro.obs import DEFAULT_COUNT_BUCKETS, REGISTRY, TRACER
+from repro.speculate.packed import PackedSpeculator
 from repro.tree.token_tree import TokenTree
 from repro.verify.result import VerificationResult
 from repro.verify.verifier import TokenTreeVerifier
@@ -78,6 +80,11 @@ _FALLBACK_ENTRIES = REGISTRY.counter(
 _FALLBACK_TICKS = REGISTRY.counter(
     "repro.engine.fallback_ticks",
     help="pipeline ticks served in incremental fallback mode")
+_TICK_ALLOCS = REGISTRY.counter(
+    "repro.engine.tick.allocs",
+    help="tracked hot-path buffer allocations during pipeline ticks "
+         "(per-tick delta of repro.model.hot_alloc_events; zero at steady "
+         "state once scratch arenas are warm)")
 
 
 def _observe_verify(kind: str, trees: Sequence[TokenTree]) -> None:
@@ -339,6 +346,11 @@ class PerRequestBackend(VerificationBackend):
             same discipline :class:`FusedBackend` uses, which makes the two
             backends exchangeable under stochastic decoding.
         use_naive_sampling: Swap MSS for the Table 3 naive baseline.
+        reuse_scratch: Reuse per-verifier scratch arenas across steps
+            (see :class:`TokenTreeVerifier`).
+        precision: Draft-scoring precision for greedy verification
+            (``"fp32"``/``"fp16"``/``"int8"``; see
+            :mod:`repro.verify.precision`).
     """
 
     def __init__(
@@ -347,11 +359,15 @@ class PerRequestBackend(VerificationBackend):
         sampling: Optional[SamplingConfig] = None,
         rng: Optional[np.random.Generator] = None,
         use_naive_sampling: bool = False,
+        reuse_scratch: bool = True,
+        precision: str = "fp32",
     ):
         self.model = model
         self.sampling = sampling
         self.rng = rng
         self.use_naive_sampling = use_naive_sampling
+        self.reuse_scratch = reuse_scratch
+        self.precision = precision
         self._verifiers: "WeakKeyDictionary[DecodeState, TokenTreeVerifier]" = (
             WeakKeyDictionary()
         )
@@ -364,6 +380,8 @@ class PerRequestBackend(VerificationBackend):
                 sampling=self.sampling or state.sampling,
                 rng=self.rng if self.rng is not None else state.rng,
                 use_naive_sampling=self.use_naive_sampling,
+                reuse_scratch=self.reuse_scratch,
+                precision=self.precision,
             )
             self._verifiers[state] = verifier
         return verifier
@@ -388,6 +406,11 @@ class FusedBackend(VerificationBackend):
         use_naive_sampling: Swap MSS for the Table 3 naive baseline.
         mode: ``"block"`` (block-sparse, default) or ``"dense"``
             (reference block-diagonal mask); bit-equivalent outputs.
+        reuse_scratch: Reuse batch-wide scratch arenas across ticks
+            (see :class:`BatchedTreeVerifier`).
+        precision: Draft-scoring precision for greedy verification
+            (``"fp32"``/``"fp16"``/``"int8"``; see
+            :mod:`repro.verify.precision`).
     """
 
     def __init__(
@@ -397,6 +420,8 @@ class FusedBackend(VerificationBackend):
         rng: Optional[np.random.Generator] = None,
         use_naive_sampling: bool = False,
         mode: str = "block",
+        reuse_scratch: bool = True,
+        precision: str = "fp32",
     ):
         self.model = model
         self._verifier = BatchedTreeVerifier(
@@ -405,6 +430,8 @@ class FusedBackend(VerificationBackend):
             rng=rng,
             use_naive_sampling=use_naive_sampling,
             mode=mode,
+            reuse_scratch=reuse_scratch,
+            precision=precision,
         )
 
     @property
@@ -498,12 +525,19 @@ class DecodePipeline:
             would — the fallback is lossless, just slower.
         fallback_cooldown: Clean (degraded) ticks served after a fault
             before speculation resumes.
+        packed_speculation: Score all requests' draft trees through one
+            batched GEMM per tree level (:class:`PackedSpeculator`) instead
+            of per-session SSM decode loops.  Bit-identical trees; requests
+            the packer cannot handle (stochastic decoding, merge-based or
+            adaptive speculators, near-end-of-context caches) silently use
+            the per-session loop.
     """
 
     def __init__(self, model: TransformerLM,
                  backend: Optional[VerificationBackend] = None,
                  injector: Optional["FaultInjector"] = None,
-                 fallback_cooldown: int = 3):
+                 fallback_cooldown: int = 3,
+                 packed_speculation: bool = True):
         if fallback_cooldown < 0:
             raise ValueError("fallback_cooldown must be >= 0")
         self.model = model
@@ -512,6 +546,7 @@ class DecodePipeline:
         self.fallback_cooldown = fallback_cooldown
         self.fitter = TreeFitter(model.config.max_seq_len)
         self.recorder = TraceRecorder()
+        self.packed = PackedSpeculator() if packed_speculation else None
         self._fallback_backend = IncrementalBackend(model)
         self._fallback_remaining = 0
         self._ticks = 0
@@ -593,6 +628,7 @@ class DecodePipeline:
         """
         _TICKS.inc()
         outcomes = [TickOutcome(state=state) for state in states]
+        allocs_before = perf.COUNTERS.hot_alloc_events
         with TRACER.span("repro.engine.tick", iteration=self._ticks,
                          batch=len(states)) as tick_span:
             self._ticks += 1
@@ -615,15 +651,23 @@ class DecodePipeline:
                     degraded = entered = True
 
             with TRACER.span("repro.engine.speculate") as span:
-                raw: List[Optional[TokenTree]] = []
+                raw: List[Optional[TokenTree]] = [None] * len(states)
+                todo: List[int] = []
                 for i, state in enumerate(states):
                     if state.finished:
                         outcomes[i].retired = state.retired
-                        raw.append(None)
                     elif degraded:
-                        raw.append(TokenTree(state.pending))
+                        raw[i] = TokenTree(state.pending)
                     else:
-                        raw.append(self._speculate_tree(state))
+                        todo.append(i)
+                if todo and self.packed is not None:
+                    for i, tree in zip(todo, self.packed.speculate_batch(
+                        [states[i] for i in todo], self._speculate_tree
+                    )):
+                        raw[i] = tree
+                else:
+                    for i in todo:
+                        raw[i] = self._speculate_tree(states[i])
                 nodes = sum(len(t) for t in raw if t is not None)
                 _SPECULATED_NODES.inc(nodes)
                 span.set(trees=sum(t is not None for t in raw), nodes=nodes)
@@ -683,8 +727,10 @@ class DecodePipeline:
                 _FALLBACK_TICKS.inc()
                 if not entered:
                     self._fallback_remaining -= 1
+            allocs = perf.COUNTERS.hot_alloc_events - allocs_before
+            _TICK_ALLOCS.inc(allocs)
             tick_span.set(advanced=len(results), tokens_emitted=emitted_total,
-                          degraded=degraded)
+                          degraded=degraded, allocs=allocs)
         return outcomes
 
     def run_to_completion(self, state: DecodeState) -> DecodeState:

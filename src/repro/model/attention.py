@@ -21,6 +21,7 @@ from repro.model.layers import (
     merge_grad,
     stable_softmax,
 )
+from repro.model.scratch import ScratchArena
 
 NEG_INF = float("-inf")
 
@@ -37,30 +38,41 @@ def _mask_buffer(shape: Tuple[int, int], dtype: str,
 
 
 class MaskScratch:
-    """Grow-only reusable buffer for per-step attention masks.
+    """Persistent per-step attention-mask buffer over a :class:`ScratchArena`.
 
     The decode loop builds a fresh mask every iteration whose shape creeps
     up as the prefix grows; allocating it anew each step makes the steady
     state allocation-bound.  ``take(rows, cols)`` returns a view of one
-    persistent buffer, reallocating only when a dimension outgrows every
-    previous step — after warm-up the loop is allocation-free for masks.
+    arena-backed buffer.  Pass ``bound=(max_rows, max_cols)`` (typically
+    ``(max_seq_len, max_seq_len)``) to allocate the worst case up front, so
+    a growing prefix never triggers mid-run reallocation; without a bound
+    the buffer grows to the next power of two per dimension.
+
+    Args:
+        dtype: Mask element type (the model dtype).
+        arena: Arena owning the backing buffer; a private one by default.
+        tag: Shape-class key inside the arena (several mask scratches can
+            share one arena under distinct tags).
+        bound: Optional ``(rows, cols)`` worst case.
     """
 
-    def __init__(self, dtype: str = "float64"):
+    def __init__(self, dtype: str = "float64",
+                 arena: Optional[ScratchArena] = None, tag: str = "mask",
+                 bound: Optional[Tuple[int, int]] = None):
         self._dtype = dtype
-        self._buf: Optional[np.ndarray] = None
+        self._arena = arena if arena is not None else ScratchArena()
+        self._tag = tag
+        self._bound = bound
 
     def take(self, rows: int, cols: int) -> np.ndarray:
         """A writable ``(rows, cols)`` view, reusing the buffer if possible."""
-        if (self._buf is None or self._buf.shape[0] < rows
-                or self._buf.shape[1] < cols):
-            grown = (
-                max(rows, 0 if self._buf is None else self._buf.shape[0]),
-                max(cols, 0 if self._buf is None else self._buf.shape[1]),
-            )
-            perf.add_mask_alloc(grown[0] * grown[1])
-            self._buf = np.empty(grown, dtype=self._dtype)
-        return self._buf[:rows, :cols]
+        before = self._arena.alloc_events
+        view = self._arena.take(self._tag, (rows, cols), self._dtype,
+                                bound=self._bound)
+        if self._arena.alloc_events != before:
+            grown = self._arena.buffer_shape(self._tag, self._dtype)
+            perf.add_mask_cells(grown[0] * grown[1])
+        return view
 
 
 def causal_mask(n: int, dtype: str = "float64",
@@ -121,6 +133,7 @@ def block_diagonal_attention(
     kvs: Sequence[Tuple[np.ndarray, np.ndarray]],
     masks: Sequence[np.ndarray],
     row_offsets: Sequence[int],
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Block-sparse attention: each query block attends only to its own keys.
 
@@ -140,11 +153,16 @@ def block_diagonal_attention(
         masks: Per-request ``(n_qᵢ, n_kᵢ)`` additive masks.
         row_offsets: Start row of each request's query block in ``q``
             (``len(row_offsets) == len(kvs) + 1``; last entry is ``Σn_q``).
+        out: Optional ``(Σn_q, h, d_head)`` output buffer (steady-state
+            callers pass a reused scratch view).
 
     Returns:
         ``(Σn_q, h, d_head)`` attention outputs.
     """
-    out = np.empty_like(q)
+    if out is None:
+        out = np.empty_like(q)
+    elif out.shape != q.shape:
+        raise ValueError(f"out buffer {out.shape} != queries {q.shape}")
     for i, ((keys, values), mask) in enumerate(zip(kvs, masks)):
         lo, hi = row_offsets[i], row_offsets[i + 1]
         out[lo:hi] = scaled_dot_attention(q[lo:hi], keys, values, mask)

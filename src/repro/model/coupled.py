@@ -115,8 +115,9 @@ class CoupledSSM:
     def new_cache(self, capacity: int = 0) -> CoupledCache:
         return CoupledCache(base_cache=self.base.new_cache(capacity=capacity))
 
-    def prefill(self, tokens: np.ndarray, cache: CoupledCache) -> np.ndarray:
-        logits = self.base.prefill(tokens, cache.base_cache)
+    def prefill(self, tokens: np.ndarray, cache: CoupledCache,
+                scratch=None) -> np.ndarray:
+        logits = self.base.prefill(tokens, cache.base_cache, scratch=scratch)
         cache.context.extend(int(t) for t in np.asarray(tokens).reshape(-1))
         return self._perturb(logits[-1], cache.context)[None, :]
 

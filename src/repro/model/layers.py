@@ -23,7 +23,8 @@ LayerCache = Tuple
 
 @hot_path
 def linear_forward(
-    x: np.ndarray, w: np.ndarray, b: np.ndarray
+    x: np.ndarray, w: np.ndarray, b: np.ndarray,
+    out: np.ndarray = None,
 ) -> Tuple[np.ndarray, LayerCache]:
     """Affine map ``y = x @ w + b`` over the last axis.
 
@@ -31,10 +32,20 @@ def linear_forward(
         x: ``(..., d_in)`` input activations.
         w: ``(d_in, d_out)`` weight.
         b: ``(d_out,)`` bias.
+        out: Optional output buffer of shape ``x.shape[:-1] + (d_out,)``.
+            The GEMM writes into it directly and the bias adds in place —
+            bit-identical to the allocating path (same GEMM, same
+            elementwise add) but with zero allocations, which is how the
+            decode loop's packed QKV projection and LM head reuse
+            scratch-arena buffers.
     """
     perf.add_gemm(int(np.prod(x.shape[:-1], dtype=np.int64)), w.shape[0],
                   w.shape[1])
-    return x @ w + b, (x, w)
+    if out is None:
+        return x @ w + b, (x, w)
+    np.matmul(x, w, out=out)
+    out += b
+    return out, (x, w)
 
 
 def linear_backward(
@@ -123,11 +134,22 @@ def embedding_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
 
 
 @hot_path
-def stable_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
-    shifted = logits - logits.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=axis, keepdims=True)
+def stable_softmax(logits: np.ndarray, axis: int = -1,
+                   out: np.ndarray = None) -> np.ndarray:
+    """Numerically stable softmax.
+
+    Pass ``out`` (same shape as ``logits``; may alias ``logits``) to compute
+    in place — the same subtract/exp/normalize sequence, so results are
+    bit-identical to the allocating path.
+    """
+    if out is None:
+        shifted = logits - logits.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=axis, keepdims=True)
+    np.subtract(logits, logits.max(axis=axis, keepdims=True), out=out)
+    np.exp(out, out=out)
+    out /= out.sum(axis=axis, keepdims=True)
+    return out
 
 
 def softmax_cross_entropy(

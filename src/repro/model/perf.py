@@ -52,6 +52,12 @@ class PerfCounters:
         mask_cells_allocated: Cells of freshly allocated attention-mask
             buffers.  Steady-state decode with reused (``out=``) buffers
             allocates none.
+        hot_alloc_events: Tracked hot-path buffer allocations — scratch
+            arena growth (:class:`repro.model.scratch.ScratchArena`) plus
+            fresh (non-``out=``) mask buffers.  ``DecodePipeline.tick``
+            folds the per-tick delta into ``repro.engine.tick.allocs``,
+            which CI gates to zero on steady-state ticks.
+        hot_alloc_bytes: Bytes requested by those allocations.
     """
 
     gemm_flops: int = 0
@@ -59,6 +65,8 @@ class PerfCounters:
     cross_request_score_flops: int = 0
     kv_bytes_copied: int = 0
     mask_cells_allocated: int = 0
+    hot_alloc_events: int = 0
+    hot_alloc_bytes: int = 0
 
     def snapshot(self) -> "PerfCounters":
         """An independent copy of these counts."""
@@ -159,6 +167,28 @@ def add_kv_copy(n_bytes: int) -> None:
     _METRICS["kv_bytes_copied"].value += n_bytes
 
 
-def add_mask_alloc(cells: int) -> None:
-    """Record a freshly allocated mask buffer of ``cells`` cells."""
+def add_mask_alloc(cells: int, itemsize: int = 8) -> None:
+    """Record a freshly allocated mask buffer of ``cells`` cells.
+
+    A fresh mask is also a hot-path allocation event, so it is charged to
+    :func:`add_hot_alloc` as well (scratch-backed ``out=`` masks charge
+    nothing here — their rare growth is counted by the arena itself).
+    """
     _METRICS["mask_cells_allocated"].value += cells
+    add_hot_alloc(cells * itemsize)
+
+
+def add_mask_cells(cells: int) -> None:
+    """Record mask cells whose allocation was already counted elsewhere.
+
+    :class:`~repro.model.scratch.ScratchArena` charges its own growth to
+    :func:`add_hot_alloc`; mask scratches layered on the arena use this to
+    keep ``mask_cells_allocated`` accurate without double-counting the
+    allocation event."""
+    _METRICS["mask_cells_allocated"].value += cells
+
+
+def add_hot_alloc(n_bytes: int) -> None:
+    """Record one tracked hot-path buffer allocation of ``n_bytes``."""
+    _METRICS["hot_alloc_events"].value += 1
+    _METRICS["hot_alloc_bytes"].value += n_bytes

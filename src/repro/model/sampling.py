@@ -72,19 +72,34 @@ def top_p_filter(probs: np.ndarray, p: float) -> np.ndarray:
 
 
 def distribution_from_logits(
-    logits: np.ndarray, config: SamplingConfig
+    logits: np.ndarray, config: SamplingConfig,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """The next-token distribution implied by ``logits`` under ``config``.
 
     For greedy configs this is a one-hot distribution on the argmax, which
     makes greedy decoding a special case of stochastic verification.
+
+    Pass ``out`` (a float64 ``(vocab,)`` buffer, typically a scratch-arena
+    view) to build the distribution without allocating; results are
+    bit-identical to the allocating path.  When top-k/top-p filtering is
+    active the filtered distribution is a fresh array either way (the
+    filters are off on the greedy/serving hot path).
     """
     if config.greedy:
-        # lint: allow-dtype verification distributions are float64 by contract (MSS ratio/residual math)
-        probs = np.zeros(logits.shape[-1], dtype=np.float64)
+        if out is None:
+            # lint: allow-dtype verification distributions are float64 by contract (MSS ratio/residual math)
+            probs = np.zeros(logits.shape[-1], dtype=np.float64)
+        else:
+            probs = out
+            probs[:] = 0.0
         probs[int(np.argmax(logits))] = 1.0
         return probs
-    probs = softmax(logits / config.temperature)
+    if out is None:
+        probs = softmax(logits / config.temperature)
+    else:
+        np.divide(logits, config.temperature, out=out)
+        probs = softmax(out, out=out)
     if config.top_k:
         probs = top_k_filter(probs, config.top_k)
     if config.top_p < 1.0:
@@ -101,11 +116,17 @@ def sample_token(
     logits: np.ndarray,
     config: SamplingConfig,
     rng: np.random.Generator,
+    probs_out: Optional[np.ndarray] = None,
 ) -> int:
-    """Sample a token id from ``logits`` under ``config``."""
+    """Sample a token id from ``logits`` under ``config``.
+
+    ``probs_out`` optionally receives the intermediate distribution (a
+    reused scratch buffer keeps stochastic incremental decoding
+    allocation-free; greedy sampling never builds a distribution).
+    """
     if config.greedy:
         return greedy_token(logits)
-    probs = distribution_from_logits(logits, config)
+    probs = distribution_from_logits(logits, config, out=probs_out)
     return int(rng.choice(probs.shape[-1], p=probs))
 
 

@@ -1,0 +1,127 @@
+"""Reusable scratch buffers for the allocation-free decode hot path.
+
+The steady-state decode loop needs the same handful of staging buffers every
+iteration — attention masks, the batch's concatenated token/position index
+vectors, the packed QKV GEMM output, LM-head logits, sampling probability
+vectors — and allocating them anew each tick makes the loop
+allocation-bound long before it is FLOP-bound (the Sequoia framing: host
+allocation churn moves the implementation off the hardware roofline).
+
+:class:`ScratchArena` generalizes the grow-only ``_IndexScratch`` /
+``MaskScratch`` pattern into one pool: persistent buffers keyed by
+``(shape-class tag, dtype)``.  ``take(tag, shape, dtype)`` returns a
+writable view of the persistent buffer for that key, allocating only when a
+request outgrows every previous one for the same key:
+
+* with a ``bound`` (the caller's worst-case shape, e.g. mask dimensions
+  bounded by ``max_seq_len``), the backing buffer is allocated **once** at
+  the bound, so the steady state performs exactly zero allocations;
+* without a bound, each dimension grows to the next power of two, so
+  allocations are O(log) in the largest shape ever seen and the steady
+  state is allocation-free between (rare) doublings.
+
+Every growth event is charged to the ``repro.model.hot_alloc_*`` perf
+counters; :meth:`repro.engine.pipeline.DecodePipeline.tick` folds the
+per-tick delta into the ``repro.engine.tick.allocs`` counter that CI gates
+to zero on steady-state ticks (see ``benchmarks/ci_gate.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model import perf
+
+
+def _round_up_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (0 and 1 map to 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+class ScratchArena:
+    """Grow-only pool of persistent staging buffers keyed by (tag, dtype).
+
+    One arena is owned per steady-state loop participant (a verifier, a
+    backend, a packed speculator) — **not** shared across threads; like the
+    metrics registry, the arena assumes the single-threaded NumPy decode
+    loop.  Views returned by :meth:`take` are valid until the next ``take``
+    of the same key; callers must consume (or copy out of) a view before
+    re-taking it, which the one-iteration decode dataflow guarantees.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+        #: Number of backing-buffer allocations performed by this arena.
+        self.alloc_events = 0
+        #: Total bytes those allocations requested.
+        self.alloc_bytes = 0
+
+    def take(
+        self,
+        tag: str,
+        shape: Sequence[int],
+        dtype,
+        bound: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """A writable ``shape`` view of the persistent buffer for ``tag``.
+
+        Args:
+            tag: Shape-class name (e.g. ``"mask"``, ``"qkv"``, ``"logits"``).
+                Buffers are keyed by ``(tag, dtype)``; two users of one
+                arena must take distinct tags for concurrently-live views.
+            shape: Requested view shape; every dimension may vary call to
+                call.
+            dtype: Element type of the buffer.
+            bound: Optional per-dimension worst-case sizes.  When given, the
+                backing buffer is allocated directly at
+                ``max(shape, bound)`` so later growth never happens.
+
+        Returns:
+            A writable view of the backing buffer with exactly ``shape``;
+            contents are unspecified (callers overwrite).  The view is only
+            C-contiguous when every trailing dimension matches the backing
+            buffer (callers that reshape must keep trailing dims fixed,
+            e.g. by bounding them exactly).
+        """
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative scratch shape {shape}")
+        dt = np.dtype(dtype)
+        key = (tag, dt)
+        buf = self._buffers.get(key)
+        if buf is not None and buf.ndim != len(shape):
+            raise ValueError(
+                f"scratch tag {tag!r} holds a {buf.ndim}-d buffer but "
+                f"{len(shape)}-d was requested"
+            )
+        if buf is None or any(b < s for b, s in zip(buf.shape, shape)):
+            grown = []
+            for dim, need in enumerate(shape):
+                have = buf.shape[dim] if buf is not None else 0
+                cap = int(bound[dim]) if bound is not None else 0
+                if cap:
+                    target = max(need, have, cap)
+                else:
+                    target = max(_round_up_pow2(need), have)
+                grown.append(target)
+            buf = np.empty(tuple(grown), dtype=dt)
+            self._buffers[key] = buf
+            self.alloc_events += 1
+            self.alloc_bytes += buf.nbytes
+            perf.add_hot_alloc(buf.nbytes)
+        if buf.shape == shape:
+            return buf
+        return buf[tuple(slice(0, s) for s in shape)]
+
+    def buffer_shape(self, tag: str, dtype) -> Optional[Tuple[int, ...]]:
+        """Current backing-buffer shape for ``(tag, dtype)``, if allocated."""
+        buf = self._buffers.get((tag, np.dtype(dtype)))
+        return None if buf is None else buf.shape
+
+    def reserved_bytes(self) -> int:
+        """Total bytes currently held across all backing buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())

@@ -24,6 +24,7 @@ import numpy as np
 from repro.analysis import sanitizer
 from repro.analysis.sanitizer import tensor_contract
 from repro.model.attention import (
+    MaskScratch,
     block_diagonal_attention,
     causal_mask,
     cross_mask,
@@ -45,6 +46,7 @@ from repro.model.layers import (
     stable_softmax,
 )
 from repro.model.parameters import ParameterStore
+from repro.model.scratch import ScratchArena
 
 
 class TransformerLM:
@@ -89,6 +91,7 @@ class TransformerLM:
         positions: np.ndarray,
         mask: np.ndarray,
         cache: KVCache,
+        scratch: Optional[ScratchArena] = None,
     ) -> np.ndarray:
         """Score ``tokens`` under ``mask``, appending their KVs to ``cache``.
 
@@ -103,6 +106,8 @@ class TransformerLM:
                 (tree tokens use ``prefix_len + depth``).
             mask: ``(n_new, prior + n_new)`` additive attention mask.
             cache: KV cache; mutated (new keys/values appended).
+            scratch: Optional staging-buffer arena (see
+                :meth:`forward_masked_blocks`).
 
         Returns:
             ``(n_new, vocab)`` logits, one row per new token.
@@ -115,7 +120,8 @@ class TransformerLM:
                 f"mask shape {mask.shape} != expected {(n_new, prior + n_new)}"
             )
         return self.forward_masked_blocks(
-            tokens, positions, [mask], [cache], priors=[prior]
+            tokens, positions, [mask], [cache], priors=[prior],
+            scratch=scratch,
         )
 
     def forward_masked_blocks(
@@ -125,6 +131,7 @@ class TransformerLM:
         masks: Sequence[np.ndarray],
         caches: Sequence,
         priors: Optional[Sequence[int]] = None,
+        scratch: Optional[ScratchArena] = None,
     ) -> np.ndarray:
         """Block-sparse fused decode over several requests at once.
 
@@ -156,6 +163,14 @@ class TransformerLM:
             priors: Optional precomputed ``cache.length`` per request, so
                 the per-step batch layout is computed once by the caller
                 instead of re-derived here.
+            scratch: Optional :class:`ScratchArena` providing persistent
+                staging buffers for the packed QKV projection, the
+                block-sparse attention output and the LM-head logits.  The
+                out-of-place and ``out=`` paths run the identical GEMM /
+                elementwise sequence, so logits are bit-identical; only the
+                allocation behaviour changes.  Callers that pass an arena
+                own its lifecycle: the returned logits alias arena memory
+                and are overwritten by the next call with the same arena.
 
         Returns:
             ``(Σnᵢ, vocab)`` logits, one row per new token, batch order.
@@ -192,16 +207,29 @@ class TransformerLM:
                 f"{self.config.max_seq_len}"
             )
         p = self.params
-        use_rope = self.config.position_encoding == "rope"
+        cfg = self.config
+        use_rope = cfg.position_encoding == "rope"
         x = p["tok_embed"][tokens]
         if not use_rope:
             x = x + p["pos_embed"][positions]
-        n_heads = self.config.n_heads
-        for i in range(self.config.n_layers):
+        n_heads = cfg.n_heads
+        d_head = cfg.d_model // n_heads
+        qkv_out = attn_buf = logits_out = None
+        if scratch is not None:
+            # Trailing dims are bounded exactly so the (n, h, d_head) view
+            # stays C-contiguous and ``reshape(n_new, -1)`` below is a view,
+            # not a silent copy.
+            qkv_out = scratch.take("fwd.qkv", (n_new, 3 * cfg.d_model),
+                                   cfg.dtype, bound=(0, 3 * cfg.d_model))
+            attn_buf = scratch.take("fwd.attn", (n_new, n_heads, d_head),
+                                    cfg.dtype, bound=(0, n_heads, d_head))
+            logits_out = scratch.take("fwd.logits", (n_new, cfg.vocab_size),
+                                      cfg.dtype, bound=(0, cfg.vocab_size))
+        for i in range(cfg.n_layers):
             pre = f"layer{i}"
             h, _ = layernorm_forward(x, p[f"{pre}.ln1.scale"], p[f"{pre}.ln1.bias"])
             wqkv, bqkv = p.packed_qkv(f"{pre}.attn")
-            qkv, _ = linear_forward(h, wqkv, bqkv)
+            qkv, _ = linear_forward(h, wqkv, bqkv, out=qkv_out)
             q, k, v = np.split(qkv, 3, axis=-1)
             qh = split_heads(q, n_heads)
             kh = split_heads(k, n_heads)
@@ -217,7 +245,8 @@ class TransformerLM:
                 layer_kv.append(kh[offsets[b] : offsets[b + 1]],
                                 vh[offsets[b] : offsets[b + 1]])
                 kvs.append(layer_kv.view())
-            attn = block_diagonal_attention(qh, kvs, masks, offsets)
+            attn = block_diagonal_attention(qh, kvs, masks, offsets,
+                                            out=attn_buf)
             attn_out, _ = linear_forward(
                 attn.reshape(n_new, -1), p[f"{pre}.attn.wo"], p[f"{pre}.attn.bo"]
             )
@@ -230,18 +259,36 @@ class TransformerLM:
             down, _ = linear_forward(act, p[f"{pre}.mlp.w2"], p[f"{pre}.mlp.b2"])
             x = x + down
         final, _ = layernorm_forward(x, p["final_ln.scale"], p["final_ln.bias"])
-        logits = final @ p["lm_head"]
+        if logits_out is None:
+            logits = final @ p["lm_head"]
+        else:
+            logits = np.matmul(final, p["lm_head"], out=logits_out)
         sanitizer.guard_finite("forward_masked_blocks logits", logits)
         return logits
 
-    def prefill(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
-        """Process a prompt, filling ``cache``; returns ``(n, vocab)`` logits."""
+    def prefill(self, tokens: np.ndarray, cache: KVCache,
+                scratch: Optional[ScratchArena] = None) -> np.ndarray:
+        """Process a prompt, filling ``cache``; returns ``(n, vocab)`` logits.
+
+        ``scratch`` backs both the cross mask and the forward staging
+        buffers, making repeated prefills (the speculator mirroring accepted
+        tokens every tick) allocation-free at steady state.  Arena-lifecycle
+        caveats of :meth:`forward_masked_blocks` apply.
+        """
         tokens = np.asarray(tokens, dtype=np.intp)
         n = tokens.shape[0]
         prior = cache.length
         positions = np.arange(prior, prior + n)
-        mask = cross_mask(n, prior + n, prior, dtype=self.config.dtype)
-        return self.forward_masked(tokens, positions, mask, cache)
+        mask_out = None
+        if scratch is not None:
+            mask_out = MaskScratch(
+                self.config.dtype, arena=scratch, tag="prefill.mask",
+                bound=(0, self.config.max_seq_len),
+            ).take(n, prior + n)
+        mask = cross_mask(n, prior + n, prior, dtype=self.config.dtype,
+                          out=mask_out)
+        return self.forward_masked(tokens, positions, mask, cache,
+                                   scratch=scratch)
 
     def decode(self, token: int, cache: KVCache) -> np.ndarray:
         """One incremental decoding step; returns ``(vocab,)`` logits."""

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.model.scratch import ScratchArena
 from repro.speculate.expansion import ExpansionConfig, expand_token_tree
 from repro.tree.token_tree import TokenTree, merge_trees
 
@@ -63,6 +64,10 @@ class Speculator:
         )
         self.temperature = temperature
         self._caches = [ssm.new_cache() for ssm in self.ssms]
+        # Per-SSM staging arenas for the per-tick mirror prefill
+        # (:meth:`advance`): without them, every committed step allocates a
+        # fresh cross mask and forward buffers inside each SSM.
+        self._arenas = [ScratchArena() for _ in self.ssms]
         self._prefix_len = 0
         # Cost accounting for the cluster model: SSM decode steps issued in
         # the most recent speculate() call (all SSMs run in data parallel, so
@@ -81,8 +86,8 @@ class Speculator:
         arr = np.asarray(list(tokens), dtype=np.intp)
         if arr.size == 0:
             return
-        for ssm, cache in zip(self.ssms, self._caches):
-            ssm.prefill(arr, cache)
+        for ssm, cache, arena in zip(self.ssms, self._caches, self._arenas):
+            ssm.prefill(arr, cache, scratch=arena)
         self._prefix_len += int(arr.size)
 
     def advance(self, tokens: Sequence[int]) -> None:
@@ -93,6 +98,32 @@ class Speculator:
     def prefix_len(self) -> int:
         """Number of verified tokens mirrored into the SSM caches."""
         return self._prefix_len
+
+    # -- packed (cross-request) expansion seam -----------------------------------------
+
+    def packed_expansion_state(self):
+        """``(ssm, cache, config)`` when packed expansion may drive this
+        speculator, else ``None``.
+
+        Packed draft scoring (:mod:`repro.speculate.packed`) replays the
+        deterministic expansion of a *single* statically-configured SSM as
+        level-synchronous tree-parallel decode; merge-based (multi-SSM) and
+        adaptive speculators keep their own loop.
+        """
+        if self.adaptive is not None or len(self.ssms) != 1:
+            return None
+        return self.ssms[0], self._caches[0], self.per_ssm_configs[0]
+
+    def record_packed_speculation(self, tree: TokenTree) -> None:
+        """Update cost accounting after packed expansion built ``tree``.
+
+        Mirrors :meth:`speculate`'s bookkeeping: one SSM decode step per
+        internal node, so the cluster cost model prices a packed tick
+        identically to the per-session loop it replaced.
+        """
+        self.last_ssm_steps[0] = sum(
+            1 for n in range(len(tree)) if tree.nodes[n].children
+        )
 
     # -- speculation ------------------------------------------------------------------
 

@@ -65,7 +65,7 @@ class TreeDecodeOutput:
 
 def tree_parallel_decode(
     model: TransformerLM, cache: KVCache, tree: TokenTree,
-    mask_out: np.ndarray = None,
+    mask_out: np.ndarray = None, scratch=None,
 ) -> TreeDecodeOutput:
     """Score all tree tokens against ``model`` in one fused pass.
 
@@ -78,13 +78,18 @@ def tree_parallel_decode(
         mask_out: Optional ``(n, prefix + n)`` buffer for the topology mask
             (persistent callers pass a reused scratch so the steady-state
             loop allocates no masks).
+        scratch: Optional :class:`~repro.model.scratch.ScratchArena` for the
+            model's staging buffers (QKV, attention output, logits).  The
+            returned logits then alias arena memory and are only valid until
+            the next decode with the same arena.
     """
     lin = linearize(tree)
     prefix_len = cache.length
     mask = topology_causal_mask(lin, prefix_len, dtype=model.config.dtype,
                                 out=mask_out)
     positions = tree_positions(lin, prefix_len)
-    logits = model.forward_masked(lin.tokens, positions, mask, cache)
+    logits = model.forward_masked(lin.tokens, positions, mask, cache,
+                                  scratch=scratch)
     return TreeDecodeOutput(lin=lin, logits=logits, prefix_len=prefix_len)
 
 

@@ -1,0 +1,114 @@
+"""Simulated reduced-precision draft scoring with bit-exact greedy accept.
+
+Real speculative-decoding deployments score draft tokens with the target
+model running in fp16 (or a quantized int8 kernel) while the paper's
+correctness argument is stated over exact distributions.  For *greedy*
+verification the gap can be closed exactly: greedy accept/reject consumes
+only the per-row argmax of the verifier's logits (see
+:func:`repro.verify.greedy.verify_greedy`), so any rescoring that provably
+preserves every row's argmax commits bit-identical tokens.
+
+This module simulates reduced precision on the NumPy substrate by
+round-tripping logits through the target format and then applying an
+**argmax-stability guard**:
+
+For a logits row ``x`` and its quantized image ``q`` with per-element error
+bound ``e = max_i |q_i - x_i|``, let ``m = argmax(q)`` and ``gap`` be the
+difference between the largest and second-largest entries of ``q``.  If
+``gap > 2e`` then for every ``j != m`` (using ``q_m >= q_j + gap``)::
+
+    x_m >= q_m - e >= q_j + gap - e > q_j + e >= x_j
+
+so ``argmax(x) = m`` is unique and equals ``argmax(q)`` — the quantized row
+is *provably* argmax-equivalent to the fp32 row.  Rows failing the guard
+(near-ties, where quantization genuinely could flip the winner) fall back
+to the original fp32 row.  Either way every row handed to greedy
+verification has exactly the fp32 argmax, so the committed tokens are
+bit-identical by construction.  The property test in
+``tests/verify/test_precision.py`` hammers this over adversarial near-tie
+logits.
+
+Stochastic verification consumes full distributions, not argmaxes, so no
+such guard exists; requesting reduced precision there raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import REGISTRY
+
+#: Supported precision simulations for verifier draft scoring.
+PRECISIONS = ("fp32", "fp16", "int8")
+
+#: Rows rescored at reduced precision (guard passed, quantized row kept).
+ROWS_QUANTIZED = REGISTRY.counter("repro.verify.precision_rows_quantized")
+#: Rows restored to fp32 because the argmax-stability guard failed.
+ROWS_FALLBACK = REGISTRY.counter("repro.verify.precision_rows_fallback")
+
+
+def validate_precision(precision: str, greedy: bool) -> None:
+    """Reject unknown precisions and non-greedy reduced-precision configs."""
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    if precision != "fp32" and not greedy:
+        raise ValueError(
+            "reduced-precision draft scoring is only bit-exact under greedy "
+            "verification (stochastic accept consumes full distributions); "
+            f"got precision={precision!r} with a stochastic sampling config"
+        )
+
+
+def quantize_fp16(logits: np.ndarray) -> np.ndarray:
+    """Round-trip through IEEE half precision (simulated fp16 scoring)."""
+    return logits.astype(np.float16).astype(np.float64)
+
+
+def quantize_int8(logits: np.ndarray) -> np.ndarray:
+    """Per-row symmetric int8 quantization (scale = max|row| / 127)."""
+    scale = np.abs(logits).max(axis=-1, keepdims=True) / 127.0
+    # All-zero rows quantize to themselves; avoid 0/0.
+    scale = np.where(scale == 0.0, 1.0, scale)
+    q = np.clip(np.round(logits / scale), -127, 127)
+    return q * scale
+
+
+def apply_precision(logits: np.ndarray, precision: str) -> np.ndarray:
+    """Logits rescored at ``precision`` with the argmax-stability guard.
+
+    Args:
+        logits: ``(..., vocab)`` fp32/fp64 verifier logits.
+        precision: One of :data:`PRECISIONS`; ``"fp32"`` returns ``logits``
+            unchanged (same object — the default path adds zero work).
+
+    Returns:
+        Array of the same shape where every row is either the quantized row
+        (when its top-1/top-2 gap exceeds twice the row's max quantization
+        error — argmax provably unchanged) or the original fp32 row (near
+        tie: fall back rather than risk an argmax flip).  Every row's
+        argmax equals the fp32 argmax, so greedy verification of the result
+        commits bit-identical tokens.
+    """
+    if precision == "fp32":
+        return logits
+    if precision == "fp16":
+        q = quantize_fp16(logits)
+    elif precision == "int8":
+        q = quantize_int8(logits)
+    else:
+        raise ValueError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    err = np.abs(q - logits).max(axis=-1)
+    top2 = np.partition(q, -2, axis=-1)
+    gap = top2[..., -1] - top2[..., -2]
+    fallback = gap <= 2.0 * err
+    n_rows = int(fallback.size)
+    n_fallback = int(np.count_nonzero(fallback))
+    ROWS_QUANTIZED.value += n_rows - n_fallback
+    ROWS_FALLBACK.value += n_fallback
+    if n_fallback:
+        q = np.where(fallback[..., None], logits, q)
+    return q

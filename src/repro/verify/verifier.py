@@ -19,11 +19,13 @@ import numpy as np
 from repro.model.attention import MaskScratch
 from repro.model.kv_cache import KVCache
 from repro.model.sampling import SamplingConfig
+from repro.model.scratch import ScratchArena
 from repro.model.transformer import TransformerLM
 from repro.tree.token_tree import TokenTree
 from repro.verify.decode import TreeDecodeOutput, tree_parallel_decode
 from repro.verify.greedy import verify_greedy
 from repro.verify.naive import verify_naive_sampling
+from repro.verify.precision import apply_precision, validate_precision
 from repro.verify.result import VerificationResult
 from repro.verify.stochastic import verify_stochastic
 
@@ -38,6 +40,14 @@ class TokenTreeVerifier:
             ``use_naive_sampling=True``, for the Table 3 baseline).
         rng: Randomness for stochastic verification.
         use_naive_sampling: Swap MSS for the naive baseline.
+        reuse_scratch: Reuse persistent mask/QKV/attention/logits buffers
+            across iterations (allocation-free steady state).  ``False``
+            runs the allocating path — bit-identical results, used by the
+            scratch on/off equivalence suite.
+        precision: ``"fp32"`` (exact), ``"fp16"`` or ``"int8"`` — simulate
+            reduced-precision draft scoring.  Reduced precision requires a
+            greedy sampling config and commits bit-identical tokens (see
+            :mod:`repro.verify.precision`).
     """
 
     def __init__(
@@ -46,14 +56,31 @@ class TokenTreeVerifier:
         sampling: Optional[SamplingConfig] = None,
         rng: Optional[np.random.Generator] = None,
         use_naive_sampling: bool = False,
+        reuse_scratch: bool = True,
+        precision: str = "fp32",
     ):
         self.model = model
         self.sampling = sampling or SamplingConfig(greedy=True)
         self.rng = rng or np.random.default_rng(0)
         self.use_naive_sampling = use_naive_sampling
-        self._mask_scratch = MaskScratch(model.config.dtype)
+        validate_precision(precision, self.sampling.greedy)
+        self.precision = precision
+        self.reuse_scratch = reuse_scratch
+        if reuse_scratch:
+            max_len = model.config.max_seq_len
+            self._arena: Optional[ScratchArena] = ScratchArena()
+            self._mask_scratch: Optional[MaskScratch] = MaskScratch(
+                model.config.dtype, arena=self._arena, tag="tree_mask",
+                bound=(0, max_len),
+            )
+        else:
+            self._arena = None
+            self._mask_scratch = None
 
-    def _tree_mask_out(self, tree: TokenTree, prefix_len: int) -> np.ndarray:
+    def _tree_mask_out(self, tree: TokenTree,
+                       prefix_len: int) -> Optional[np.ndarray]:
+        if self._mask_scratch is None:
+            return None
         n = len(tree)
         return self._mask_scratch.take(n, prefix_len + n)
 
@@ -68,14 +95,7 @@ class TokenTreeVerifier:
         grows by ``len(result.accepted_nodes)``.  The bonus token is *not*
         cached; it seeds the next iteration's tree root.
         """
-        prefix_len = cache.length
-        output = tree_parallel_decode(
-            self.model, cache, tree,
-            mask_out=self._tree_mask_out(tree, prefix_len),
-        )
-        result = self._verify(output, tree)
-        accepted_slots = [output.lin.slot_of[n] for n in result.accepted_nodes]
-        cache.keep_rows(prefix_len, accepted_slots)
+        result, _ = self.decode_and_verify(tree, cache)
         return result
 
     def decode_and_verify(
@@ -86,7 +106,14 @@ class TokenTreeVerifier:
         output = tree_parallel_decode(
             self.model, cache, tree,
             mask_out=self._tree_mask_out(tree, prefix_len),
+            scratch=self._arena,
         )
+        if self.precision != "fp32":
+            output = TreeDecodeOutput(
+                lin=output.lin,
+                logits=apply_precision(output.logits, self.precision),
+                prefix_len=output.prefix_len,
+            )
         result = self._verify(output, tree)
         accepted_slots = [output.lin.slot_of[n] for n in result.accepted_nodes]
         cache.keep_rows(prefix_len, accepted_slots)

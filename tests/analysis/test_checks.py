@@ -47,7 +47,7 @@ class TestDtypeDrift:
 class TestHotPathAlloc:
     def test_catches_all_seeded_violations(self):
         report = lint_fixture("bad_alloc.py", checks=["hot-path-alloc"])
-        assert len(report.unsuppressed) == 3
+        assert len(report.unsuppressed) == 4
         assert set(names(report)) == {"hot-path-alloc"}
 
     def test_hot_path_decorator_marks_cold_files(self):
@@ -60,6 +60,33 @@ class TestHotPathAlloc:
     def test_cold_file_not_flagged(self, lint_snippet):
         report = lint_snippet(
             "import numpy as np\ndef f(xs):\n    return np.concatenate(xs)\n",
+            checks=["hot-path-alloc"],
+        )
+        assert report.findings == []
+
+    def test_out_kwarg_is_clean(self, lint_snippet):
+        """Writing into an explicit out= (scratch-arena) buffer allocates
+        nothing and must not be flagged."""
+        report = lint_snippet(
+            "# lint: scope hot-path\nimport numpy as np\n"
+            "def f(xs, buf):\n    return np.concatenate(xs, out=buf)\n",
+            checks=["hot-path-alloc"],
+        )
+        assert report.findings == []
+
+    def test_comprehension_alloc_gets_sharper_message(self):
+        report = lint_fixture("bad_alloc.py", checks=["hot-path-alloc"])
+        comp = [f for f in report.unsuppressed
+                if "inside a comprehension" in f.message]
+        assert len(comp) == 1
+        assert "per item" in comp[0].message
+
+    def test_comprehension_with_out_still_clean(self, lint_snippet):
+        report = lint_snippet(
+            "# lint: scope hot-path\nimport numpy as np\n"
+            "def f(xs, arena):\n"
+            "    return [np.concatenate(x, out=arena.take('t', (4,), float))\n"
+            "            for x in xs]\n",
             checks=["hot-path-alloc"],
         )
         assert report.findings == []

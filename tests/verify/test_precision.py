@@ -1,0 +1,169 @@
+"""Reduced-precision draft scoring: argmax parity and bit-exact greedy accept.
+
+The guard in :mod:`repro.verify.precision` promises that every logits row it
+returns has *exactly* the fp32 argmax — quantized rows only survive when
+their top-1/top-2 gap provably exceeds twice the quantization error, and
+near-tie rows fall back to fp32.  These tests hammer that promise with
+adversarial near-ties and then confirm the end-to-end consequence: fp16 and
+int8 verifier configs commit bit-identical tokens to fp32 under greedy
+decoding, across both the per-request and the fused batched verifiers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.batched import BatchedTreeVerifier
+from repro.model.sampling import SamplingConfig
+from repro.obs import reset_observability
+from repro.speculate.expansion import ExpansionConfig, expand_token_tree
+from repro.verify.precision import (
+    PRECISIONS,
+    ROWS_FALLBACK,
+    ROWS_QUANTIZED,
+    apply_precision,
+    quantize_fp16,
+    quantize_int8,
+    validate_precision,
+)
+from repro.verify.verifier import TokenTreeVerifier
+from tests.conftest import make_prompt
+
+REDUCED = [p for p in PRECISIONS if p != "fp32"]
+
+
+class TestValidatePrecision:
+    def test_known_precisions_pass_greedy(self):
+        for p in PRECISIONS:
+            validate_precision(p, greedy=True)
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            validate_precision("bf16", greedy=True)
+
+    @pytest.mark.parametrize("precision", REDUCED)
+    def test_reduced_precision_requires_greedy(self, precision):
+        with pytest.raises(ValueError, match="greedy"):
+            validate_precision(precision, greedy=False)
+
+    def test_fp32_allowed_stochastic(self):
+        validate_precision("fp32", greedy=False)
+
+
+class TestQuantizers:
+    def test_fp16_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 10, size=(32, 64))
+        q = quantize_fp16(x)
+        # Half precision keeps ~3 decimal digits at this magnitude.
+        assert np.abs(q - x).max() < 0.02
+        assert q.dtype == np.float64
+
+    def test_int8_scale_and_clip(self):
+        x = np.array([[0.0, 127.0, -254.0]])
+        q = quantize_int8(x)
+        # scale = 2.0; entries land on multiples of the scale.
+        np.testing.assert_allclose(q, [[0.0, 128.0, -254.0]])
+
+    def test_int8_zero_row_is_fixed_point(self):
+        x = np.zeros((2, 5))
+        np.testing.assert_array_equal(quantize_int8(x), x)
+
+
+class TestArgmaxParity:
+    """The headline property: argmax(apply_precision(x)) == argmax(x)."""
+
+    def setup_method(self):
+        reset_observability()
+
+    @pytest.mark.parametrize("precision", REDUCED)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_rows(self, precision, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 8, size=(200, 97))
+        out = apply_precision(x, precision)
+        np.testing.assert_array_equal(
+            np.argmax(out, axis=-1), np.argmax(x, axis=-1)
+        )
+
+    @pytest.mark.parametrize("precision", REDUCED)
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_adversarial_near_ties(self, precision, seed):
+        """Rows whose top two entries differ by less than any quantization
+        step — exactly where naive quantization flips the winner."""
+        rng = np.random.default_rng(seed)
+        n, vocab = 300, 61
+        x = rng.normal(0, 8, size=(n, vocab))
+        top = np.argmax(x, axis=-1)
+        runner_up = (top + 1 + rng.integers(0, vocab - 1, size=n)) % vocab
+        runner_up = np.where(runner_up == top, (top + 1) % vocab, runner_up)
+        eps = 10.0 ** rng.uniform(-12, -2, size=n)
+        rows = np.arange(n)
+        x[rows, runner_up] = x[rows, top] - eps
+        out = apply_precision(x, precision)
+        np.testing.assert_array_equal(
+            np.argmax(out, axis=-1), np.argmax(x, axis=-1)
+        )
+        # Near-ties must actually exercise the fp32 fallback.
+        assert ROWS_FALLBACK.value > 0
+
+    @pytest.mark.parametrize("precision", REDUCED)
+    def test_clear_winners_stay_quantized(self, precision):
+        x = np.zeros((8, 32))
+        x[np.arange(8), np.arange(8)] = 50.0
+        out = apply_precision(x, precision)
+        assert ROWS_QUANTIZED.value == 8
+        assert ROWS_FALLBACK.value == 0
+        np.testing.assert_array_equal(
+            np.argmax(out, axis=-1), np.argmax(x, axis=-1)
+        )
+
+    def test_fp32_is_identity_object(self):
+        x = np.ones((3, 4))
+        assert apply_precision(x, "fp32") is x
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            apply_precision(np.ones((1, 4)), "fp8")
+
+
+def _verify_once(llm, ssm, verifier_cls, seed, **kwargs):
+    """Committed tokens + compacted cache length for one verification pass."""
+    rng = np.random.default_rng(seed)
+    prompt = make_prompt(rng, length=6)
+    cache = llm.new_cache()
+    llm.prefill(prompt[:-1], cache)
+    ssm_cache = ssm.new_cache()
+    ssm.prefill(prompt[:-1], ssm_cache)
+    tree = expand_token_tree(
+        ssm, int(prompt[-1]), ssm_cache, ExpansionConfig((2, 2, 1))
+    )
+    verifier = verifier_cls(llm, SamplingConfig(greedy=True), **kwargs)
+    if verifier_cls is BatchedTreeVerifier:
+        result = verifier.verify_batch([tree], [cache])[0]
+    else:
+        result = verifier.verify_step(tree, cache)
+    return result.accepted_tokens, result.accepted_nodes, cache.length
+
+
+class TestEndToEndGreedyParity:
+    """fp16/int8 verifiers commit bit-identical tokens to fp32."""
+
+    @pytest.mark.parametrize("verifier_cls",
+                             [TokenTreeVerifier, BatchedTreeVerifier])
+    @pytest.mark.parametrize("precision", REDUCED)
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_commits_match_fp32(self, llm, ssm, verifier_cls, precision,
+                                seed):
+        baseline = _verify_once(llm, ssm, verifier_cls, seed,
+                                precision="fp32")
+        reduced = _verify_once(llm, ssm, verifier_cls, seed,
+                               precision=precision)
+        assert baseline == reduced
+
+    @pytest.mark.parametrize("verifier_cls",
+                             [TokenTreeVerifier, BatchedTreeVerifier])
+    @pytest.mark.parametrize("precision", REDUCED)
+    def test_stochastic_config_rejected(self, llm, verifier_cls, precision):
+        with pytest.raises(ValueError, match="greedy"):
+            verifier_cls(llm, SamplingConfig(temperature=1.0),
+                         precision=precision)
