@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI ratchet: the committed lint baseline may only shrink.
+
+``repro lint --baseline`` keeps day-to-day runs green while legacy
+findings are paid down; this script is the enforcement half. It runs
+the full check registry over the source tree against the committed
+baseline and exits 1 when any ratchet rule is violated:
+
+* a *new* finding appeared (not baselined, not suppressed);
+* the baseline carries *stale* entries — the finding was fixed but
+  its entry was not deleted, so the debt ledger overstates reality;
+* a *stale suppression* pragma survives in the tree (the check it
+  silenced no longer fires there);
+* the baseline grew relative to a git base revision (``--git-base``,
+  default ``origin/main``; skipped when that revision or file is
+  unavailable, e.g. on a shallow clone).
+
+Run from the repository root::
+
+    python scripts/lint_ratchet.py [--git-base origin/main]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.baseline import DEFAULT_BASELINE  # noqa: E402
+from repro.analysis.runner import run_paths  # noqa: E402
+
+
+def baseline_count_at(git_base: str, baseline: str) -> int | None:
+    """Entry count of the baseline file at ``git_base``, or None."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{git_base}:{baseline}"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if blob.returncode != 0:
+        return None
+    try:
+        return int(json.loads(blob.stdout)["count"])
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="trees to lint (default: src)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline file")
+    parser.add_argument("--git-base", default="origin/main", metavar="REF",
+                        help="revision whose baseline bounds this one "
+                             "(growth check; skipped if unavailable)")
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_paths(args.paths or ["src"],
+                           baseline_path=args.baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"lint-ratchet: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    if result.errors:
+        for report in result.errors:
+            print(f"lint-ratchet: parse error: {report.path}: "
+                  f"{report.error}", file=sys.stderr)
+        return 2
+
+    if result.new_findings:
+        failures.append(f"{len(result.new_findings)} new finding(s) not "
+                        f"in {args.baseline}")
+        for finding in result.new_findings:
+            print(f"  NEW {finding.path}:{finding.line} "
+                  f"[{finding.check}] {finding.message}")
+
+    stale_entries = (result.baseline.stale_entries
+                     if result.baseline is not None else [])
+    if stale_entries:
+        failures.append(f"{len(stale_entries)} stale baseline entry(ies): "
+                        f"the finding was fixed, delete the entry")
+        for entry in stale_entries:
+            print(f"  STALE-ENTRY {entry.path} [{entry.check}] "
+                  f"{entry.message}")
+
+    if result.stale_suppressions:
+        failures.append(f"{len(result.stale_suppressions)} stale "
+                        f"suppression pragma(s): remove the dead comment")
+        for stale in result.stale_suppressions:
+            print(f"  STALE-PRAGMA {stale.path}:{stale.line} "
+                  f"# lint: {stale.tag} {stale.reason}".rstrip())
+
+    current = len(result.baseline.entries) if result.baseline else 0
+    base_count = baseline_count_at(args.git_base, args.baseline)
+    if base_count is None:
+        print(f"lint-ratchet: no baseline at {args.git_base}, "
+              f"skipping growth check")
+    elif current > base_count:
+        failures.append(f"baseline grew: {base_count} -> {current} "
+                        f"entries (fix the findings instead)")
+
+    if failures:
+        print("lint-ratchet: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"lint-ratchet: OK ({current} baselined, "
+          f"{len(result.unsuppressed)} findings, "
+          f"{len(result.suppressed)} suppressed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

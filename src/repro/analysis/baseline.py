@@ -1,0 +1,173 @@
+"""Findings baseline: land strict checks without a flag-day.
+
+A baseline file (``.lint-baseline.json``) records *accepted* findings by
+stable fingerprint.  ``repro lint --baseline .lint-baseline.json`` marks
+any current finding whose fingerprint appears in the file as ``baselined``
+— reported, but excluded from the exit code — so CI fails only on **new**
+findings.  The ratchet direction is enforced by staleness: a baseline
+entry whose finding no longer exists is *stale*, and the CI ratchet step
+(``scripts/lint_ratchet.py``) fails until it is deleted, so the file can
+only shrink.  Growing it requires an explicit ``--update-baseline`` commit
+that reviewers see.
+
+Fingerprints must survive unrelated edits (line drift above the finding,
+renames of a helper in the middle of an evidence chain) but change when
+the violation itself moves or multiplies.  They hash
+``check | path | enclosing-function | message`` plus an occurrence index
+that disambiguates identical violations within one context — line and
+column numbers are deliberately excluded, and interprocedural evidence
+chains live outside ``message`` for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+#: The conventional baseline path, relative to the repo root.
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+def _normalize_path(path: str) -> str:
+    """Forward slashes, no leading ``./`` — stable across invocation styles."""
+    path = path.replace("\\", "/")
+    while path.startswith("./"):
+        path = path[2:]
+    return path
+
+
+def fingerprint_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Copies of ``findings`` with stable fingerprints assigned.
+
+    Findings sharing (check, path, context, message) get an occurrence
+    index in source order, so two identical violations in one function
+    keep distinct identities and deleting one invalidates exactly one
+    baseline entry.
+    """
+    ordered = sorted(range(len(findings)),
+                     key=lambda i: (findings[i].path, findings[i].line,
+                                    findings[i].col, findings[i].check))
+    seen: Dict[Tuple[str, str, str, str], int] = {}
+    stamped: List[Finding] = list(findings)
+    for i in ordered:
+        f = findings[i]
+        key = (f.check, _normalize_path(f.path), f.context, f.message)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha1(
+            "|".join((*key, str(index))).encode("utf-8")
+        ).hexdigest()[:16]
+        stamped[i] = replace(f, fingerprint=digest)
+    return stamped
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding, as recorded in the baseline file."""
+
+    fingerprint: str
+    check: str
+    path: str
+    context: str
+    message: str
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline plus the bookkeeping of one application."""
+
+    path: str
+    entries: List[BaselineEntry] = field(default_factory=list)
+    #: Fingerprints of entries that matched a current finding.
+    matched: List[str] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> Dict[str, BaselineEntry]:
+        return {entry.fingerprint: entry for entry in self.entries}
+
+    @property
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries whose finding no longer exists — the ratchet debt."""
+        matched = set(self.matched)
+        return [e for e in self.entries if e.fingerprint not in matched]
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; raises ``ValueError`` on malformed input."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path}: not a lint baseline (no 'entries' key)")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r} != {BASELINE_VERSION}"
+        )
+    entries = [
+        BaselineEntry(
+            fingerprint=str(raw["fingerprint"]),
+            check=str(raw.get("check", "")),
+            path=str(raw.get("path", "")),
+            context=str(raw.get("context", "")),
+            message=str(raw.get("message", "")),
+        )
+        for raw in payload["entries"]
+    ]
+    return Baseline(path=path, entries=entries)
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Baseline) -> List[Finding]:
+    """Mark fingerprinted ``findings`` accepted by ``baseline``.
+
+    Returns copies with ``baselined=True`` where the fingerprint matches;
+    records matches on ``baseline`` so :attr:`Baseline.stale_entries`
+    reflects this run.  Suppressed findings never consume a baseline entry
+    (a suppression is already an explicit decision).
+    """
+    known = baseline.fingerprints
+    out: List[Finding] = []
+    for f in findings:
+        if not f.suppressed and f.fingerprint in known:
+            baseline.matched.append(f.fingerprint)
+            out.append(replace(f, baselined=True))
+        else:
+            out.append(f)
+    return out
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize the unsuppressed ``findings`` as a fresh baseline file."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "check": f.check,
+            "path": _normalize_path(f.path),
+            "context": f.context,
+            "message": f.message,
+        }
+        for f in sorted(
+            (f for f in findings if not f.suppressed),
+            key=lambda f: (f.path, f.line, f.col, f.check),
+        )
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "count": len(entries),
+        "entries": entries,
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Write a fresh baseline; returns the number of entries recorded."""
+    text = render_baseline(findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return json.loads(text)["count"]

@@ -1,0 +1,524 @@
+"""Project-wide call graph: the substrate for interprocedural checks.
+
+Every check in :mod:`repro.analysis.checks` used to be function-local: an
+allocation or wall-clock read inside a helper *called from*
+``DecodePipeline.tick`` was invisible unless the helper happened to live in
+a hot-path file.  This module closes that hole with a static call graph
+built from one AST pass over the whole linted file set:
+
+* a :class:`Project` parses every file into a module table (module names
+  derived from the ``repro`` package layout, falling back to file stems for
+  fixture corpora) and indexes functions, classes, methods, imports, and
+  module-level instance bindings;
+* :class:`CallGraph` resolves calls **conservatively but first-party
+  only**: plain names through local scope and ``from x import y`` (aliased
+  or not, following re-export chains), attribute chains through module
+  aliases, ``self.``/``cls.`` methods via class-local resolution (walking
+  first-party base classes), constructor calls, and one level of cheap type
+  inference — ``self.attr = Cls(...)`` in any method, ``VAR = Cls(...)`` at
+  module level, and ``var = Cls(...)`` inside the calling function all let
+  ``*.method()`` resolve to ``Cls.method``;
+* :meth:`CallGraph.reachable_from` runs a deterministic BFS and returns,
+  for every reachable function, the *shortest call chain* back to a root —
+  the ``tick → _fit_tree`` evidence attached to interprocedural findings.
+
+Unresolvable calls (third-party modules, duck-typed receivers, higher-order
+dispatch) produce no edges: the graph under-approximates, so
+reachability-based checks can miss dynamic paths but never invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import SourceFile, decorator_names, dotted_name
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for ``path``.
+
+    Paths inside a ``repro`` package tree map to their real dotted name
+    (``.../src/repro/engine/pipeline.py`` -> ``repro.engine.pipeline``,
+    ``__init__.py`` -> the package); anything else (fixture corpora,
+    inline test snippets) maps to its file stem.
+    """
+    parts = path.replace("\\", "/").rstrip("/").split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        idx = parts.index("repro")
+        return ".".join(parts[idx:])
+    return parts[-1]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method the call graph knows about."""
+
+    qualname: str  # "module:func" or "module:Class.method"
+    module: str
+    path: str
+    name: str  # bare function/method name
+    class_name: Optional[str]
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    lineno: int
+    end_lineno: int
+    decorators: Tuple[str, ...]
+
+    @property
+    def display(self) -> str:
+        """Short human name used in evidence chains (``Class.method``)."""
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ClassInfo:
+    """A class definition: its methods and base-class names."""
+
+    name: str
+    module: str
+    bases: Tuple[str, ...]  # dotted names as written
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.attr`` -> dotted class name constructed in some method body.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything indexed about one parsed module."""
+
+    name: str
+    src: SourceFile
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: import alias -> dotted module name (``import numpy as np`` excluded:
+    #: only aliases that *might* be first-party are kept for resolution).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: ``from pkg import name [as alias]`` -> (pkg, name)
+    symbol_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: module-level ``NAME = Cls(...)`` -> dotted class name as written
+    instance_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+
+
+class Project:
+    """The linted file set, parsed and indexed for whole-program passes."""
+
+    def __init__(self, sources: Sequence[SourceFile]):
+        self.sources: List[SourceFile] = list(sources)
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, SourceFile] = {}
+        for src in self.sources:
+            name = module_name_for_path(src.path)
+            if name in self.modules:
+                # Duplicate stems (fixture corpora) are independent files;
+                # a disambiguated registry name keeps the later file's
+                # functions indexed.  Name-based resolution still prefers
+                # the first file — the usual under-approximation.
+                n = 2
+                while f"{name}~{n}" in self.modules:
+                    n += 1
+                name = f"{name}~{n}"
+            info = _index_module(src, name)
+            self.modules[info.name] = info
+            self.by_path[src.path] = src
+        self._graph: Optional[CallGraph] = None
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        if self._graph is None:
+            self._graph = CallGraph(self)
+        return self._graph
+
+    # -- resolution helpers ----------------------------------------------------
+
+    def resolve_module(self, dotted: str) -> Optional[ModuleInfo]:
+        """The project module for ``dotted``, exact name or unique suffix."""
+        info = self.modules.get(dotted)
+        if info is not None:
+            return info
+        want = dotted.split(".")
+        hits = [m for name, m in self.modules.items()
+                if name.split(".")[-len(want):] == want]
+        return hits[0] if len(hits) == 1 else None
+
+    def resolve_symbol(
+        self, module: ModuleInfo, name: str,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[Tuple[ModuleInfo, str, str]]:
+        """Resolve ``name`` in ``module`` to its defining module.
+
+        Follows ``from x import name`` re-export chains (cycle-guarded).
+        Returns ``(defining_module, name, kind)`` with ``kind`` one of
+        ``"function"``, ``"class"``, ``"instance"`` — or ``None``.
+        """
+        _seen = _seen or set()
+        key = (module.name, name)
+        if key in _seen:
+            return None
+        _seen.add(key)
+        if name in module.functions:
+            return module, name, "function"
+        if name in module.classes:
+            return module, name, "class"
+        if name in module.instance_types:
+            return module, name, "instance"
+        target = module.symbol_imports.get(name)
+        if target is not None:
+            pkg, orig = target
+            target_mod = self.resolve_module(pkg)
+            if target_mod is not None:
+                return self.resolve_symbol(target_mod, orig, _seen)
+        return None
+
+    def resolve_class(self, module: ModuleInfo,
+                      dotted: str) -> Optional[ClassInfo]:
+        """Resolve a dotted class reference as written inside ``module``."""
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            hit = self.resolve_symbol(module, dotted)
+            if hit is not None and hit[2] == "class":
+                return hit[0].classes[hit[1]]
+            return None
+        target_mod = self._module_for_alias(module, head)
+        if target_mod is not None and tail in target_mod.classes:
+            return target_mod.classes[tail]
+        return None
+
+    def _module_for_alias(self, module: ModuleInfo,
+                          dotted_head: str) -> Optional[ModuleInfo]:
+        """The module an attribute-chain head refers to, if any."""
+        alias = module.module_aliases.get(dotted_head)
+        if alias is not None:
+            return self.resolve_module(alias)
+        # ``from pkg import sub`` where ``sub`` is itself a module.
+        target = module.symbol_imports.get(dotted_head)
+        if target is not None:
+            return self.resolve_module(".".join(target))
+        return None
+
+    def method_on(self, cls: ClassInfo,
+                  name: str) -> Optional[FunctionInfo]:
+        """Class-local method resolution, walking first-party bases."""
+        seen: Set[str] = set()
+        stack: List[ClassInfo] = [cls]
+        while stack:
+            current = stack.pop(0)
+            key = f"{current.module}:{current.name}"
+            if key in seen:
+                continue
+            seen.add(key)
+            if name in current.methods:
+                return current.methods[name]
+            owner = self.modules.get(current.module)
+            if owner is None:
+                continue
+            for base in current.bases:
+                resolved = self.resolve_class(owner, base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+
+class CallGraph:
+    """First-party call edges over a :class:`Project`."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        for mod in project.modules.values():
+            self.functions.update(
+                {fn.qualname: fn for fn in mod.functions.values()}
+            )
+            for cls in mod.classes.values():
+                self.functions.update(
+                    {fn.qualname: fn for fn in cls.methods.values()}
+                )
+        self.edges: Dict[str, List[CallEdge]] = {
+            qual: [] for qual in self.functions
+        }
+        for mod in project.modules.values():
+            self._build_edges(mod)
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_edges(self, mod: ModuleInfo) -> None:
+        for fn in mod.functions.values():
+            self._edges_for_function(mod, fn, cls=None)
+        for cls in mod.classes.values():
+            for fn in cls.methods.values():
+                self._edges_for_function(mod, fn, cls=cls)
+
+    def _edges_for_function(self, mod: ModuleInfo, fn: FunctionInfo,
+                            cls: Optional[ClassInfo]) -> None:
+        local_types = _local_instance_types(fn.node, mod, self.project)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._resolve_call(mod, fn, cls, node, local_types)
+            if callee is not None:
+                self.edges[fn.qualname].append(CallEdge(
+                    caller=fn.qualname, callee=callee.qualname,
+                    line=node.lineno, col=node.col_offset,
+                ))
+
+    def _resolve_call(
+        self, mod: ModuleInfo, fn: FunctionInfo, cls: Optional[ClassInfo],
+        call: ast.Call, local_types: Dict[str, str],
+    ) -> Optional[FunctionInfo]:
+        func = call.func
+        # Plain name: local function, imported symbol, or constructor.
+        if isinstance(func, ast.Name):
+            return self._resolve_name(mod, func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = dotted_name(func)
+        if not dotted:
+            return None
+        head, _, method = dotted.rpartition(".")
+        # self.method() / cls.method(): class-local resolution.
+        if cls is not None and head in ("self", "cls"):
+            found = self.project.method_on(cls, method)
+            if found is not None:
+                return found
+            return None
+        # self.attr.method(): attribute type inferred from assignments.
+        if cls is not None and head.startswith("self."):
+            attr = head[len("self."):]
+            type_name = cls.attr_types.get(attr)
+            if type_name is not None:
+                target = self.project.resolve_class(mod, type_name)
+                if target is not None:
+                    return self.project.method_on(target, method)
+            return None
+        # var.method() with a locally inferred or module-level instance
+        # type; the class name resolves in the module that *wrote* the
+        # constructor call (imported instances carry their home module).
+        if "." not in head:
+            type_name = local_types.get(head) or mod.instance_types.get(head)
+            type_home = mod
+            if type_name is None:
+                hit = self.project.resolve_symbol(mod, head)
+                if hit is not None and hit[2] == "instance":
+                    type_home = hit[0]
+                    type_name = type_home.instance_types[hit[1]]
+            if type_name is not None:
+                target = self.project.resolve_class(type_home, type_name)
+                if target is not None:
+                    return self.project.method_on(target, method)
+        # module.func() through an import alias (longest prefix wins).
+        target_mod, symbol = self._split_module_attr(mod, dotted)
+        if target_mod is not None and symbol is not None:
+            return self._function_or_init(target_mod, symbol)
+        return None
+
+    def _resolve_name(self, mod: ModuleInfo,
+                      name: str) -> Optional[FunctionInfo]:
+        hit = self.project.resolve_symbol(mod, name)
+        if hit is None:
+            return None
+        target_mod, symbol, kind = hit
+        if kind == "function":
+            return target_mod.functions[symbol]
+        if kind == "class":
+            cls = target_mod.classes[symbol]
+            return self.project.method_on(cls, "__init__")
+        return None
+
+    def _split_module_attr(
+        self, mod: ModuleInfo, dotted: str,
+    ) -> Tuple[Optional[ModuleInfo], Optional[str]]:
+        """Split ``a.b.func`` into (module for ``a.b``, ``func``)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            head = ".".join(parts[:cut])
+            target = mod.module_aliases.get(head)
+            if target is None and head in mod.symbol_imports:
+                pkg, orig = mod.symbol_imports[head]
+                target = f"{pkg}.{orig}"
+            if target is None:
+                continue
+            target_mod = self.project.resolve_module(target)
+            if target_mod is None:
+                return None, None
+            rest = parts[cut:]
+            if len(rest) == 1:
+                return target_mod, rest[0]
+            return None, None
+        return None, None
+
+    def _function_or_init(self, mod: ModuleInfo,
+                          symbol: str) -> Optional[FunctionInfo]:
+        hit = self.project.resolve_symbol(mod, symbol)
+        if hit is None:
+            return None
+        target_mod, name, kind = hit
+        if kind == "function":
+            return target_mod.functions[name]
+        if kind == "class":
+            return self.project.method_on(target_mod.classes[name],
+                                          "__init__")
+        return None
+
+    # -- queries ---------------------------------------------------------------
+
+    def callees(self, qualname: str) -> List[CallEdge]:
+        return self.edges.get(qualname, [])
+
+    def reachable_from(
+        self, roots: Iterable[str],
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Shortest call chain (as display names) to every reachable function.
+
+        BFS from ``roots``; ties broken lexicographically so evidence chains
+        are deterministic.  Roots map to a one-element chain.  Recursive and
+        mutually-recursive edges are handled by the visited set.
+        """
+        chains: Dict[str, Tuple[str, ...]] = {}
+        frontier = sorted(set(r for r in roots if r in self.functions))
+        for root in frontier:
+            chains[root] = (self.functions[root].display,)
+        while frontier:
+            next_frontier: List[str] = []
+            for caller in frontier:
+                base = chains[caller]
+                for edge in sorted(self.edges.get(caller, []),
+                                   key=lambda e: e.callee):
+                    if edge.callee in chains:
+                        continue
+                    callee_fn = self.functions.get(edge.callee)
+                    if callee_fn is None:
+                        continue
+                    chains[edge.callee] = base + (callee_fn.display,)
+                    next_frontier.append(edge.callee)
+            frontier = sorted(next_frontier)
+        return chains
+
+
+# -- module indexing -----------------------------------------------------------
+
+
+def _index_module(src: SourceFile, name: Optional[str] = None) -> ModuleInfo:
+    if name is None:
+        name = module_name_for_path(src.path)
+    info = ModuleInfo(name=name, src=src)
+    for node in src.tree.body:
+        _index_statement(info, node, src)
+    # Imports and module-level instances can appear below other defs or
+    # inside try/if guards; sweep the whole tree for those.
+    for node in ast.walk(src.tree):
+        _index_import(info, node)
+    return info
+
+
+def _index_statement(info: ModuleInfo, node: ast.AST,
+                     src: SourceFile) -> None:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        info.functions[node.name] = _function_info(info, node, src, None)
+    elif isinstance(node, ast.ClassDef):
+        cls = ClassInfo(
+            name=node.name, module=info.name,
+            bases=tuple(n for n in (dotted_name(b) for b in node.bases)
+                        if n),
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = _function_info(
+                    info, item, src, node.name
+                )
+        _infer_attr_types(cls)
+        info.classes[node.name] = cls
+    elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and isinstance(node.value, ast.Call):
+            ctor = dotted_name(node.value.func)
+            if ctor:
+                info.instance_types[target.id] = ctor
+    elif isinstance(node, (ast.If, ast.Try)):
+        for child in ast.iter_child_nodes(node):
+            _index_statement(info, child, src)
+
+
+def _index_import(info: ModuleInfo, node: ast.AST) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            info.module_aliases[alias.asname or alias.name] = alias.name
+    elif isinstance(node, ast.ImportFrom) and node.module:
+        # Relative imports resolve against this module's package.
+        pkg = node.module
+        if node.level:
+            base = info.name.split(".")
+            base = base[: len(base) - node.level]
+            pkg = ".".join(base + [node.module]) if base else node.module
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            info.symbol_imports[alias.asname or alias.name] = (
+                pkg, alias.name
+            )
+
+
+def _function_info(info: ModuleInfo, node: ast.AST, src: SourceFile,
+                   class_name: Optional[str]) -> FunctionInfo:
+    local = f"{class_name}.{node.name}" if class_name else node.name
+    return FunctionInfo(
+        qualname=f"{info.name}:{local}",
+        module=info.name,
+        path=src.path,
+        name=node.name,
+        class_name=class_name,
+        node=node,
+        lineno=node.lineno,
+        end_lineno=max(getattr(node, "end_lineno", node.lineno),
+                       node.lineno),
+        decorators=tuple(decorator_names(node)),
+    )
+
+
+def _infer_attr_types(cls: ClassInfo) -> None:
+    """``self.attr = Cls(...)`` anywhere in a method body types the attr."""
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            if isinstance(node.value, ast.Call):
+                ctor = dotted_name(node.value.func)
+                if ctor:
+                    cls.attr_types.setdefault(target.attr, ctor)
+
+
+def _local_instance_types(fn_node: ast.AST, mod: ModuleInfo,
+                          project: Project) -> Dict[str, str]:
+    """``var = Cls(...)`` assignments inside one function body."""
+    types: Dict[str, str] = {}
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if isinstance(node.value, ast.Call):
+            ctor = dotted_name(node.value.func)
+            if ctor and project.resolve_class(mod, ctor) is not None:
+                types.setdefault(target.id, ctor)
+    return types

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.checks.arena_lifetime import ArenaLifetimeCheck
 from repro.analysis.checks.dtype_drift import DtypeDriftCheck
 from repro.analysis.checks.hot_path_alloc import HotPathAllocCheck
 from repro.analysis.checks.mask_contract import MaskContractCheck
 from repro.analysis.checks.rng_discipline import RngDisciplineCheck
+from repro.analysis.checks.tensor_contracts import TensorContractCheck
 from repro.analysis.checks.wall_clock import WallClockCheck
 from repro.analysis.core import Check
 
@@ -17,6 +19,8 @@ ALL_CHECKS = (
     RngDisciplineCheck,
     MaskContractCheck,
     WallClockCheck,
+    TensorContractCheck,
+    ArenaLifetimeCheck,
 )
 
 

@@ -1,0 +1,245 @@
+"""``arena-lifetime``: static detection of ScratchArena tag collisions.
+
+:class:`repro.model.scratch.ScratchArena` buffers are keyed by
+``(tag, dtype)``, and a view returned by ``take(tag, ...)`` is only valid
+until the next ``take`` of the same key.  The runtime sanitizer catches
+the resulting aliasing **only on paths a test drives**; this check closes
+the class statically by scanning every ``<arena>.take("tag", shape,
+dtype)`` call with a constant string tag:
+
+* **rank conflict** — the same ``(arena, tag, dtype)`` key taken with
+  shape tuples of different lengths: the runtime raises ``ValueError`` on
+  the second take, but only when both paths execute;
+* **dtype split** — the same ``(arena, tag)`` taken with two different
+  dtypes: legal (the key includes the dtype, so these are distinct
+  buffers) but a tag-hygiene hazard — the next reader who sees matching
+  tags assumes aliasing where there is none, and worst-case reservations
+  double.  Use distinct tags per shape family;
+* **overlapping live range** — within one function, a view taken from a
+  key is still *used* after a later ``take`` of the same key: the second
+  take silently repoints the backing memory, so the first view reads
+  whatever the second writer staged.  This is the aliasing bug class the
+  runtime sanitizer only sees when the overlap corrupts a checked value.
+
+Arenas are identified by their receiver expression (``self._arena``,
+``arena``, ``scratches[b]`` is skipped — no constant identity); tags must
+be string literals.  Non-literal tags (e.g. ``MaskScratch``'s per-instance
+``self._tag``) are invisible to the check by design: they are already
+namespaced per owner.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import Project
+from repro.analysis.core import Finding, ProjectCheck, SourceFile, dotted_name
+
+
+class TakeSite:
+    """One ``<receiver>.take("tag", shape, dtype)`` call site."""
+
+    def __init__(self, node: ast.Call, receiver: str, tag: str,
+                 rank: Optional[int], dtype: Optional[str],
+                 assigned: Optional[str], function: str):
+        self.node = node
+        self.receiver = receiver
+        self.tag = tag
+        self.rank = rank
+        self.dtype = dtype
+        self.assigned = assigned  # variable the view is bound to, if any
+        self.function = function  # enclosing function qualname
+        self.line = node.lineno
+
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.function, self.receiver, self.tag, self.dtype or "?")
+
+    @property
+    def owner(self) -> str:
+        """Scope an arena identity is stable within.
+
+        ``self._arena`` names the same object across every method of one
+        class, so it groups by the class; a bare local like ``arena``
+        only has a constant identity inside its own function.
+        """
+        if self.receiver.startswith("self."):
+            return self.function.rpartition(".")[0]
+        return self.function
+
+
+def _canon_dtype(node: ast.expr) -> Optional[str]:
+    name = dotted_name(node)
+    if name:
+        tail = name.rpartition(".")[2]
+        return "float64" if tail == "float" else tail
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _shape_rank(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Tuple):
+        if any(isinstance(e, ast.Starred) for e in node.elts):
+            return None
+        return len(node.elts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        # (total,) + tail: rank unknowable without tail's length.
+        return None
+    return None
+
+
+class ArenaLifetimeCheck(ProjectCheck):
+    name = "arena-lifetime"
+    tag = "arena"
+    description = (
+        "ScratchArena tags must not collide: no rank conflicts, no dtype "
+        "splits, no views used after the same key is re-taken"
+    )
+    required_scope = None  # keyed off .take("tag", ...) calls anywhere
+
+    def run_project(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for src in project.sources:
+            findings.extend(self._run_file(src))
+        return findings
+
+    def _run_file(self, src: SourceFile) -> List[Finding]:
+        sites = self._take_sites(src)
+        if not sites:
+            return []
+        findings: List[Finding] = []
+        findings.extend(self._rank_conflicts(src, sites))
+        findings.extend(self._dtype_splits(src, sites))
+        findings.extend(self._live_range_overlaps(src, sites))
+        return findings
+
+    # -- site collection -------------------------------------------------------
+
+    def _take_sites(self, src: SourceFile) -> List[TakeSite]:
+        sites: List[TakeSite] = []
+        assigned_by_call: Dict[int, str] = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Call):
+                assigned_by_call[id(node.value)] = node.targets[0].id
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "take"):
+                continue
+            receiver = dotted_name(node.func.value)
+            if not receiver:
+                continue  # scratches[b].take(...): no constant identity
+            if not (node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue  # tag is not a string literal
+            tag = node.args[0].value
+            rank = _shape_rank(node.args[1]) if len(node.args) > 1 else None
+            dtype = _canon_dtype(node.args[2]) if len(node.args) > 2 \
+                else None
+            sites.append(TakeSite(
+                node=node, receiver=receiver, tag=tag, rank=rank,
+                dtype=dtype,
+                assigned=assigned_by_call.get(id(node)),
+                function=src.enclosing_function(node.lineno),
+            ))
+        return sites
+
+    # -- collision classes -----------------------------------------------------
+
+    def _rank_conflicts(self, src: SourceFile,
+                        sites: List[TakeSite]) -> List[Finding]:
+        by_key = defaultdict(list)
+        for site in sites:
+            if site.rank is not None:
+                by_key[(site.owner, site.receiver, site.tag,
+                        site.dtype)].append(site)
+        findings: List[Finding] = []
+        for (_owner, receiver, tag, _dtype), group in sorted(
+                by_key.items()):
+            ranks = sorted({s.rank for s in group})
+            if len(ranks) < 2:
+                continue
+            first = min(group, key=lambda s: s.line)
+            for site in group:
+                if site.rank != first.rank:
+                    findings.append(src.make_finding(
+                        self, site.node,
+                        f"scratch tag '{tag}' on {receiver} is taken "
+                        f"{site.rank}-d here but {first.rank}-d at line "
+                        f"{first.line}; one (tag, dtype) key holds one "
+                        f"buffer rank — use a distinct tag per shape "
+                        f"family, or annotate with '# lint: allow-arena "
+                        f"<reason>'",
+                    ))
+        return findings
+
+    def _dtype_splits(self, src: SourceFile,
+                      sites: List[TakeSite]) -> List[Finding]:
+        by_key = defaultdict(list)
+        for site in sites:
+            if site.dtype is not None:
+                by_key[(site.owner, site.receiver, site.tag)].append(site)
+        findings: List[Finding] = []
+        for (_owner, receiver, tag), group in sorted(by_key.items()):
+            dtypes = sorted({s.dtype for s in group})
+            if len(dtypes) < 2:
+                continue
+            first = min(group, key=lambda s: s.line)
+            for site in group:
+                if site.dtype != first.dtype:
+                    findings.append(src.make_finding(
+                        self, site.node,
+                        f"scratch tag '{tag}' on {receiver} is taken as "
+                        f"{site.dtype} here but {first.dtype} at line "
+                        f"{first.line}; same-tag different-dtype keys "
+                        f"are distinct buffers that read as aliases — "
+                        f"use one tag per (shape family, dtype), or "
+                        f"annotate with '# lint: allow-arena <reason>'",
+                    ))
+        return findings
+
+    def _live_range_overlaps(self, src: SourceFile,
+                             sites: List[TakeSite]) -> List[Finding]:
+        last_use = self._last_name_uses(src)
+        by_key = defaultdict(list)
+        for site in sites:
+            by_key[site.key()].append(site)
+        findings: List[Finding] = []
+        for _key, group in sorted(by_key.items()):
+            group.sort(key=lambda s: s.line)
+            for earlier, later in zip(group, group[1:]):
+                if earlier.line == later.line:
+                    continue  # one call site hit in a loop: same view
+                if earlier.assigned is None:
+                    continue
+                used_until = last_use.get(
+                    (earlier.function, earlier.assigned), 0
+                )
+                if used_until > later.line:
+                    findings.append(src.make_finding(
+                        self, later.node,
+                        f"re-taking scratch tag '{later.tag}' on "
+                        f"{later.receiver} invalidates the view "
+                        f"'{earlier.assigned}' taken at line "
+                        f"{earlier.line} but still used at line "
+                        f"{used_until}; finish with (or copy out of) the "
+                        f"first view before re-taking, or use distinct "
+                        f"tags, or annotate with '# lint: allow-arena "
+                        f"<reason>'",
+                    ))
+        return findings
+
+    def _last_name_uses(self, src: SourceFile) -> Dict[Tuple[str, str], int]:
+        """Last line each (function, name) is *read* on."""
+        last: Dict[Tuple[str, str], int] = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                key = (src.enclosing_function(node.lineno), node.id)
+                last[key] = max(last.get(key, 0), node.lineno)
+        return last

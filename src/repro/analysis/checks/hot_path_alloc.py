@@ -2,15 +2,21 @@
 
 The block-sparse fused decode work removed per-step KV concatenation and
 mask allocation (see ``repro.model.perf`` and ``MaskScratch``); this check
-keeps them out.  Inside hot-path files (:data:`repro.analysis.core.HOT_PATH_FILES`)
-and inside any function decorated ``@hot_path``, calls that materialize new
-arrays from existing ones are flagged:
+keeps them out.  Calls that materialize new arrays from existing ones are
+flagged:
 
 * ``np.concatenate`` / ``np.vstack`` / ``np.hstack`` / ``np.stack`` /
   ``np.append`` / ``np.tile`` — staging copies; prefer preallocated slabs,
   zero-copy views, or ``out=`` buffers;
 * ``.copy()`` / ``np.copy`` — defensive copies; prefer in-place edits of a
   reused scratch.
+
+The check is **interprocedural**: hotness taints every function statically
+reachable from a hot root (``@hot_path`` functions and hot-path files; see
+:mod:`repro.analysis.checks.hotness`), so an allocation two call levels
+below ``DecodePipeline.tick`` fires even though its own file is cold.
+Transitive findings carry the call chain (``tick → _fit_tree``) as
+evidence.
 
 Two refinements keep the check aligned with the scratch-arena pattern
 (:class:`repro.model.scratch.ScratchArena`):
@@ -33,15 +39,16 @@ from __future__ import annotations
 import ast
 from typing import List, Set
 
+from repro.analysis.callgraph import Project
 from repro.analysis.core import (
-    Check,
     Finding,
+    ProjectCheck,
     SourceFile,
     call_keywords,
-    decorator_names,
     dotted_name,
     numpy_aliases,
 )
+from repro.analysis.checks.hotness import HotRegions, hot_function_chains
 
 ALLOC_FUNCTIONS = ("concatenate", "vstack", "hstack", "stack", "append",
                    "tile", "copy")
@@ -49,27 +56,35 @@ ALLOC_FUNCTIONS = ("concatenate", "vstack", "hstack", "stack", "append",
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 
 
-class HotPathAllocCheck(Check):
+class HotPathAllocCheck(ProjectCheck):
     name = "hot-path-alloc"
     tag = "alloc"
     description = (
-        "no array-materializing calls (concatenate/stack/copy) on the "
-        "decode hot path"
+        "no array-materializing calls (concatenate/stack/copy) anywhere "
+        "statically reachable from the decode hot path"
     )
-    required_scope = None  # hot files via scope; @hot_path functions anywhere
+    required_scope = None  # hotness is computed from the call graph
 
-    def run(self, src: SourceFile) -> List[Finding]:
-        file_is_hot = "hot-path" in src.scopes
-        hot_spans = self._hot_function_spans(src)
+    def run_project(self, project: Project) -> List[Finding]:
+        chains = hot_function_chains(project)
+        findings: List[Finding] = []
+        for src in project.sources:
+            findings.extend(self._run_file(project, src, chains))
+        return findings
+
+    def _run_file(self, project: Project, src: SourceFile,
+                  chains) -> List[Finding]:
+        regions = HotRegions(project, src, chains)
+        if not regions.file_is_hot and not regions.spans:
+            return []
         comp_calls = self._comprehension_calls(src)
         aliases = numpy_aliases(src.tree)
         findings: List[Finding] = []
         for node in ast.walk(src.tree):
             if not isinstance(node, ast.Call):
                 continue
-            line = node.lineno
-            if not (file_is_hot
-                    or any(lo <= line <= hi for lo, hi in hot_spans)):
+            chain = regions.chain_at(node.lineno)
+            if chain is None:
                 continue
             label = self._alloc_label(node, aliases)
             if label is None:
@@ -88,7 +103,8 @@ class HotPathAllocCheck(Check):
                     f"preallocate, use a zero-copy view / out= buffer, or "
                     f"annotate with '# lint: allow-alloc <reason>'"
                 )
-            findings.append(src.make_finding(self, node, message))
+            findings.append(src.make_finding(self, node, message,
+                                             evidence=chain))
         return findings
 
     def _comprehension_calls(self, src: SourceFile) -> Set[int]:
@@ -101,20 +117,6 @@ class HotPathAllocCheck(Check):
                 if isinstance(node, ast.Call):
                     inside.add(id(node))
         return inside
-
-    def _hot_function_spans(self, src: SourceFile) -> List[tuple]:
-        """(first, last) line ranges of functions decorated ``@hot_path``."""
-        spans: List[tuple] = []
-        for node in ast.walk(src.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            names: Set[str] = {n.rpartition(".")[2]
-                               for n in decorator_names(node)}
-            if "hot_path" in names:
-                spans.append((node.lineno, max(
-                    getattr(node, "end_lineno", node.lineno), node.lineno
-                )))
-        return spans
 
     def _alloc_label(self, node: ast.Call, aliases) -> "str | None":
         # A call writing into an explicit out= destination (typically a

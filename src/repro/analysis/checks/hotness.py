@@ -1,0 +1,78 @@
+"""Shared hot-path closure for interprocedural checks.
+
+Hotness has two sources: the ``@hot_path`` decorator
+(:func:`repro.analysis.sanitizer.hot_path`) and membership in a hot-path
+file (:data:`repro.analysis.core.HOT_PATH_FILES` or a
+``# lint: scope hot-path`` pragma).  Both used to stop at the function
+boundary; here they seed a taint pass over the project call graph
+(:func:`repro.analysis.dataflow.propagate_hot_chains`) so every statically
+reachable callee is hot too, each carrying the shortest call chain back to
+its root as evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, Project
+from repro.analysis.core import SourceFile
+from repro.analysis.dataflow import Chain, propagate_hot_chains
+
+
+def _is_hot_root(fn: FunctionInfo, src: SourceFile) -> bool:
+    short_decorators = {d.rpartition(".")[2] for d in fn.decorators}
+    if "hot_path" in short_decorators:
+        return True
+    return "hot-path" in src.scopes
+
+
+def hot_function_chains(project: Project) -> Dict[str, Chain]:
+    """Taint chains for every hot function in ``project``.
+
+    Roots (``@hot_path`` functions and every function in a hot-scoped
+    file) map to a one-element chain; transitively reached callees map to
+    the shortest root-to-callee display chain, e.g.
+    ``("DecodePipeline.tick", "DecodePipeline._fit_tree")``.
+    """
+    graph = project.callgraph
+    roots: Dict[str, Chain] = {}
+    for qual, fn in graph.functions.items():
+        src = project.by_path.get(fn.path)
+        if src is not None and _is_hot_root(fn, src):
+            roots[qual] = (fn.display,)
+    return propagate_hot_chains(graph, roots)
+
+
+class HotRegions:
+    """Per-file view of the hot closure: line spans plus evidence chains."""
+
+    def __init__(self, project: Project, src: SourceFile,
+                 chains: Dict[str, Chain]):
+        self.file_is_hot = "hot-path" in src.scopes
+        #: (first, last, chain) for every hot function defined in ``src``.
+        self.spans: List[Tuple[int, int, Chain]] = []
+        graph = project.callgraph
+        for qual, chain in chains.items():
+            fn = graph.functions.get(qual)
+            if fn is not None and fn.path == src.path:
+                self.spans.append((fn.lineno, fn.end_lineno, chain))
+        self.spans.sort()
+
+    def chain_at(self, line: int) -> "Chain | None":
+        """Evidence chain for ``line``, or None when the line is cold.
+
+        Returns the innermost enclosing hot function's chain; a whole-file
+        hot scope yields an empty chain (hotness needs no evidence there).
+        Chains of length one (the line sits in a hot *root*) also collapse
+        to the empty chain — the function itself is the root, so there is
+        no interprocedural story to tell.
+        """
+        best: "Chain | None" = () if self.file_is_hot else None
+        best_size = None
+        for lo, hi, chain in self.spans:
+            if lo <= line <= hi and (best_size is None
+                                     or hi - lo < best_size):
+                best, best_size = chain, hi - lo
+        if best is None:
+            return None
+        return best if len(best) > 1 else ()

@@ -1,0 +1,404 @@
+"""``tensor-contract``: static shape/dtype checking against declared contracts.
+
+:func:`repro.analysis.sanitizer.tensor_contract` declarations are verified
+at runtime only when ``REPRO_SANITIZE=1`` — a call site passing a 1-d
+buffer where the contract says ``ndim: 2`` sails through every unsanitized
+run.  This check closes that gap statically, in two passes:
+
+* **contract propagation** — inside every function a small abstract
+  interpreter tracks a :class:`~repro.analysis.dataflow.TensorFact`
+  (ndim / dtype / fixed shape) per local variable: facts enter from NumPy
+  constructors (``np.zeros((a, b), dtype=...)``), flow through
+  ``reshape`` / ``astype`` assignments, and seed from the enclosing
+  function's *own* contract parameters.  At each call the graph resolves
+  (:class:`~repro.analysis.callgraph.CallGraph`), arguments are bound to
+  the callee's parameters and compared against its declared contract;
+  a provable mismatch is a finding.  Unknown components compare as
+  compatible — the check only reports what it can prove, so it
+  under-approximates exactly like the call graph does;
+* **coverage** — a *public* function or method in ``repro/model/`` or
+  ``repro/verify/`` (or a file scoped ``model``) whose signature takes
+  array arguments (``np.ndarray`` annotations or canonical tensor names
+  like ``mask`` / ``logits``) must either declare a ``tensor_contract``
+  or carry ``# lint: allow-contract <reason>`` — undeclared public
+  tensor surfaces are where shape bugs enter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, Project
+from repro.analysis.core import (
+    Finding,
+    ProjectCheck,
+    SourceFile,
+    call_keywords,
+    dotted_name,
+    numpy_aliases,
+)
+from repro.analysis.dataflow import TensorFact
+
+#: Parameter names treated as tensors even without an annotation.
+CORE_TENSOR_NAMES = ("mask", "logits", "probs", "tokens", "positions",
+                     "keys", "values")
+
+#: NumPy constructors whose result shape is the first argument.
+_SHAPE_CONSTRUCTORS = ("zeros", "ones", "empty", "full")
+
+
+def _canon_dtype(node: ast.expr) -> Optional[str]:
+    """Canonical dtype string for an expression, if statically known."""
+    name = dotted_name(node)
+    if name:
+        tail = name.rpartition(".")[2]
+        if tail == "float":
+            return "float64"
+        return tail
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _int_const(node: ast.expr) -> Optional[int]:
+    """The integer value of a literal, covering negatives (``-1`` parses
+    as ``UnaryOp(USub, Constant(1))``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = node.operand
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, int):
+            return -inner.value
+    return None
+
+
+def _const_dims(node: ast.expr) -> Optional[Tuple[Optional[int], ...]]:
+    """Shape tuple for a shape expression (None entries = unknown size)."""
+    if isinstance(node, ast.Tuple):
+        dims: List[Optional[int]] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Starred):
+                return None  # unpacking: even the ndim is unknown
+            dims.append(_int_const(elt))
+        return tuple(dims)
+    value = _int_const(node)
+    if value is not None:
+        return (value,)
+    if isinstance(node, (ast.Name, ast.Attribute, ast.BinOp)):
+        return (None,)  # a scalar expression: 1-d of unknown size
+    return None
+
+
+class ContractSpec:
+    """One parameter's declared contract, parsed from the decorator AST."""
+
+    def __init__(self, ndim: Optional[int], dtype: Optional[str],
+                 shape: Optional[Tuple[Optional[int], ...]]):
+        self.ndim = ndim
+        self.dtype = dtype
+        self.shape = shape
+
+    @classmethod
+    def from_dict_literal(cls, node: ast.expr) -> Optional["ContractSpec"]:
+        if not isinstance(node, ast.Dict):
+            return None
+        ndim = dtype = shape = None
+        for key, value in zip(node.keys, node.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            if key.value == "ndim" and isinstance(value, ast.Constant) \
+                    and isinstance(value.value, int):
+                ndim = value.value
+            elif key.value == "dtype":
+                dtype = _canon_dtype(value)
+            elif key.value == "shape":
+                shape = _const_shape_literal(value)
+        return cls(ndim, dtype, shape)
+
+    def conflicts(self, fact: TensorFact) -> List[str]:
+        """Provable disagreements between ``fact`` and this spec."""
+        problems: List[str] = []
+        if self.ndim is not None and fact.ndim is not None \
+                and fact.ndim != self.ndim:
+            problems.append(f"ndim {fact.ndim} != declared {self.ndim}")
+        if self.shape is not None and fact.ndim is not None \
+                and fact.ndim != len(self.shape):
+            problems.append(
+                f"ndim {fact.ndim} != declared shape rank {len(self.shape)}"
+            )
+        if self.dtype is not None and fact.dtype is not None \
+                and fact.dtype != self.dtype:
+            problems.append(
+                f"dtype {fact.dtype} != declared {self.dtype}"
+            )
+        if self.shape is not None and fact.shape is not None \
+                and len(fact.shape) == len(self.shape):
+            for axis, (have, want) in enumerate(zip(fact.shape,
+                                                    self.shape)):
+                if have is not None and want is not None and have != want:
+                    problems.append(
+                        f"shape[{axis}] {have} != declared {want}"
+                    )
+        return problems
+
+
+def _const_shape_literal(
+    node: ast.expr,
+) -> Optional[Tuple[Optional[int], ...]]:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    dims: List[Optional[int]] = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+            dims.append(elt.value)
+        else:
+            dims.append(None)
+    return tuple(dims)
+
+
+def contract_of(fn: FunctionInfo) -> Optional[Dict[str, ContractSpec]]:
+    """The parsed ``tensor_contract`` specs of ``fn``, if declared."""
+    for deco in getattr(fn.node, "decorator_list", []):
+        if not isinstance(deco, ast.Call):
+            continue
+        if dotted_name(deco.func).rpartition(".")[2] != "tensor_contract":
+            continue
+        specs: Dict[str, ContractSpec] = {}
+        for kw in deco.keywords:
+            if kw.arg is None:
+                continue
+            spec = ContractSpec.from_dict_literal(kw.value)
+            if spec is not None:
+                specs[kw.arg] = spec
+        return specs
+    return None
+
+
+class TensorContractCheck(ProjectCheck):
+    name = "tensor-contract"
+    tag = "contract"
+    description = (
+        "call sites must satisfy declared tensor_contract shapes/dtypes, "
+        "and public tensor functions in model/ and verify/ must declare one"
+    )
+    required_scope = None  # path/scope filtering handled per pass
+
+    def run_project(self, project: Project) -> List[Finding]:
+        graph = project.callgraph
+        contracts = {
+            qual: specs
+            for qual, fn in graph.functions.items()
+            for specs in (contract_of(fn),)
+            if specs is not None
+        }
+        findings: List[Finding] = []
+        for qual, fn in sorted(graph.functions.items()):
+            src = project.by_path.get(fn.path)
+            if src is None:
+                continue
+            findings.extend(
+                self._check_call_sites(graph, fn, src, contracts)
+            )
+            findings.extend(self._check_coverage(fn, src))
+        return findings
+
+    # -- pass 1: call-site contract violations ---------------------------------
+
+    def _check_call_sites(self, graph, fn: FunctionInfo, src: SourceFile,
+                          contracts) -> List[Finding]:
+        edges = {
+            (e.line, e.col): e.callee for e in graph.callees(fn.qualname)
+        }
+        if not edges or not any(c in contracts for c in edges.values()):
+            return []
+        facts = _infer_local_facts(fn, src)
+        findings: List[Finding] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee_qual = edges.get((node.lineno, node.col_offset))
+            specs = contracts.get(callee_qual)
+            if specs is None:
+                continue
+            callee = graph.functions[callee_qual]
+            for param, arg in _bind_call(callee, node):
+                spec = specs.get(param)
+                if spec is None or not isinstance(arg, ast.Name):
+                    continue
+                fact = facts.get(arg.id)
+                if fact is None:
+                    continue
+                problems = spec.conflicts(fact)
+                if problems:
+                    findings.append(src.make_finding(
+                        self, node,
+                        f"argument '{param}' of {callee.display}() "
+                        f"violates its tensor_contract: "
+                        f"{'; '.join(problems)} (inferred for local "
+                        f"'{arg.id}'); fix the call or annotate with "
+                        f"'# lint: allow-contract <reason>'",
+                    ))
+        return findings
+
+    # -- pass 2: annotation coverage -------------------------------------------
+
+    def _check_coverage(self, fn: FunctionInfo,
+                        src: SourceFile) -> List[Finding]:
+        path = fn.path.replace("\\", "/")
+        in_scope = ("repro/model/" in path or "repro/verify/" in path
+                    or "model" in src.scopes)
+        if not in_scope:
+            return []
+        if fn.name.startswith("_") or not isinstance(
+            fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return []
+        short_decorators = {d.rpartition(".")[2] for d in fn.decorators}
+        if short_decorators & {"property", "cached_property"}:
+            return []  # accessors, not tensor-transforming surfaces
+        if contract_of(fn) is not None:
+            return []
+        tensor_params = _tensor_params(fn.node)
+        if not tensor_params:
+            return []
+        return [src.make_finding(
+            self, fn.node,
+            f"public tensor function {fn.display}() takes array "
+            f"argument(s) {', '.join(tensor_params)} but declares no "
+            f"tensor_contract; add @tensor_contract(...) so the "
+            f"sanitizer and the static checker can verify its shapes, "
+            f"or annotate with '# lint: allow-contract <reason>'",
+        )]
+
+
+def _tensor_params(node: ast.AST) -> List[str]:
+    """Parameter names that are statically tensor-like."""
+    names: List[str] = []
+    args = node.args
+    for arg in list(args.posonlyargs) + list(args.args) \
+            + list(args.kwonlyargs):
+        if arg.arg in ("self", "cls"):
+            continue
+        annotation = arg.annotation
+        annotated_array = (
+            annotation is not None
+            and dotted_name(annotation).rpartition(".")[2] == "ndarray"
+        )
+        if annotated_array or (annotation is None
+                               and arg.arg in CORE_TENSOR_NAMES):
+            names.append(arg.arg)
+    return names
+
+
+def _bind_call(callee: FunctionInfo,
+               call: ast.Call) -> List[Tuple[str, ast.expr]]:
+    """(param-name, argument-expr) pairs for a resolved call.
+
+    Methods called through an attribute receiver skip the ``self``/``cls``
+    slot; ``*args``/``**kwargs`` at the call site abort binding (the
+    mapping is no longer static).
+    """
+    if any(isinstance(a, ast.Starred) for a in call.args):
+        return []
+    params = [a.arg for a in callee.node.args.posonlyargs] \
+        + [a.arg for a in callee.node.args.args]
+    if callee.class_name is not None and params \
+            and params[0] in ("self", "cls"):
+        params = params[1:]
+    pairs = list(zip(params, call.args))
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in params:
+            pairs.append((kw.arg, kw.value))
+    return pairs
+
+
+def _infer_local_facts(fn: FunctionInfo,
+                       src: SourceFile) -> Dict[str, TensorFact]:
+    """Flow-insensitive tensor facts for ``fn``'s local variables.
+
+    A variable assigned twice with disagreeing facts joins to the
+    components both agree on, so the result is sound for the check's
+    prove-only reporting.
+    """
+    facts: Dict[str, TensorFact] = {}
+    aliases = numpy_aliases(src.tree)
+
+    own = contract_of(fn)
+    if own:
+        for param, spec in own.items():
+            facts[param] = TensorFact(
+                ndim=spec.ndim if spec.ndim is not None
+                else (len(spec.shape) if spec.shape else None),
+                dtype=spec.dtype,
+                shape=spec.shape,
+            )
+
+    def merge(name: str, fact: TensorFact) -> None:
+        if fact.is_bottom():
+            return
+        known = facts.get(name)
+        facts[name] = fact if known is None else known.join(fact)
+
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        fact = _fact_for_expr(node.value, facts, aliases)
+        if fact is not None:
+            merge(target.id, fact)
+    return facts
+
+
+def _fact_for_expr(node: ast.expr, facts: Dict[str, TensorFact],
+                   aliases) -> Optional[TensorFact]:
+    if isinstance(node, ast.Name):
+        return facts.get(node.id)
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    head, _, func = name.rpartition(".")
+    # np.zeros((a, b), dtype=...) and friends.
+    if head in aliases and func in _SHAPE_CONSTRUCTORS and node.args:
+        shape = _const_dims(node.args[0])
+        dtype_kw = call_keywords(node).get("dtype")
+        dtype = _canon_dtype(dtype_kw) if dtype_kw is not None else None
+        if shape is None and dtype is None:
+            return None
+        return TensorFact(
+            ndim=len(shape) if shape is not None else None,
+            dtype=dtype,
+            shape=shape,
+        )
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    receiver = node.func.value
+    base = facts.get(receiver.id) if isinstance(receiver, ast.Name) \
+        else None
+    # x.reshape(2, 3) / x.reshape((2, 3)): new rank, dtype carried over.
+    if node.func.attr == "reshape" and node.args:
+        if len(node.args) == 1:
+            shape = _const_dims(node.args[0])
+        else:
+            shape = _const_dims(ast.Tuple(elts=list(node.args),
+                                          ctx=ast.Load()))
+        if shape is None:
+            return None
+        # -1 entries are size-inference wildcards, not literal sizes.
+        shape = tuple(s if s is None or s >= 0 else None for s in shape)
+        return TensorFact(
+            ndim=len(shape),
+            dtype=base.dtype if base is not None else None,
+            shape=shape,
+        )
+    # x.astype(dt): same geometry, new dtype.
+    if node.func.attr == "astype" and node.args and base is not None:
+        return TensorFact(
+            ndim=base.ndim,
+            dtype=_canon_dtype(node.args[0]) or None,
+            shape=base.shape,
+        )
+    return None

@@ -1,24 +1,28 @@
-"""``wall-clock``: no ``time.time()`` where determinism or tracing live.
+"""``wall-clock``: no ad-hoc clock reads where determinism or tracing live.
 
 The observability layer's core guarantee is that recorded values are
 deterministic under seeds: span/event attributes carry logical clocks and
-seed-derived counts, and durations are ``time.perf_counter()`` *deltas*
-observed into registry histograms.  A stray ``time.time()`` breaks both
-properties at once — it is an absolute wall-clock read (never meaningful as
-a duration source) and it makes any value derived from it
-non-reproducible.  This check flags direct wall-clock reads:
+seed-derived counts, and durations are measured *by the span machinery
+itself* (``Tracer.span`` observes one ``perf_counter`` delta into a
+registry histogram).  Two classes of clock read violate that:
 
-* inside hot-path code — files in
-  :data:`repro.analysis.core.HOT_PATH_FILES` or functions decorated
-  ``@hot_path`` (the same awareness ``hot-path-alloc`` has), where
-  instrumentation runs on every decoding step;
-* inside instrumented spans — the body of any ``with ...span(...):``
-  block, where a wall-clock value would end up in trace attributes.
+* **wall clocks** — ``time.time()``, ``time.time_ns()``,
+  ``datetime.now()`` / ``utcnow()`` / ``date.today()``: absolute,
+  non-reproducible values that are never meaningful as duration sources;
+* **monotonic clocks** — ``time.perf_counter()``, ``time.monotonic()``
+  (and their ``_ns`` variants): deterministic to ignore but still a
+  hand-rolled timer; inside an instrumented span they duplicate the
+  span's own measurement, and on the hot path every extra clock read is
+  per-tick overhead the histograms then mis-attribute.
 
-Flagged calls: ``time.time()``, ``time.time_ns()``, and bare ``time()``
-from ``from time import time``.  The fix is ``time.perf_counter()`` for
-durations or a logical clock (iteration / cost-model step) for ordering;
-genuinely wall-clock-needing cold paths annotate with
+Both classes are flagged inside hot code — and hotness is
+**interprocedural**: any function statically reachable from a
+``@hot_path`` root or hot-path file is hot (see
+:mod:`repro.analysis.checks.hotness`), with the call chain attached as
+evidence — and inside the body of any ``with ...span(...):`` block.  The
+fix is a logical clock (iteration / cost-model step) for ordering, or
+letting the enclosing span do the timing; the tracer's own
+``perf_counter`` reads are the one sanctioned site and carry
 ``# lint: allow-wall-clock <reason>``.
 """
 
@@ -27,16 +31,24 @@ from __future__ import annotations
 import ast
 from typing import List, Set, Tuple
 
+from repro.analysis.callgraph import Project
 from repro.analysis.core import (
-    Check,
     Finding,
+    ProjectCheck,
     SourceFile,
-    decorator_names,
     dotted_name,
 )
+from repro.analysis.checks.hotness import HotRegions, hot_function_chains
 
 #: ``time``-module attributes that read the wall clock.
 WALL_CLOCK_ATTRS = ("time", "time_ns")
+
+#: ``time``-module attributes that read a monotonic/process clock.
+MONOTONIC_ATTRS = ("perf_counter", "perf_counter_ns",
+                   "monotonic", "monotonic_ns")
+
+#: ``datetime``/``date`` constructors that capture the wall clock.
+DATETIME_NOW_ATTRS = ("now", "utcnow", "today")
 
 
 def _time_module_aliases(tree: ast.AST) -> Set[str]:
@@ -50,68 +62,101 @@ def _time_module_aliases(tree: ast.AST) -> Set[str]:
     return aliases
 
 
-def _bare_time_names(tree: ast.AST) -> Set[str]:
-    """Names bound to wall-clock functions via ``from time import ...``."""
+def _datetime_module_aliases(tree: ast.AST) -> Set[str]:
+    """Names bound to the ``datetime`` module."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "datetime":
+                    aliases.add(alias.asname or "datetime")
+    return aliases
+
+
+def _datetime_class_names(tree: ast.AST) -> Set[str]:
+    """Names bound to the datetime/date classes via ``from datetime import``."""
     names: Set[str] = set()
     for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module == "time":
+        if isinstance(node, ast.ImportFrom) and node.module == "datetime":
             for alias in node.names:
-                if alias.name in WALL_CLOCK_ATTRS:
+                if alias.name in ("datetime", "date"):
                     names.add(alias.asname or alias.name)
     return names
 
 
-class WallClockCheck(Check):
+def _from_time_imports(tree: ast.AST, attrs: Tuple[str, ...]) -> Set[str]:
+    """Names bound to selected clocks via ``from time import ...``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in attrs:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+class WallClockCheck(ProjectCheck):
     name = "wall-clock"
     tag = "wall-clock"
     description = (
-        "no direct time.time() reads on the hot path or inside "
-        "instrumented spans (use perf_counter deltas or logical clocks)"
+        "no wall-clock or hand-rolled monotonic clock reads anywhere "
+        "statically reachable from the hot path or inside instrumented "
+        "spans (use logical clocks; spans time themselves)"
     )
-    required_scope = None  # hot files via scope; spans/@hot_path anywhere
+    required_scope = None  # hotness is computed from the call graph
 
-    def run(self, src: SourceFile) -> List[Finding]:
-        file_is_hot = "hot-path" in src.scopes
-        hot_spans = self._decorated_spans(src)
-        trace_spans = self._traced_with_spans(src)
-        module_aliases = _time_module_aliases(src.tree)
-        bare_names = _bare_time_names(src.tree)
+    def run_project(self, project: Project) -> List[Finding]:
+        chains = hot_function_chains(project)
         findings: List[Finding] = []
-        for node in ast.walk(src.tree):
+        for src in project.sources:
+            findings.extend(self._run_file(project, src, chains))
+        return findings
+
+    def _run_file(self, project: Project, src: SourceFile,
+                  chains) -> List[Finding]:
+        regions = HotRegions(project, src, chains)
+        trace_spans = self._traced_with_spans(src)
+        if not regions.file_is_hot and not regions.spans \
+                and not trace_spans:
+            return []
+        tree = src.tree
+        time_aliases = _time_module_aliases(tree)
+        dt_modules = _datetime_module_aliases(tree)
+        dt_classes = _datetime_class_names(tree)
+        bare_wall = _from_time_imports(tree, WALL_CLOCK_ATTRS)
+        bare_mono = _from_time_imports(tree, MONOTONIC_ATTRS)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
-            label = self._wall_clock_label(node, module_aliases, bare_names)
+            label = self._clock_label(node, time_aliases, dt_modules,
+                                      dt_classes, bare_wall, bare_mono)
             if label is None:
                 continue
+            label, monotonic = label
             line = node.lineno
-            in_hot = file_is_hot or any(
-                lo <= line <= hi for lo, hi in hot_spans
-            )
+            chain = regions.chain_at(line)
             in_span = any(lo <= line <= hi for lo, hi in trace_spans)
-            if not (in_hot or in_span):
+            if chain is None and not in_span:
                 continue
             where = ("an instrumented span" if in_span
                      else "the decode hot path")
-            findings.append(src.make_finding(
-                self, node,
-                f"{label} reads the wall clock inside {where}; use "
-                f"time.perf_counter() deltas or a logical clock, or "
-                f"annotate with '# lint: allow-wall-clock <reason>'",
-            ))
+            if monotonic:
+                message = (
+                    f"{label} hand-rolls a timer inside {where}; the "
+                    f"enclosing span already measures host_seconds — use "
+                    f"a logical clock, or annotate with "
+                    f"'# lint: allow-wall-clock <reason>'"
+                )
+            else:
+                message = (
+                    f"{label} reads the wall clock inside {where}; use "
+                    f"a logical clock (iteration / cost-model step), or "
+                    f"annotate with '# lint: allow-wall-clock <reason>'"
+                )
+            findings.append(src.make_finding(self, node, message,
+                                             evidence=chain or ()))
         return findings
-
-    def _decorated_spans(self, src: SourceFile) -> List[Tuple[int, int]]:
-        """(first, last) line ranges of functions decorated ``@hot_path``."""
-        spans: List[Tuple[int, int]] = []
-        for node in ast.walk(src.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            names = {n.rpartition(".")[2] for n in decorator_names(node)}
-            if "hot_path" in names:
-                spans.append((node.lineno, max(
-                    getattr(node, "end_lineno", node.lineno), node.lineno
-                )))
-        return spans
 
     def _traced_with_spans(self, src: SourceFile) -> List[Tuple[int, int]]:
         """Line ranges of ``with ...span(...):`` blocks (tracer spans)."""
@@ -132,12 +177,29 @@ class WallClockCheck(Check):
                     break
         return spans
 
-    def _wall_clock_label(self, node: ast.Call, module_aliases: Set[str],
-                          bare_names: Set[str]) -> "str | None":
+    def _clock_label(
+        self, node: ast.Call, time_aliases: Set[str],
+        dt_modules: Set[str], dt_classes: Set[str],
+        bare_wall: Set[str], bare_mono: Set[str],
+    ) -> "Tuple[str, bool] | None":
+        """(label, is_monotonic) for a clock-reading call, else None."""
         name = dotted_name(node.func)
+        if not name:
+            return None
         head, _, func = name.rpartition(".")
-        if head in module_aliases and func in WALL_CLOCK_ATTRS:
-            return f"{name}()"
-        if not head and name in bare_names:
-            return f"{name}()"
+        if head in time_aliases:
+            if func in WALL_CLOCK_ATTRS:
+                return f"{name}()", False
+            if func in MONOTONIC_ATTRS:
+                return f"{name}()", True
+        if not head:
+            if name in bare_wall:
+                return f"{name}()", False
+            if name in bare_mono:
+                return f"{name}()", True
+        if func in DATETIME_NOW_ATTRS:
+            first = name.split(".")[0]
+            # datetime.datetime.now() / dt.date.today() / datetime.now()
+            if first in dt_modules or head in dt_classes:
+                return f"{name}()", False
         return None

@@ -29,9 +29,11 @@ This module holds the pieces every check shares:
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 #: Scope names a file may belong to.  Path-scoped checks declare which of
@@ -74,6 +76,17 @@ class Finding:
         suppressed: True when a matching ``# lint: allow-*`` comment covers
             the line; suppressed findings never affect the exit code.
         suppression_reason: Free text following the suppression tag.
+        context: Qualified name of the enclosing function/method
+            (``"DecodePipeline.tick"``), ``""`` at module level.  Part of
+            the baseline fingerprint, so findings survive line drift.
+        evidence: Call chain that makes an interprocedural finding hot
+            (``("tick", "_fit_tree")``) — rendered by the reporter, kept
+            out of ``message`` so fingerprints stay stable when an
+            intermediate call path changes.
+        fingerprint: Stable identity assigned by the runner (see
+            :mod:`repro.analysis.baseline`); ``""`` until assigned.
+        baselined: True when an applied baseline accepts this finding; a
+            baselined finding never affects the exit code.
     """
 
     check: str
@@ -83,6 +96,10 @@ class Finding:
     message: str
     suppressed: bool = False
     suppression_reason: str = ""
+    context: str = ""
+    evidence: Tuple[str, ...] = ()
+    fingerprint: str = ""
+    baselined: bool = False
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -118,15 +135,42 @@ class SourceFile:
         self.source = source
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=path)
+        self._comments = self._comment_lines()
         self.suppressions = self._parse_suppressions()
         self._scopes = self._infer_scopes()
+        self._function_spans = self._index_function_spans()
 
     # -- pragmas ---------------------------------------------------------------
 
+    def _comment_lines(self) -> Dict[int, str]:
+        """Real ``#`` comments by line, via the tokenizer.
+
+        Regex over raw lines also matches pragma *mentions* inside string
+        literals and docstrings (the check sources themselves are full of
+        them), which would both mis-suppress findings and flood the
+        stale-suppression audit.  Tokenizing is exact; files the tokenizer
+        rejects (the AST parse already succeeded, so this is rare) fall
+        back to the line scan.
+        """
+        comments: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline
+            )
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    comments[tok.start[0]] = tok.string
+        except (tokenize.TokenError, IndentationError):
+            for lineno, text in enumerate(self.lines, start=1):
+                hash_pos = text.find("#")
+                if hash_pos != -1:
+                    comments[lineno] = text[hash_pos:]
+        return comments
+
     def _parse_suppressions(self) -> List[Suppression]:
         found: List[Suppression] = []
-        for lineno, text in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(text)
+        for lineno, comment in sorted(self._comments.items()):
+            match = _SUPPRESS_RE.search(comment)
             if not match:
                 continue
             found.append(
@@ -134,7 +178,8 @@ class SourceFile:
                     line=lineno,
                     tag=match.group(1),
                     reason=(match.group("reason") or "").strip(),
-                    standalone=text.lstrip().startswith("#"),
+                    standalone=self.lines[lineno - 1].lstrip()
+                    .startswith("#"),
                 )
             )
         return found
@@ -149,8 +194,10 @@ class SourceFile:
             scopes.add("engine")
         if any(path.endswith(hot) for hot in HOT_PATH_FILES):
             scopes.add("hot-path")
-        for text in self.lines[:10]:
-            match = _SCOPE_RE.search(text)
+        for lineno, comment in sorted(self._comments.items()):
+            if lineno > 10:
+                break
+            match = _SCOPE_RE.search(comment)
             if match:
                 for name in match.group("names").split():
                     if name in KNOWN_SCOPES:
@@ -161,13 +208,47 @@ class SourceFile:
     def scopes(self) -> Set[str]:
         return self._scopes
 
+    # -- function index --------------------------------------------------------
+
+    def _index_function_spans(self) -> List[Tuple[int, int, str]]:
+        """(first, last, qualname) for every def, innermost-sorted last."""
+        spans: List[Tuple[int, int, str]] = []
+
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{child.name}"
+                    end = max(getattr(child, "end_lineno", child.lineno),
+                              child.lineno)
+                    spans.append((child.lineno, end, qual))
+                    visit(child, f"{qual}.")
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, f"{prefix}{child.name}.")
+                else:
+                    visit(child, prefix)
+
+        visit(self.tree, "")
+        return spans
+
+    def enclosing_function(self, line: int) -> str:
+        """Qualname of the innermost function containing ``line`` ("" if none)."""
+        best = ""
+        best_size = None
+        for lo, hi, qual in self._function_spans:
+            if lo <= line <= hi and (best_size is None
+                                     or hi - lo < best_size):
+                best, best_size = qual, hi - lo
+        return best
+
     # -- finding assembly ------------------------------------------------------
 
-    def make_finding(self, check: "Check", node: ast.AST,
-                     message: str) -> Finding:
+    def make_finding(self, check: "Check", node: ast.AST, message: str,
+                     evidence: Tuple[str, ...] = ()) -> Finding:
         """A :class:`Finding` at ``node``, resolving suppressions."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
+        context = self.enclosing_function(line)
         for supp in self.suppressions:
             if supp.covers(check.tag, line):
                 supp.used = True
@@ -175,9 +256,11 @@ class SourceFile:
                     check=check.name, path=self.path, line=line, col=col,
                     message=message, suppressed=True,
                     suppression_reason=supp.reason,
+                    context=context, evidence=tuple(evidence),
                 )
         return Finding(check=check.name, path=self.path, line=line,
-                       col=col, message=message)
+                       col=col, message=message, context=context,
+                       evidence=tuple(evidence))
 
 
 class Check:
@@ -199,6 +282,28 @@ class Check:
         return self.required_scope in src.scopes
 
     def run(self, src: SourceFile) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ProjectCheck(Check):
+    """A check that needs the whole project, not one file at a time.
+
+    Subclasses implement :meth:`run_project` against a
+    :class:`repro.analysis.callgraph.Project` (all parsed files plus the
+    call graph) and return findings for any subset of its files.  The
+    runner invokes project checks once per run; ``applies_to`` filtering
+    happens inside ``run_project`` because hotness may come from a *caller*
+    in a different file.  Findings must still be created through the owning
+    file's :meth:`SourceFile.make_finding` so suppressions resolve.
+    """
+
+    def run(self, src: SourceFile) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError(
+            f"{self.name} is interprocedural; run it through the runner "
+            f"(or lint_file), which builds the project context"
+        )
+
+    def run_project(self, project) -> List[Finding]:  # pragma: no cover
         raise NotImplementedError
 
 

@@ -1,0 +1,161 @@
+"""Forward dataflow over the call graph, plus shared abstract-value lattices.
+
+The interprocedural checks all reduce to the same fixpoint shape: seed some
+functions with a fact, push facts along call edges through a per-check
+*transfer* function, and join at merge points until nothing changes.
+:func:`solve_forward` is that worklist; the lattices below are the abstract
+values the shipped checks flow through it:
+
+* :data:`HOT_CHAIN_LATTICE` — hot-path taint.  A fact is the shortest call
+  chain from a ``@hot_path`` root (ties broken lexicographically so
+  evidence is deterministic); joining two chains keeps the better one.
+* :class:`TensorFact` — the shape/dtype abstraction the ``tensor-contract``
+  check propagates through assignments and calls.  Each component is
+  three-valued: ``None`` means *unknown* (top); joining disagreeing known
+  values degrades to unknown, so the analysis only reports violations it
+  can actually prove.
+
+Both are deliberately small: facts must be immutable, and ``join`` must be
+monotone, or the worklist does not terminate on recursive call cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Callable, Dict, Generic, List, Optional, Tuple,
+                    TypeVar)
+
+from repro.analysis.callgraph import CallEdge, CallGraph
+
+Fact = TypeVar("Fact")
+
+
+@dataclass(frozen=True)
+class Lattice(Generic[Fact]):
+    """A join-semilattice: how one check's facts merge.
+
+    ``join(a, b)`` must be commutative, associative, idempotent, and
+    monotone (the result is never *less* defined than either input) —
+    termination on call cycles depends on it.
+    """
+
+    join: Callable[[Fact, Fact], Fact]
+
+
+def solve_forward(
+    graph: CallGraph,
+    seeds: Dict[str, Fact],
+    lattice: Lattice,
+    transfer: Optional[Callable[[Fact, CallEdge], Optional[Fact]]] = None,
+) -> Dict[str, Fact]:
+    """Propagate ``seeds`` forward along call edges to a fixpoint.
+
+    Args:
+        graph: The project call graph.
+        seeds: Initial facts, keyed by function qualname.  Unknown
+            qualnames are ignored.
+        lattice: How facts merge when several callers reach one callee.
+        transfer: Maps (caller's fact, edge) to the fact contributed to
+            the callee; return ``None`` to kill propagation along that
+            edge.  Defaults to passing the caller's fact through unchanged.
+
+    Returns:
+        The fact for every function reached from the seeds (seeds
+        included).  Deterministic: the worklist is kept sorted, so runs
+        over the same project produce identical results.
+    """
+    facts: Dict[str, Fact] = {
+        qual: fact for qual, fact in seeds.items()
+        if qual in graph.functions
+    }
+    worklist: List[str] = sorted(facts)
+    pending = set(worklist)
+    while worklist:
+        caller = worklist.pop(0)
+        pending.discard(caller)
+        fact = facts[caller]
+        for edge in sorted(graph.callees(caller), key=lambda e: e.callee):
+            if edge.callee not in graph.functions:
+                continue
+            contributed = transfer(fact, edge) if transfer else fact
+            if contributed is None:
+                continue
+            known = facts.get(edge.callee)
+            merged = contributed if known is None \
+                else lattice.join(known, contributed)
+            if merged != known:
+                facts[edge.callee] = merged
+                if edge.callee not in pending:
+                    pending.add(edge.callee)
+                    worklist.append(edge.callee)
+                    worklist.sort()
+    return facts
+
+
+# -- hot-path taint ------------------------------------------------------------
+
+#: A hot-taint fact: the call chain (display names) from a hot root.
+Chain = Tuple[str, ...]
+
+
+def _better_chain(a: Chain, b: Chain) -> Chain:
+    """Shortest chain wins; lexicographic order breaks ties."""
+    return min(a, b, key=lambda c: (len(c), c))
+
+
+HOT_CHAIN_LATTICE: Lattice = Lattice(join=_better_chain)
+
+
+def propagate_hot_chains(graph: CallGraph,
+                         roots: Dict[str, Chain]) -> Dict[str, Chain]:
+    """Taint every function reachable from ``roots`` with its best chain.
+
+    ``roots`` maps hot entry qualnames to their seed chain (usually the
+    one-element chain of the root's display name).  The transfer appends
+    the callee's display name, so the resulting facts read
+    ``("tick", "_fit_tree")`` — exactly the evidence interprocedural
+    findings attach.
+    """
+
+    def transfer(fact: Chain, edge: CallEdge) -> Chain:
+        return fact + (graph.functions[edge.callee].display,)
+
+    return solve_forward(graph, roots, HOT_CHAIN_LATTICE, transfer)
+
+
+# -- tensor shape/dtype facts --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TensorFact:
+    """What the analysis knows statically about one array value.
+
+    ``None`` components are unknown.  ``shape`` entries may individually be
+    ``None`` (dimension exists, size unknown); a ``None`` shape with a known
+    ``ndim`` means "that many dimensions, sizes unknown".
+    """
+
+    ndim: Optional[int] = None
+    dtype: Optional[str] = None
+    shape: Optional[Tuple[Optional[int], ...]] = None
+
+    def is_bottom(self) -> bool:
+        return self.ndim is None and self.dtype is None and self.shape is None
+
+    def join(self, other: "TensorFact") -> "TensorFact":
+        """Keep only the components both facts agree on."""
+        shape: Optional[Tuple[Optional[int], ...]] = None
+        if (self.shape is not None and other.shape is not None
+                and len(self.shape) == len(other.shape)):
+            shape = tuple(a if a == b else None
+                          for a, b in zip(self.shape, other.shape))
+        return TensorFact(
+            ndim=self.ndim if self.ndim == other.ndim else None,
+            dtype=self.dtype if self.dtype == other.dtype else None,
+            shape=shape,
+        )
+
+
+TENSOR_FACT_LATTICE: Lattice = Lattice(
+    join=lambda a, b: a.join(b)
+)

@@ -3,9 +3,13 @@
 Two formats:
 
 * ``text`` — one ``path:line:col: [check] message`` per finding (the
-  format editors and CI log scrapers already understand), a suppressed
-  section when requested, and a one-line summary;
-* ``json`` — machine-readable, stable keys, suitable for dashboards or
+  format editors and CI log scrapers already understand), interprocedural
+  findings suffixed with their call-chain evidence
+  (``[hot via tick → _fit_tree]``), a suppressed section when requested,
+  the stale-suppression audit and baseline/ratchet status as warning
+  sections, and a one-line summary;
+* ``json`` — machine-readable, stable keys (fingerprints, evidence
+  chains, baseline bookkeeping included), suitable for CI artifacts or
   diffing two runs.
 """
 
@@ -21,9 +25,13 @@ from repro.analysis.runner import LintResult
 
 def _format_finding(finding: Finding) -> str:
     line = f"{finding.location()}: [{finding.check}] {finding.message}"
+    if finding.evidence:
+        line += f" [hot via {' → '.join(finding.evidence)}]"
     if finding.suppressed:
         reason = finding.suppression_reason or "no reason given"
         line += f" (suppressed: {reason})"
+    if finding.baselined:
+        line += " (baselined)"
     return line
 
 
@@ -32,25 +40,56 @@ def render_text(result: LintResult, show_suppressed: bool = False) -> str:
     out: List[str] = []
     for report in result.errors:
         out.append(f"{report.path}: error: {report.error}")
-    for finding in result.unsuppressed:
+    for finding in result.new_findings:
         out.append(_format_finding(finding))
+    if result.baselined:
+        out.append("")
+        out.append(f"baselined ({len(result.baselined)}):")
+        for finding in result.baselined:
+            out.append("  " + _format_finding(finding))
     if show_suppressed and result.suppressed:
         out.append("")
         out.append(f"suppressed ({len(result.suppressed)}):")
         for finding in result.suppressed:
             out.append("  " + _format_finding(finding))
-    by_check = Counter(f.check for f in result.unsuppressed)
+    if result.stale_suppressions:
+        out.append("")
+        out.append(
+            f"warning: {len(result.stale_suppressions)} stale "
+            f"suppression(s) no longer silence any finding "
+            f"(delete the pragma):"
+        )
+        for stale in result.stale_suppressions:
+            reason = f" ({stale.reason})" if stale.reason else ""
+            out.append(f"  {stale.location()}: # lint: {stale.tag}{reason}")
+    if result.baseline is not None and result.baseline.stale_entries:
+        out.append("")
+        out.append(
+            f"warning: {len(result.baseline.stale_entries)} stale "
+            f"baseline entry(ies) match no current finding — the ratchet "
+            f"requires removing them from {result.baseline.path}:"
+        )
+        for entry in result.baseline.stale_entries:
+            out.append(f"  {entry.fingerprint}: [{entry.check}] "
+                       f"{entry.path}: {entry.message}")
+    by_check = Counter(f.check for f in result.new_findings)
     breakdown = ", ".join(
         f"{name}: {count}" for name, count in sorted(by_check.items())
     )
-    summary = (
-        f"{result.files_scanned} files scanned, "
-        f"{len(result.unsuppressed)} findings"
-        f" ({breakdown})" if by_check else
-        f"{result.files_scanned} files scanned, 0 findings "
-        f"({len(result.suppressed)} suppressed)"
-    )
-    out.append(summary)
+    parts = [f"{result.files_scanned} files scanned",
+             f"{len(result.new_findings)} findings"]
+    if by_check:
+        parts[-1] += f" ({breakdown})"
+    extras: List[str] = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if extras and not by_check:
+        parts[-1] += f" ({', '.join(extras)})"
+    elif extras:
+        parts.append(", ".join(extras))
+    out.append(", ".join(parts))
     return "\n".join(out)
 
 
@@ -60,9 +99,11 @@ def render_json(result: LintResult) -> str:
         "files_scanned": result.files_scanned,
         "checks": list(result.checks),
         "counts": {
-            "findings": len(result.unsuppressed),
+            "findings": len(result.new_findings),
+            "baselined": len(result.baselined),
             "suppressed": len(result.suppressed),
             "errors": len(result.errors),
+            "stale_suppressions": len(result.stale_suppressions),
         },
         "findings": [
             {
@@ -71,14 +112,34 @@ def render_json(result: LintResult) -> str:
                 "line": f.line,
                 "col": f.col,
                 "message": f.message,
+                "context": f.context,
+                "evidence": list(f.evidence),
+                "fingerprint": f.fingerprint,
                 "suppressed": f.suppressed,
                 "suppression_reason": f.suppression_reason,
+                "baselined": f.baselined,
             }
             for f in result.findings
+        ],
+        "stale_suppressions": [
+            {"path": s.path, "line": s.line, "tag": s.tag,
+             "reason": s.reason}
+            for s in result.stale_suppressions
         ],
         "errors": [
             {"path": r.path, "error": r.error} for r in result.errors
         ],
         "exit_code": result.exit_code,
     }
+    if result.baseline is not None:
+        payload["baseline"] = {
+            "path": result.baseline.path,
+            "entries": len(result.baseline.entries),
+            "matched": len(set(result.baseline.matched)),
+            "stale": [
+                {"fingerprint": e.fingerprint, "check": e.check,
+                 "path": e.path, "message": e.message}
+                for e in result.baseline.stale_entries
+            ],
+        }
     return json.dumps(payload, indent=2, sort_keys=False)

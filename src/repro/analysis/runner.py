@@ -1,19 +1,51 @@
 """Lint driver: discover files, run every check, collect findings.
 
 ``run_paths`` is the programmatic entry point (the ``repro lint`` CLI and
-the ``lint`` pytest tier both call it); it returns a :class:`LintResult`
-whose exit code follows the usual linter convention — 0 clean, 1 findings,
-2 operational errors (unreadable/unparseable files).
+the ``lint`` pytest tier both call it).  A run now has two phases: every
+file is parsed up front into a :class:`~repro.analysis.callgraph.Project`
+(so interprocedural checks see the whole call graph), then file-local
+checks run per file and :class:`~repro.analysis.core.ProjectCheck`
+subclasses run once over the project.  The returned :class:`LintResult`
+carries fingerprinted findings, the stale-suppression audit, and any
+applied baseline; its exit code follows the usual linter convention —
+0 clean, 1 *new* findings (baselined ones don't count), 2 operational
+errors (unreadable/unparseable files).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.checks import resolve_checks
-from repro.analysis.core import Check, FileReport, Finding, SourceFile
+from repro.analysis.baseline import (
+    Baseline,
+    apply_baseline,
+    fingerprint_findings,
+    load_baseline,
+)
+from repro.analysis.callgraph import Project
+from repro.analysis.checks import check_registry, resolve_checks
+from repro.analysis.core import (
+    Check,
+    FileReport,
+    Finding,
+    ProjectCheck,
+    SourceFile,
+)
+
+
+@dataclass
+class StaleSuppression:
+    """A ``# lint: allow-*`` pragma that no longer suppresses anything."""
+
+    path: str
+    line: int
+    tag: str
+    reason: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
 
 
 @dataclass
@@ -22,6 +54,12 @@ class LintResult:
 
     reports: List[FileReport] = field(default_factory=list)
     checks: List[str] = field(default_factory=list)
+    #: Stale-pragma audit (populated only when every check ran — a subset
+    #: run cannot tell an unused pragma from one whose check was skipped).
+    stale_suppressions: List[StaleSuppression] = field(default_factory=list)
+    audited: bool = False
+    #: The applied baseline, when ``--baseline`` was given.
+    baseline: Optional[Baseline] = None
 
     @property
     def findings(self) -> List[Finding]:
@@ -36,6 +74,16 @@ class LintResult:
         return [f for f in self.findings if f.suppressed]
 
     @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        """Unsuppressed findings not accepted by the baseline."""
+        return [f for f in self.findings
+                if not f.suppressed and not f.baselined]
+
+    @property
     def errors(self) -> List[FileReport]:
         return [report for report in self.reports if report.error]
 
@@ -47,7 +95,7 @@ class LintResult:
     def exit_code(self) -> int:
         if self.errors:
             return 2
-        return 1 if self.unsuppressed else 0
+        return 1 if self.new_findings else 0
 
 
 def discover_files(paths: Sequence[str]) -> List[str]:
@@ -70,30 +118,102 @@ def discover_files(paths: Sequence[str]) -> List[str]:
     return files
 
 
+def _parse_files(files: Sequence[str]):
+    """Parse every file; returns (sources, per-path error reports)."""
+    sources: List[SourceFile] = []
+    errors: Dict[str, str] = {}
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            sources.append(SourceFile(path, source))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors[path] = f"{type(exc).__name__}: {exc}"
+    return sources, errors
+
+
+def _run_checks(sources: Sequence[SourceFile], checks: Sequence[Check],
+                errors: Dict[str, str]) -> List[FileReport]:
+    """File-local checks per file, project checks once over the project."""
+    project = Project(sources)
+    reports: Dict[str, FileReport] = {
+        src.path: FileReport(path=src.path) for src in sources
+    }
+    for path, error in errors.items():
+        reports[path] = FileReport(path=path, error=error)
+    file_checks = [c for c in checks if not isinstance(c, ProjectCheck)]
+    project_checks = [c for c in checks if isinstance(c, ProjectCheck)]
+    for src in sources:
+        for check in file_checks:
+            if check.applies_to(src):
+                reports[src.path].findings.extend(check.run(src))
+    for check in project_checks:
+        for finding in check.run_project(project):
+            report = reports.get(finding.path)
+            if report is not None:
+                report.findings.append(finding)
+    ordered = [reports[path] for path in sorted(reports)]
+    for report in ordered:
+        report.findings.sort(key=lambda f: (f.line, f.col, f.check))
+    return ordered
+
+
+def _audit_suppressions(
+    sources: Sequence[SourceFile],
+) -> List[StaleSuppression]:
+    """Pragmas whose ``used`` flag no check set: dead decisions."""
+    stale: List[StaleSuppression] = []
+    for src in sources:
+        for supp in src.suppressions:
+            if not supp.used:
+                stale.append(StaleSuppression(
+                    path=src.path, line=supp.line,
+                    tag=supp.tag, reason=supp.reason,
+                ))
+    stale.sort(key=lambda s: (s.path, s.line))
+    return stale
+
+
+def _assign_fingerprints(reports: Sequence[FileReport]) -> None:
+    for report in reports:
+        report.findings = fingerprint_findings(report.findings)
+
+
 def lint_file(path: str, checks: Sequence[Check]) -> FileReport:
-    """Run ``checks`` over one file."""
-    report = FileReport(path=path)
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        src = SourceFile(path, source)
-    except (OSError, SyntaxError, ValueError) as exc:
-        report.error = f"{type(exc).__name__}: {exc}"
-        return report
-    for check in checks:
-        if check.applies_to(src):
-            report.findings.extend(check.run(src))
-    report.findings.sort(key=lambda f: (f.line, f.col, f.check))
-    return report
+    """Run ``checks`` over one file (a single-file project)."""
+    sources, errors = _parse_files([path])
+    if errors:
+        return FileReport(path=path, error=errors[path])
+    reports = _run_checks(sources, checks, errors)
+    _assign_fingerprints(reports)
+    return reports[0]
 
 
 def run_paths(
     paths: Sequence[str],
     check_names: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
 ) -> LintResult:
-    """Lint every python file under ``paths`` with the selected checks."""
+    """Lint every python file under ``paths`` with the selected checks.
+
+    When ``baseline_path`` is given the file is loaded and applied:
+    matching findings are marked ``baselined`` and do not affect the exit
+    code, and :attr:`Baseline.stale_entries` records the ratchet debt.
+    """
     checks = resolve_checks(check_names)
-    result = LintResult(checks=[c.name for c in checks])
-    for path in discover_files(paths):
-        result.reports.append(lint_file(path, checks))
+    files = discover_files(paths)
+    sources, errors = _parse_files(files)
+    reports = _run_checks(sources, checks, errors)
+    _assign_fingerprints(reports)
+    result = LintResult(reports=reports, checks=[c.name for c in checks])
+    result.audited = not check_names or set(check_names) == set(
+        check_registry()
+    )
+    if result.audited:
+        result.stale_suppressions = _audit_suppressions(sources)
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        for report in reports:
+            report.findings = apply_baseline(report.findings, baseline)
+        result.baseline = baseline
     return result

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
 from repro.model import perf
 from repro.model.layers import (
     LayerCache,
@@ -105,6 +106,8 @@ def cross_mask(n_query: int, n_key: int, query_offset: int,
     return mask
 
 
+@tensor_contract(q={"ndim": 3}, k={"ndim": 3}, v={"ndim": 3},
+                 mask={"ndim": 2})
 def scaled_dot_attention(
     q: np.ndarray, k: np.ndarray, v: np.ndarray, mask: np.ndarray
 ) -> np.ndarray:
@@ -128,6 +131,7 @@ def scaled_dot_attention(
     return np.einsum("hqk,khd->qhd", weights, v)
 
 
+@tensor_contract(q={"ndim": 3})
 def block_diagonal_attention(
     q: np.ndarray,
     kvs: Sequence[Tuple[np.ndarray, np.ndarray]],
@@ -169,12 +173,14 @@ def block_diagonal_attention(
     return out
 
 
+@tensor_contract(x={"ndim": 2})
 def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
     """Reshape ``(n, d_model)`` to ``(n, h, d_head)``."""
     n, d = x.shape
     return x.reshape(n, n_heads, d // n_heads)
 
 
+@tensor_contract(x={"ndim": 3})
 def merge_heads(x: np.ndarray) -> np.ndarray:
     """Inverse of :func:`split_heads`."""
     n, h, dh = x.shape
@@ -184,6 +190,7 @@ def merge_heads(x: np.ndarray) -> np.ndarray:
 # -- training path (forward + backward over a full sequence) --------------------
 
 
+@tensor_contract(x={"ndim": 2}, mask={"ndim": 2})
 def mha_forward(
     x: np.ndarray,
     params: Dict[str, np.ndarray],
@@ -229,6 +236,7 @@ def mha_forward(
     return out, cache
 
 
+@tensor_contract(grad={"ndim": 2})
 def mha_backward(
     grad: np.ndarray,
     cache: LayerCache,

@@ -24,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
 from repro.model.config import ModelConfig
 from repro.model.layers import stable_softmax
 from repro.model.transformer import TransformerLM
@@ -115,6 +116,7 @@ class CoupledSSM:
     def new_cache(self, capacity: int = 0) -> CoupledCache:
         return CoupledCache(base_cache=self.base.new_cache(capacity=capacity))
 
+    @tensor_contract(tokens={"ndim": 1})
     def prefill(self, tokens: np.ndarray, cache: CoupledCache,
                 scratch=None) -> np.ndarray:
         logits = self.base.prefill(tokens, cache.base_cache, scratch=scratch)

@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
 from repro.model.config import ModelConfig
 
 
@@ -34,6 +35,7 @@ class LayerKV:
         self.length = 0
 
     @classmethod
+    @tensor_contract(keys={"ndim": 3}, values={"ndim": 3})
     def from_buffers(cls, keys: np.ndarray, values: np.ndarray) -> "LayerKV":
         """A layer cache over externally owned ``(capacity, h, d_head)``
         buffers — the hook :class:`~repro.model.arena.BatchArena` uses to
@@ -54,6 +56,7 @@ class LayerKV:
     def capacity(self) -> int:
         return self._keys.shape[0]
 
+    @tensor_contract(keys={"ndim": 3}, values={"ndim": 3})
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
         """Append ``(n, h, d_head)`` keys/values at the current end."""
         n = keys.shape[0]

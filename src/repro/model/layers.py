@@ -12,7 +12,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.analysis.sanitizer import hot_path
+from repro.analysis.sanitizer import hot_path, tensor_contract
 from repro.model import perf
 
 LayerCache = Tuple
@@ -21,6 +21,7 @@ LayerCache = Tuple
 # -- linear --------------------------------------------------------------------
 
 
+@tensor_contract(w={"ndim": 2}, b={"ndim": 1})
 @hot_path
 def linear_forward(
     x: np.ndarray, w: np.ndarray, b: np.ndarray,
@@ -48,6 +49,7 @@ def linear_forward(
     return out, (x, w)
 
 
+# lint: allow-contract grad rank is polymorphic ((n, d) or batched (..., d)); pinned by the paired forward cache
 def linear_backward(
     grad: np.ndarray, cache: LayerCache
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -64,6 +66,7 @@ def linear_backward(
 # -- layer norm -----------------------------------------------------------------
 
 
+@tensor_contract(scale={"ndim": 1}, bias={"ndim": 1})
 def layernorm_forward(
     x: np.ndarray, scale: np.ndarray, bias: np.ndarray, eps: float = 1e-5
 ) -> Tuple[np.ndarray, LayerCache]:
@@ -75,6 +78,7 @@ def layernorm_forward(
     return scale * x_hat + bias, (x_hat, inv_std, scale)
 
 
+# lint: allow-contract grad rank is polymorphic, mirroring layernorm_forward's x
 def layernorm_backward(
     grad: np.ndarray, cache: LayerCache
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -98,6 +102,7 @@ def layernorm_backward(
 _GELU_C = np.sqrt(2.0 / np.pi)
 
 
+# lint: allow-contract elementwise: any rank of x is legal
 def gelu_forward(x: np.ndarray) -> Tuple[np.ndarray, LayerCache]:
     """Tanh-approximation GELU (as used by GPT-2/OPT)."""
     inner = _GELU_C * (x + 0.044715 * x**3)
@@ -105,6 +110,7 @@ def gelu_forward(x: np.ndarray) -> Tuple[np.ndarray, LayerCache]:
     return 0.5 * x * (1.0 + t), (x, t)
 
 
+# lint: allow-contract elementwise: grad rank mirrors gelu_forward's x
 def gelu_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
     """Backward for :func:`gelu_forward`."""
     x, t = cache
@@ -115,6 +121,7 @@ def gelu_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
 # -- embedding ---------------------------------------------------------------------
 
 
+@tensor_contract(table={"ndim": 2})
 def embedding_forward(
     token_ids: np.ndarray, table: np.ndarray
 ) -> Tuple[np.ndarray, LayerCache]:
@@ -122,6 +129,7 @@ def embedding_forward(
     return table[token_ids], (token_ids, table.shape)
 
 
+# lint: allow-contract grad rank mirrors embedding_forward's token_ids plus the table's last axis
 def embedding_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
     """Scatter-add gradient back into an embedding-table-shaped buffer."""
     token_ids, shape = cache
@@ -134,7 +142,7 @@ def embedding_backward(grad: np.ndarray, cache: LayerCache) -> np.ndarray:
 
 
 @hot_path
-def stable_softmax(logits: np.ndarray, axis: int = -1,
+def stable_softmax(logits: np.ndarray, axis: int = -1,  # lint: allow-contract logits rank is polymorphic (1-d rows, 2-d batches, 3-d attention scores)
                    out: np.ndarray = None) -> np.ndarray:
     """Numerically stable softmax.
 
@@ -152,6 +160,7 @@ def stable_softmax(logits: np.ndarray, axis: int = -1,
     return out
 
 
+@tensor_contract(targets={"ndim": 1})
 def softmax_cross_entropy(
     logits: np.ndarray, targets: np.ndarray
 ) -> Tuple[float, np.ndarray]:
@@ -182,6 +191,7 @@ def softmax_cross_entropy(
     return loss, dlogits
 
 
+@tensor_contract(student_logits={"ndim": 2}, teacher_probs={"ndim": 2})
 def kl_divergence_loss(
     student_logits: np.ndarray, teacher_probs: np.ndarray
 ) -> Tuple[float, np.ndarray]:
@@ -199,6 +209,7 @@ def kl_divergence_loss(
     return loss, dlogits
 
 
+# lint: allow-contract value's rank matches whichever parameter it accumulates into
 def merge_grad(grads: Dict[str, np.ndarray], name: str, value: np.ndarray) -> None:
     """Accumulate ``value`` into ``grads[name]`` (creating it if absent)."""
     if name in grads:

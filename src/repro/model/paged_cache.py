@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
 from repro.model.config import ModelConfig
 
 
@@ -102,6 +103,7 @@ class _PagedLayerView:
     def capacity(self) -> int:
         return self._cache.capacity
 
+    @tensor_contract(keys={"ndim": 3}, values={"ndim": 3})
     def append(self, keys: np.ndarray, values: np.ndarray) -> None:
         self._cache._append_layer(self._layer, keys, values)
 

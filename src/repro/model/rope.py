@@ -18,6 +18,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
+
 
 @lru_cache(maxsize=32)
 def _angle_table(max_positions: int, d_head: int, base: float) -> Tuple:
@@ -30,6 +32,7 @@ def _angle_table(max_positions: int, d_head: int, base: float) -> Tuple:
     return np.cos(angles), np.sin(angles)
 
 
+@tensor_contract(x={"ndim": 3}, positions={"ndim": 1})
 def rope_rotate(
     x: np.ndarray,
     positions: np.ndarray,
@@ -71,6 +74,7 @@ def rope_rotate(
     return out
 
 
+@tensor_contract(q={"ndim": 3}, k={"ndim": 3})
 def relative_score_invariance_check(
     q: np.ndarray, k: np.ndarray, shift: int, base: float = 10000.0
 ) -> float:

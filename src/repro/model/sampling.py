@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
 from repro.model.layers import stable_softmax as softmax
 
 
@@ -44,6 +45,7 @@ class SamplingConfig:
             raise ValueError(f"top_p must be in (0, 1], got {self.top_p}")
 
 
+@tensor_contract(probs={"ndim": 1})
 def top_k_filter(probs: np.ndarray, k: int) -> np.ndarray:
     """Zero all but the ``k`` largest probabilities and renormalize."""
     if k <= 0 or k >= probs.shape[-1]:
@@ -57,6 +59,7 @@ def top_k_filter(probs: np.ndarray, k: int) -> np.ndarray:
     return kept / total
 
 
+@tensor_contract(probs={"ndim": 1})
 def top_p_filter(probs: np.ndarray, p: float) -> np.ndarray:
     """Nucleus filtering: keep the smallest set with cumulative mass >= p."""
     if p >= 1.0:
@@ -71,6 +74,7 @@ def top_p_filter(probs: np.ndarray, p: float) -> np.ndarray:
     return kept / kept.sum()
 
 
+@tensor_contract(logits={"ndim": 1})
 def distribution_from_logits(
     logits: np.ndarray, config: SamplingConfig,
     out: Optional[np.ndarray] = None,
@@ -107,11 +111,13 @@ def distribution_from_logits(
     return probs
 
 
+@tensor_contract(logits={"ndim": 1})
 def greedy_token(logits: np.ndarray) -> int:
     """Argmax token id."""
     return int(np.argmax(logits))
 
 
+@tensor_contract(logits={"ndim": 1})
 def sample_token(
     logits: np.ndarray,
     config: SamplingConfig,
@@ -130,6 +136,7 @@ def sample_token(
     return int(rng.choice(probs.shape[-1], p=probs))
 
 
+@tensor_contract(probs={"ndim": 1})
 def sample_from_probs(probs: np.ndarray, rng: np.random.Generator) -> int:
     """Sample a token id from an explicit probability vector."""
     total = probs.sum()
@@ -138,6 +145,7 @@ def sample_from_probs(probs: np.ndarray, rng: np.random.Generator) -> int:
     return int(rng.choice(probs.shape[-1], p=probs / total))
 
 
+@tensor_contract(probs={"ndim": 1})
 def top_k_tokens(probs: np.ndarray, k: int) -> np.ndarray:
     """Ids of the ``k`` most likely tokens, most likely first."""
     if k <= 0:
@@ -147,6 +155,7 @@ def top_k_tokens(probs: np.ndarray, k: int) -> np.ndarray:
     return idx[np.argsort(probs[idx])[::-1]]
 
 
+@tensor_contract(probs={"ndim": 1})
 def entropy(probs: np.ndarray, eps: float = 1e-12) -> float:
     """Shannon entropy in nats (used by workload characterization)."""
     clipped = np.clip(probs, eps, None)

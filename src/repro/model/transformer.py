@@ -124,6 +124,7 @@ class TransformerLM:
             scratch=scratch,
         )
 
+    @tensor_contract(tokens={"ndim": 1}, positions={"ndim": 1})
     def forward_masked_blocks(
         self,
         tokens: np.ndarray,
@@ -266,6 +267,7 @@ class TransformerLM:
         sanitizer.guard_finite("forward_masked_blocks logits", logits)
         return logits
 
+    @tensor_contract(tokens={"ndim": 1})
     def prefill(self, tokens: np.ndarray, cache: KVCache,
                 scratch: Optional[ScratchArena] = None) -> np.ndarray:
         """Process a prompt, filling ``cache``; returns ``(n, vocab)`` logits.
@@ -310,6 +312,7 @@ class TransformerLM:
         logits = self.decode(token, cache)
         return stable_softmax(logits / max(temperature, 1e-8))
 
+    @tensor_contract(tokens={"ndim": 1})
     def logits_for_sequence(self, tokens: np.ndarray) -> np.ndarray:
         """Stateless full-sequence logits (used by tests and baselines)."""
         cache = self.new_cache(capacity=min(len(tokens), self.config.max_seq_len))
@@ -317,6 +320,7 @@ class TransformerLM:
 
     # -- training --------------------------------------------------------------
 
+    @tensor_contract(tokens={"ndim": 1})
     def forward_train(self, tokens: np.ndarray) -> Tuple[np.ndarray, List]:
         """Differentiable full-sequence forward pass (causal mask).
 
@@ -359,6 +363,7 @@ class TransformerLM:
         caches.append((final_c, final))
         return logits, caches
 
+    @tensor_contract(dlogits={"ndim": 2})
     def backward(
         self, dlogits: np.ndarray, caches: List
     ) -> Dict[str, np.ndarray]:

@@ -61,11 +61,13 @@ def validate_precision(precision: str, greedy: bool) -> None:
         )
 
 
+# lint: allow-contract logits rank is polymorphic ((..., vocab)) by design
 def quantize_fp16(logits: np.ndarray) -> np.ndarray:
     """Round-trip through IEEE half precision (simulated fp16 scoring)."""
     return logits.astype(np.float16).astype(np.float64)
 
 
+# lint: allow-contract logits rank is polymorphic ((..., vocab)) by design
 def quantize_int8(logits: np.ndarray) -> np.ndarray:
     """Per-row symmetric int8 quantization (scale = max|row| / 127)."""
     scale = np.abs(logits).max(axis=-1, keepdims=True) / 127.0
@@ -75,6 +77,7 @@ def quantize_int8(logits: np.ndarray) -> np.ndarray:
     return q * scale
 
 
+# lint: allow-contract logits rank is polymorphic ((..., vocab)); rows reduced along the last axis
 def apply_precision(logits: np.ndarray, precision: str) -> np.ndarray:
     """Logits rescored at ``precision`` with the argmax-stability guard.
 

@@ -1,0 +1,36 @@
+"""Seeded ScratchArena tag collisions: rank conflict, dtype split, overlap."""
+
+import numpy as np
+
+from repro.model.scratch import ScratchArena
+
+
+def rank_conflict(arena: ScratchArena, n: int):
+    flat = arena.take("qkv", (n,), np.float64)
+    flat[:] = 0.0
+    # finding: same (tag, dtype) key re-taken at a different rank
+    return arena.take("qkv", (n, n), np.float64)
+
+
+def dtype_split(arena: ScratchArena, n: int):
+    scores = arena.take("scores", (n,), np.float64)
+    # finding: same tag taken under a second dtype (distinct buffer, same name)
+    halves = arena.take("scores", (n,), np.float32)
+    return scores, halves
+
+
+def live_range_overlap(arena: ScratchArena, n: int):
+    first = arena.take("stage", (n,), np.float64)
+    first[:] = 1.0
+    # finding: re-take of the live key below invalidates `first`
+    second = arena.take("stage", (n,), np.float64)
+    second[:] = 2.0
+    return first.sum() + second.sum()
+
+
+def disjoint_reuse_is_clean(arena: ScratchArena, n: int):
+    # Re-taking after the previous view's last use is the intended pattern.
+    staged = arena.take("ping", (n,), np.float64)
+    total = float(staged.sum())
+    staged2 = arena.take("ping", (n,), np.float64)
+    return total + float(staged2.sum())

@@ -1,0 +1,33 @@
+# lint: scope model
+"""Seeded tensor-contract violations: static mismatches plus a coverage gap."""
+
+import numpy as np
+
+from repro.analysis.sanitizer import tensor_contract
+
+
+@tensor_contract(mask={"ndim": 2}, positions={"ndim": 1, "dtype": "intp"})
+def forward_masked(tokens, positions, mask):
+    return tokens, positions, mask
+
+
+def build_and_call():
+    mask = np.zeros(16, dtype=np.float64)  # 1-d, contract wants 2-d
+    positions = np.zeros(4, dtype=np.float64)  # contract wants intp
+    tokens = np.zeros(4, dtype=np.intp)
+    # findings: mask ndim violation, positions dtype violation
+    return forward_masked(tokens, positions, mask)
+
+
+def reshaped_call():
+    mask = np.zeros((4, 4), dtype=np.float64)
+    flat = mask.reshape(-1)  # rank drops to 1
+    tokens = np.zeros(4, dtype=np.intp)
+    positions = np.arange(4)
+    # finding: flat is provably 1-d where the contract wants 2-d
+    return forward_masked(tokens, positions, flat)
+
+
+def score_tokens(tokens: np.ndarray, logits: np.ndarray):
+    # finding: public tensor function in model scope with no contract
+    return logits[tokens]

@@ -1,0 +1,34 @@
+"""Seeded regression: an allocation two call levels below a hot root.
+
+Mirrors the shape of ``DecodePipeline.tick`` → ``_fit_tree`` →
+``np.concatenate``: only the root carries ``@hot_path``, so a file-local
+checker sees nothing — the finding requires transitive reachability over
+the call graph, and its evidence must name the chain.
+"""
+
+import numpy as np
+
+from repro.analysis.sanitizer import hot_path
+
+
+class Pipeline:
+    @hot_path
+    def tick(self, batch):
+        return self._speculate(batch)
+
+    def _speculate(self, batch):
+        # One level down: still hot by reachability.
+        return self._fit_tree(batch)
+
+    def _fit_tree(self, batch):
+        # Two levels down: the seeded regression.
+        return np.concatenate(batch)  # finding: transitive hot-path alloc
+
+
+def cold_entry(batch):
+    # Same helper reached only from a cold root: not flagged.
+    return _cold_fit(batch)
+
+
+def _cold_fit(batch):
+    return np.vstack(batch)

@@ -1,6 +1,7 @@
-"""Wall-clock reads on the hot path and inside instrumented spans."""
+"""Wall-clock and hand-rolled-timer reads on the hot path and in spans."""
 
 import time
+from datetime import datetime
 from time import time as now
 
 from repro.analysis.sanitizer import hot_path
@@ -21,6 +22,26 @@ def traced_phase(tracer):
     return stamp, started
 
 
+@hot_path
+def timed_step(xs):
+    t0 = time.perf_counter()  # finding: hand-rolled timer in a @hot_path function
+    ys = list(xs)
+    return ys, time.perf_counter() - t0  # finding: second perf_counter read
+
+
+def monotonic_phase(tracer):
+    with tracer.span("repro.engine.verify"):
+        t0 = time.monotonic()  # finding: hand-rolled timer inside a span
+        stamped = datetime.now()  # finding: datetime wall clock inside a span
+    return t0, stamped
+
+
 def cold_helper():
     # Cold code outside any span: wall clock is fine here.
     return time.time()
+
+
+def cold_timer():
+    # Cold code: hand-rolled timers outside hot paths/spans are fine.
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

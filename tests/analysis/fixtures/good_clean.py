@@ -3,11 +3,14 @@
 
 import numpy as np
 
+from repro.analysis.sanitizer import tensor_contract
+
 
 def explicit_dtype_alloc(n, dtype):
     return np.zeros(n, dtype=dtype)
 
 
+@tensor_contract(values={"ndim": 1})
 def explicit_index_alloc(values):
     return np.array(values, dtype=np.intp)
 
@@ -20,10 +23,12 @@ def seeded_generator(seed: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+@tensor_contract(tokens={"ndim": 1}, positions={"ndim": 1}, mask={"ndim": 2})
 def faithful_call(model, tokens, positions, mask, cache):
     return model.forward_masked(tokens, positions, mask, cache)
 
 
+@tensor_contract(tokens={"ndim": 1}, positions={"ndim": 1}, mask={"ndim": 2})
 def keyword_call(model, tokens, positions, mask, cache):
     return model.forward_masked(tokens=tokens, positions=positions,
                                 mask=mask, cache=cache)

@@ -1,0 +1,215 @@
+"""Unit suite for the project call graph and the dataflow framework."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import Project, module_name_for_path
+from repro.analysis.core import SourceFile
+from repro.analysis.dataflow import TensorFact, propagate_hot_chains
+
+
+def build_project(tmp_path: Path, files: dict) -> Project:
+    sources = []
+    for name, text in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        sources.append(SourceFile(str(path), text))
+    return Project(sources)
+
+
+def edges_of(project: Project, qualname: str):
+    return sorted(e.callee for e in project.callgraph.callees(qualname))
+
+
+class TestModuleNaming:
+    def test_repro_package_paths_get_dotted_names(self):
+        assert module_name_for_path(
+            "/x/src/repro/model/layers.py") == "repro.model.layers"
+
+    def test_other_paths_use_the_stem(self):
+        assert module_name_for_path("/tmp/anything/snippet.py") == "snippet"
+
+
+class TestLocalCalls:
+    def test_plain_function_call(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "def a():\n    return b()\n"
+            "def b():\n    return 1\n"
+        )})
+        assert edges_of(project, "m:a") == ["m:b"]
+
+    def test_method_call_through_self(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "class C:\n"
+            "    def a(self):\n        return self.b()\n"
+            "    def b(self):\n        return 1\n"
+        )})
+        assert edges_of(project, "m:C.a") == ["m:C.b"]
+
+    def test_method_on_first_party_base_class(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "class Base:\n"
+            "    def b(self):\n        return 1\n"
+            "class C(Base):\n"
+            "    def a(self):\n        return self.b()\n"
+        )})
+        assert edges_of(project, "m:C.a") == ["m:Base.b"]
+
+    def test_constructor_call_resolves_to_init(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "class C:\n"
+            "    def __init__(self):\n        self.x = 1\n"
+            "def make():\n    return C()\n"
+        )})
+        assert edges_of(project, "m:make") == ["m:C.__init__"]
+
+    def test_local_instance_method_call(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "class C:\n"
+            "    def run(self):\n        return 1\n"
+            "def go():\n"
+            "    c = C()\n"
+            "    return c.run()\n"
+        )})
+        assert "m:C.run" in edges_of(project, "m:go")
+
+
+class TestImports:
+    def test_aliased_module_import(self, tmp_path):
+        project = build_project(tmp_path, {
+            "helper.py": "def h():\n    return 1\n",
+            "main.py": "import helper as hp\n"
+                       "def a():\n    return hp.h()\n",
+        })
+        assert edges_of(project, "main:a") == ["helper:h"]
+
+    def test_aliased_symbol_import(self, tmp_path):
+        project = build_project(tmp_path, {
+            "helper.py": "def h():\n    return 1\n",
+            "main.py": "from helper import h as do\n"
+                       "def a():\n    return do()\n",
+        })
+        assert edges_of(project, "main:a") == ["helper:h"]
+
+    def test_reexport_chain_is_followed(self, tmp_path):
+        project = build_project(tmp_path, {
+            "impl.py": "def h():\n    return 1\n",
+            "api.py": "from impl import h\n",
+            "main.py": "from api import h\n"
+                       "def a():\n    return h()\n",
+        })
+        assert edges_of(project, "main:a") == ["impl:h"]
+
+    def test_module_level_instance_typing(self, tmp_path):
+        project = build_project(tmp_path, {
+            "obs.py": "class Tracer:\n"
+                      "    def span(self, name):\n        return name\n"
+                      "TRACER = Tracer()\n",
+            "main.py": "from obs import TRACER\n"
+                       "def a():\n    return TRACER.span('x')\n",
+        })
+        assert edges_of(project, "main:a") == ["obs:Tracer.span"]
+
+    def test_self_attribute_instance_typing(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "class Helper:\n"
+            "    def run(self):\n        return 1\n"
+            "class Owner:\n"
+            "    def __init__(self):\n        self.h = Helper()\n"
+            "    def go(self):\n        return self.h.run()\n"
+        )})
+        assert "m:Helper.run" in edges_of(project, "m:Owner.go")
+
+    def test_third_party_calls_produce_no_edges(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "import numpy as np\n"
+            "def a(xs):\n    return np.concatenate(xs)\n"
+        )})
+        assert edges_of(project, "m:a") == []
+
+
+class TestReachability:
+    def test_shortest_chain_wins(self, tmp_path):
+        # Two routes to sink: direct (root → sink) and via mid.
+        project = build_project(tmp_path, {"m.py": (
+            "def root():\n    mid()\n    sink()\n"
+            "def mid():\n    sink()\n"
+            "def sink():\n    return 1\n"
+        )})
+        chains = project.callgraph.reachable_from(["m:root"])
+        assert chains["m:sink"] == ("root", "sink")
+
+    def test_recursion_terminates(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "def a():\n    return b()\n"
+            "def b():\n    return a()\n"
+        )})
+        chains = project.callgraph.reachable_from(["m:a"])
+        assert chains["m:a"] == ("a",)
+        assert chains["m:b"] == ("a", "b")
+
+    def test_mutual_recursion_through_methods(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "class C:\n"
+            "    def a(self):\n        return self.b()\n"
+            "    def b(self):\n        return self.a()\n"
+        )})
+        chains = project.callgraph.reachable_from(["m:C.a"])
+        assert chains["m:C.b"] == ("C.a", "C.b")
+
+    def test_unreachable_functions_are_absent(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "def root():\n    return 1\n"
+            "def island():\n    return 2\n"
+        )})
+        chains = project.callgraph.reachable_from(["m:root"])
+        assert "m:island" not in chains
+
+    def test_propagate_hot_chains_matches_reachability(self, tmp_path):
+        project = build_project(tmp_path, {"m.py": (
+            "def tick():\n    return fit()\n"
+            "def fit():\n    return 1\n"
+        )})
+        graph = project.callgraph
+        chains = propagate_hot_chains(graph, {"m:tick": ("tick",)})
+        assert chains["m:fit"] == ("tick", "fit")
+
+
+class TestDuplicateStems:
+    def test_same_stem_in_two_directories_does_not_collide(self, tmp_path):
+        project = build_project(tmp_path, {
+            "a/util.py": "def f():\n    return 1\n",
+            "b/util.py": "def g():\n    return 2\n",
+        })
+        graph = project.callgraph
+        names = set(graph.functions)
+        assert "util:f" in names
+        # The second file registers under a disambiguated module name,
+        # so its functions are still part of every project-wide pass.
+        assert any(q.endswith(":g") for q in names)
+
+
+class TestTensorFactLattice:
+    def test_join_keeps_agreement(self):
+        a = TensorFact(ndim=2, dtype="float64", shape=(4, 4))
+        b = TensorFact(ndim=2, dtype="float64", shape=(4, 8))
+        j = a.join(b)
+        assert j.ndim == 2
+        assert j.dtype == "float64"
+        assert j.shape == (4, None)  # agreement kept per axis
+
+    def test_join_drops_disagreement(self):
+        a = TensorFact(ndim=1, dtype="float64", shape=None)
+        b = TensorFact(ndim=2, dtype="intp", shape=None)
+        j = a.join(b)
+        assert j.is_bottom()
+
+    def test_bottom(self):
+        assert TensorFact(None, None, None).is_bottom()
+        assert not TensorFact(ndim=1, dtype=None, shape=None).is_bottom()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

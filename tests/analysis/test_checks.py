@@ -164,13 +164,23 @@ class TestGoodCorpus:
 class TestWallClock:
     def test_catches_all_seeded_violations(self):
         report = lint_fixture("bad_wall_clock.py", checks=["wall-clock"])
-        assert len(report.unsuppressed) == 3
+        assert len(report.unsuppressed) == 7
         assert set(names(report)) == {"wall-clock"}
         messages = [f.message for f in report.unsuppressed]
         assert any("time.time()" in m and "hot path" in m for m in messages)
         assert any("time.time_ns()" in m and "instrumented span" in m
                    for m in messages)
         assert any(m.startswith("now()") for m in messages)
+
+    def test_catches_hand_rolled_timers(self):
+        report = lint_fixture("bad_wall_clock.py", checks=["wall-clock"])
+        messages = [f.message for f in report.unsuppressed]
+        perf = [m for m in messages if "time.perf_counter()" in m]
+        assert len(perf) == 2
+        assert all("hand-rolls a timer" in m for m in perf)
+        assert any("time.monotonic()" in m and "hand-rolls a timer" in m
+                   for m in messages)
+        assert any("datetime.now()" in m for m in messages)
 
     def test_cold_code_outside_spans_is_clean(self, lint_snippet):
         report = lint_snippet(
@@ -191,12 +201,24 @@ class TestWallClock:
         )
         assert names(report) == ["wall-clock"]
 
-    def test_perf_counter_is_clean_in_spans(self, lint_snippet):
+    def test_perf_counter_is_flagged_in_spans(self, lint_snippet):
+        # The span already measures host_seconds: a hand-rolled timer
+        # inside it is redundant at best, divergent at worst.
         report = lint_snippet(
             "import time\n"
             "def phase(tracer):\n"
             "    with tracer.span('repro.engine.tick'):\n"
             "        return time.perf_counter()\n",
+            checks=["wall-clock"],
+        )
+        assert names(report) == ["wall-clock"]
+        assert "hand-rolls a timer" in report.unsuppressed[0].message
+
+    def test_perf_counter_is_clean_in_cold_code(self, lint_snippet):
+        report = lint_snippet(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.perf_counter()\n",
             checks=["wall-clock"],
         )
         assert report.findings == []
@@ -211,3 +233,157 @@ class TestWallClock:
         )
         assert report.findings != []
         assert report.unsuppressed == []
+
+
+class TestTransitiveHotPath:
+    """Interprocedural reachability: @hot_path taints callees."""
+
+    def test_alloc_two_levels_below_hot_root_is_caught(self):
+        report = lint_fixture("bad_transitive_alloc.py",
+                              checks=["hot-path-alloc"])
+        assert len(report.unsuppressed) == 1
+        finding = report.unsuppressed[0]
+        assert finding.message.startswith("np.concatenate()")
+        assert finding.evidence == (
+            "Pipeline.tick", "Pipeline._speculate", "Pipeline._fit_tree"
+        )
+
+    def test_cold_chain_is_not_flagged(self):
+        # _cold_fit allocates too, but is only reachable from a cold root.
+        report = lint_fixture("bad_transitive_alloc.py",
+                              checks=["hot-path-alloc"])
+        assert all("vstack" not in f.message for f in report.unsuppressed)
+
+    def test_wall_clock_propagates_through_helpers(self, lint_snippet):
+        report = lint_snippet(
+            "import time\n"
+            "from repro.analysis.sanitizer import hot_path\n"
+            "@hot_path\n"
+            "def tick():\n"
+            "    return helper()\n"
+            "def helper():\n"
+            "    return time.time()\n",
+            checks=["wall-clock"],
+        )
+        assert names(report) == ["wall-clock"]
+        assert report.unsuppressed[0].evidence == ("tick", "helper")
+
+    def test_recursive_helpers_terminate(self, lint_snippet):
+        report = lint_snippet(
+            "import numpy as np\n"
+            "from repro.analysis.sanitizer import hot_path\n"
+            "@hot_path\n"
+            "def tick(xs):\n"
+            "    return spin(xs, 3)\n"
+            "def spin(xs, n):\n"
+            "    if n:\n"
+            "        return spin(xs, n - 1)\n"
+            "    return np.concatenate(xs)\n",
+            checks=["hot-path-alloc"],
+        )
+        assert names(report) == ["hot-path-alloc"]
+
+
+class TestTensorContract:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_contract.py", checks=["tensor-contract"])
+        assert len(report.unsuppressed) == 4
+        assert set(names(report)) == {"tensor-contract"}
+
+    def test_static_ndim_violation(self):
+        report = lint_fixture("bad_contract.py", checks=["tensor-contract"])
+        messages = [f.message for f in report.unsuppressed]
+        ndim = [m for m in messages if "ndim 1 != declared 2" in m]
+        assert len(ndim) == 2  # direct zeros() and the reshape(-1) flow
+
+    def test_static_dtype_violation(self):
+        report = lint_fixture("bad_contract.py", checks=["tensor-contract"])
+        messages = [f.message for f in report.unsuppressed]
+        assert any("dtype float64 != declared intp" in m for m in messages)
+
+    def test_coverage_gap_flagged(self):
+        report = lint_fixture("bad_contract.py", checks=["tensor-contract"])
+        messages = [f.message for f in report.unsuppressed]
+        assert any("score_tokens()" in m and "declares no tensor_contract"
+                   in m for m in messages)
+
+    def test_unknown_shapes_stay_silent(self, lint_snippet):
+        # Prove-only: a fact the checker can't establish is not a finding.
+        report = lint_snippet(
+            "from repro.analysis.sanitizer import tensor_contract\n"
+            "@tensor_contract(mask={'ndim': 2})\n"
+            "def f(mask):\n"
+            "    return mask\n"
+            "def g(mask):\n"
+            "    return f(mask)\n",
+            checks=["tensor-contract"],
+        )
+        assert report.findings == []
+
+    def test_contract_params_seed_facts(self, lint_snippet):
+        # The caller's own declared contract is a source of facts.
+        report = lint_snippet(
+            "# lint: scope model\n"
+            "from repro.analysis.sanitizer import tensor_contract\n"
+            "@tensor_contract(mask={'ndim': 2})\n"
+            "def inner(mask):\n"
+            "    return mask\n"
+            "@tensor_contract(probs={'ndim': 1})\n"
+            "def outer(probs):\n"
+            "    return inner(probs)\n",
+            checks=["tensor-contract"],
+        )
+        assert len(report.unsuppressed) == 1
+        assert "ndim 1 != declared 2" in report.unsuppressed[0].message
+
+
+class TestArenaLifetime:
+    def test_catches_all_seeded_violations(self):
+        report = lint_fixture("bad_arena.py", checks=["arena-lifetime"])
+        assert len(report.unsuppressed) == 3
+        assert set(names(report)) == {"arena-lifetime"}
+
+    def test_rank_conflict(self):
+        report = lint_fixture("bad_arena.py", checks=["arena-lifetime"])
+        messages = [f.message for f in report.unsuppressed]
+        assert any("taken 2-d here but 1-d" in m for m in messages)
+
+    def test_dtype_split(self):
+        report = lint_fixture("bad_arena.py", checks=["arena-lifetime"])
+        messages = [f.message for f in report.unsuppressed]
+        assert any("float32 here but float64" in m for m in messages)
+
+    def test_live_range_overlap(self):
+        report = lint_fixture("bad_arena.py", checks=["arena-lifetime"])
+        messages = [f.message for f in report.unsuppressed]
+        assert any("invalidates the view 'first'" in m for m in messages)
+
+    def test_disjoint_reuse_is_clean(self):
+        report = lint_fixture("bad_arena.py", checks=["arena-lifetime"])
+        assert all("ping" not in f.message for f in report.unsuppressed)
+
+    def test_same_tag_different_methods_of_one_class(self, lint_snippet):
+        # self._arena names one object across methods: collisions group.
+        report = lint_snippet(
+            "import numpy as np\n"
+            "class Stage:\n"
+            "    def a(self, n):\n"
+            "        return self._arena.take('t', (n,), np.float64)\n"
+            "    def b(self, n):\n"
+            "        return self._arena.take('t', (n, n), np.float64)\n",
+            checks=["arena-lifetime"],
+        )
+        assert names(report) == ["arena-lifetime"]
+
+    def test_same_local_name_in_unrelated_functions_is_clean(
+            self, lint_snippet):
+        # Bare locals named `arena` are different objects per function.
+        report = lint_snippet(
+            "import numpy as np\n"
+            "def a(arena, n):\n"
+            "    return arena.take('t', (n,), np.float64)\n"
+            "def b(arena, n):\n"
+            "    return arena.take('t', (n, n), np.float64)\n",
+            checks=["arena-lifetime"],
+        )
+        assert report.findings == []

@@ -64,3 +64,105 @@ class TestCliExitCodes:
     def test_missing_path_exits_two(self):
         proc = run_cli("no/such/path")
         assert proc.returncode == 2
+
+
+BAD_SNIPPET = (
+    "# lint: scope hot-path\n"
+    "import numpy as np\n"
+    "def f(xs):\n"
+    "    return np.concatenate(xs)\n"
+)
+
+
+class TestCliBaseline:
+    """The ``--baseline`` / ``--update-baseline`` / ``--fail-stale`` flow."""
+
+    def test_update_baseline_bootstraps_missing_file(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        baseline = tmp_path / "base.json"
+        proc = run_cli("--baseline", str(baseline), "--update-baseline",
+                       str(src))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "wrote 1 finding(s)" in proc.stdout
+        assert baseline.exists()
+
+    def test_baselined_run_exits_zero(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        baseline = tmp_path / "base.json"
+        run_cli("--baseline", str(baseline), "--update-baseline", str(src))
+        proc = run_cli("--baseline", str(baseline), str(src))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        baseline = tmp_path / "base.json"
+        run_cli("--baseline", str(baseline), "--update-baseline", str(src))
+        src.write_text(BAD_SNIPPET.replace(
+            "    return np.concatenate(xs)",
+            "    a = np.concatenate(xs)\n"
+            "    return np.concatenate(xs)",
+        ))
+        proc = run_cli("--baseline", str(baseline), str(src))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_fail_stale_turns_debt_into_exit_one(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        baseline = tmp_path / "base.json"
+        run_cli("--baseline", str(baseline), "--update-baseline", str(src))
+        src.write_text("# lint: scope hot-path\n"
+                       "def f(xs):\n"
+                       "    return xs\n")
+        plain = run_cli("--baseline", str(baseline), str(src))
+        assert plain.returncode == 0  # stale debt is warning tier...
+        strict = run_cli("--baseline", str(baseline), "--fail-stale",
+                         str(src))
+        assert strict.returncode == 1  # ...unless the ratchet asks
+
+    def test_missing_baseline_exits_two(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        proc = run_cli("--baseline", str(tmp_path / "absent.json"),
+                       str(src))
+        assert proc.returncode == 2
+
+
+class TestRatchetScript:
+    """``scripts/lint_ratchet.py`` — the CI enforcement half."""
+
+    def run_ratchet(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "lint_ratchet.py"),
+             *args],
+            cwd=str(REPO_ROOT), env=env,
+            capture_output=True, text=True, timeout=180,
+        )
+
+    def test_clean_tree_passes(self):
+        proc = self.run_ratchet()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "lint-ratchet: OK" in proc.stdout
+
+    def test_new_findings_fail(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        proc = self.run_ratchet(str(src))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "new finding(s)" in proc.stdout
+
+    def test_stale_baseline_entries_fail(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(BAD_SNIPPET)
+        baseline = tmp_path / "base.json"
+        run_cli("--baseline", str(baseline), "--update-baseline", str(src))
+        src.write_text("# lint: scope hot-path\n"
+                       "def f(xs):\n"
+                       "    return xs\n")
+        proc = self.run_ratchet("--baseline", str(baseline), str(src))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "stale baseline entry" in proc.stdout

@@ -63,7 +63,9 @@ class TestJsonReporter:
         assert payload["exit_code"] == 1
         finding = payload["findings"][0]
         assert set(finding) == {"check", "path", "line", "col", "message",
-                                "suppressed", "suppression_reason"}
+                                "context", "evidence", "fingerprint",
+                                "baselined", "suppressed",
+                                "suppression_reason"}
 
     def test_clean_payload_exit_zero(self):
         result = result_for(["good_clean.py"])

@@ -1,5 +1,6 @@
 """Suppression comments: ``# lint: allow-<tag>`` and ``# lint: ignore``."""
 
+from repro.analysis.runner import run_paths
 
 SNIPPET = ("# lint: scope model\n"
            "import numpy as np\n"
@@ -62,3 +63,66 @@ class TestSuppressions:
                               checks=["dtype-drift"])
         assert report.findings[0].suppressed
         assert report.findings[0].suppression_reason == ""
+
+
+class TestStaleSuppressionAudit:
+    """Dead pragmas are reported (warning tier: never the exit code)."""
+
+    def audit(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        return run_paths([str(path)])
+
+    def test_dead_pragma_is_reported(self, tmp_path):
+        result = self.audit(
+            tmp_path,
+            "# lint: scope model\n"
+            "import numpy as np\n"
+            "x = np.zeros(3, dtype=np.float32)  # lint: allow-dtype stale\n",
+        )
+        assert result.exit_code == 0  # warning tier
+        assert len(result.stale_suppressions) == 1
+        stale = result.stale_suppressions[0]
+        assert stale.tag == "allow-dtype"
+        assert stale.reason == "stale"
+        assert stale.line == 3
+
+    def test_used_pragma_is_not_reported(self, tmp_path):
+        result = self.audit(
+            tmp_path,
+            "# lint: scope model\n"
+            "import numpy as np\n"
+            "x = np.zeros(3)  # lint: allow-dtype accumulator\n",
+        )
+        assert result.stale_suppressions == []
+
+    def test_pragma_text_inside_strings_is_not_a_pragma(self, tmp_path):
+        # Docstrings documenting the pragma syntax must not register
+        # suppressions (and so can never be reported stale).
+        result = self.audit(
+            tmp_path,
+            '"""Write `# lint: allow-dtype <reason>` to suppress."""\n'
+            "MSG = 'annotate with # lint: allow-alloc <reason>'\n",
+        )
+        assert result.stale_suppressions == []
+
+    def test_audit_skipped_for_partial_check_runs(self, tmp_path):
+        # With one check selected, an unrelated pragma is not "dead" —
+        # the check that would use it simply didn't run.
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# lint: scope model hot-path\n"
+            "import numpy as np\n"
+            "x = np.concatenate([1])  # lint: allow-alloc staging\n"
+        )
+        result = run_paths([str(path)], check_names=["dtype-drift"])
+        assert result.stale_suppressions == []
+
+    def test_dead_ignore_pragma_is_reported(self, tmp_path):
+        result = self.audit(
+            tmp_path,
+            "def f():\n"
+            "    return 1  # lint: ignore nothing to ignore\n",
+        )
+        assert len(result.stale_suppressions) == 1
+        assert result.stale_suppressions[0].tag == "ignore"
