@@ -4,7 +4,13 @@ Commands:
 
 * ``demo`` — run the three engines on one prompt and compare LLM steps.
 * ``tree`` — speculate a token tree and render it, with the verified path.
-* ``serve`` — simulate continuous-batching serving under Poisson arrivals.
+* ``serve`` — simulate continuous-batching serving under Poisson arrivals;
+  ``--gateway`` serves the same workload through the async streaming
+  gateway, ``--listen`` additionally exposes it over TCP/JSONL.
+* ``chat`` — stream one generation from a gateway (``--local`` spins up an
+  in-process stack; ``--connect`` talks to a running ``serve --listen``).
+* ``loadgen`` — drive a gateway with concurrent async clients across
+  tenants and SLO classes; report admission and latency behavior.
 * ``models`` — list the paper-scale model descriptors and placements.
 * ``latency`` — query the hardware cost model for a decoding-step latency.
 * ``lint`` — run the repro static-analysis checks over source paths.
@@ -97,16 +103,14 @@ def cmd_tree(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """Simulate continuous-batching serving under Poisson arrivals."""
-    from repro.engine.generation import GenerationConfig
+def _serve_stack(args: argparse.Namespace):
+    """The serving substrate ``serve`` uses in both modes."""
+    from repro.model.coupled import CoupledSSM
     from repro.serving.manager import RequestManager
-    from repro.serving.metrics import report_from_manager
     from repro.serving.session import SpeculativeSession
     from repro.speculate.expansion import ExpansionConfig
     from repro.speculate.speculator import Speculator
-    from repro.model.coupled import CoupledSSM
-    from repro.workloads.arrival import PoissonArrivals, drive_manager
+    from repro.workloads.arrival import PoissonArrivals
     from repro.workloads.datasets import make_dataset
 
     llm, _ = _build_toy_pair(args.alignment, args.seed)
@@ -126,10 +130,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     arrivals = PoissonArrivals(rate=args.rate, dataset=dataset,
                                seed=args.seed,
                                max_prompt_len=16).schedule(args.requests)
-    drive_manager(
-        manager, arrivals,
-        GenerationConfig(max_new_tokens=args.tokens, stop_on_eos=False),
-    )
+    return manager, arrivals
+
+
+def _print_serve_report(manager, batch: int) -> None:
+    from repro.serving.metrics import report_from_manager
+
     report = report_from_manager(manager)
     print(f"requests           : {report.num_requests}")
     print(f"iterations         : {report.total_iterations}")
@@ -138,8 +144,164 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"mean TTFT (iters)  : {report.mean_ttft:.2f}")
     print(f"p95 completion     : {report.p95_completion:.2f}")
     print(f"batch occupancy    : {report.mean_batch_occupancy:.2f}"
-          f" / {args.batch}")
+          f" / {batch}")
+
+
+async def _serve_gateway(args: argparse.Namespace, manager, arrivals) -> int:
+    """Serve the arrival schedule through the streaming gateway.
+
+    Streams every request concurrently (admission order follows the
+    canonical ``(iteration, request_id)`` schedule order), optionally
+    exposing the gateway over TCP while the workload drains.  Under greedy
+    verification the streamed tokens are bit-identical to the replay
+    path's — only the iteration-timing metrics differ.
+    """
+    from repro.engine.generation import GenerationConfig
+    from repro.serving.gateway import ServingGateway
+    from repro.workloads.arrival import sort_arrivals
+
+    config = GenerationConfig(max_new_tokens=args.tokens, stop_on_eos=False)
+    gateway = ServingGateway(manager)
+    await gateway.start()
+    server = None
+    if args.listen:
+        from repro.serving.transport import start_gateway_server
+
+        host, _, port = args.listen.rpartition(":")
+        server = await start_gateway_server(
+            gateway, host=host or "127.0.0.1", port=int(port))
+        print(f"gateway listening on {server.host}:{server.port}")
+    streams = [
+        await gateway.submit(arrival.prompt, config)
+        for arrival in sort_arrivals(arrivals)
+    ]
+    import asyncio
+
+    totals = await asyncio.gather(*[s.collect() for s in streams])
+    if server is not None:
+        await server.close()
+    await gateway.stop()
+    _print_serve_report(manager, args.batch)
+    print(f"gateway ticks      : {gateway._loop_driver.ticks}")
+    print(f"tokens streamed    : {sum(len(t) for t in totals)}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a Poisson workload: replay simulation or streaming gateway."""
+    import asyncio
+
+    from repro.engine.generation import GenerationConfig
+    from repro.workloads.arrival import drive_manager
+
+    manager, arrivals = _serve_stack(args)
+    if args.gateway or args.listen:
+        return asyncio.run(_serve_gateway(args, manager, arrivals))
+    drive_manager(
+        manager, arrivals,
+        GenerationConfig(max_new_tokens=args.tokens, stop_on_eos=False),
+    )
+    _print_serve_report(manager, args.batch)
+    return 0
+
+
+def cmd_chat(args: argparse.Namespace) -> int:
+    """Stream one generation token-by-token from a gateway.
+
+    ``--connect HOST:PORT`` talks to a running ``serve --listen`` gateway;
+    ``--local`` spins up an in-process gateway + TCP server and chats with
+    it over loopback (the full wire path, no second process needed).
+    """
+    import asyncio
+
+    from repro.serving.client import GatewayClient
+
+    if not args.connect and not args.local:
+        print("repro chat: need --connect HOST:PORT or --local",
+              file=sys.stderr)
+        return 2
+    if args.prompt:
+        prompt = [int(t) for t in args.prompt.split()]
+    else:
+        from repro.workloads.datasets import make_dataset
+
+        dataset = make_dataset(args.dataset, vocab_size=96)
+        prompt = [int(t) for t in dataset.sample_prompt(max_len=12)]
+
+    async def chat(host: str, port: int) -> int:
+        client = await GatewayClient.connect(host, port)
+        print(f"prompt : {' '.join(str(t) for t in prompt)}")
+        print("tokens : ", end="", flush=True)
+        status, reason, count = "done", None, 0
+        async for event in client.generate(
+                prompt, max_new_tokens=args.tokens,
+                tenant=args.tenant, slo=args.slo, stop_on_eos=False):
+            kind = event.get("event")
+            if kind == "token":
+                print(event["token"], end=" ", flush=True)
+                count += 1
+            elif kind == "stall":
+                print("[stall]", end=" ", flush=True)
+            elif kind == "resume":
+                print("[resume]", end=" ", flush=True)
+            elif kind in ("failed", "rejected", "error"):
+                status, reason = str(kind), event.get("reason")
+        print()
+        await client.close()
+        if status != "done":
+            print(f"{status}: {reason}")
+            return 1
+        print(f"done   : {count} tokens")
+        return 0
+
+    async def local() -> int:
+        from repro.serving.gateway import ServingGateway
+        from repro.serving.manager import RequestManager
+        from repro.serving.transport import start_gateway_server
+
+        manager, _ = _serve_stack(args)
+        gateway = ServingGateway(manager)
+        await gateway.start()
+        server = await start_gateway_server(gateway)
+        try:
+            return await chat(server.host, server.port)
+        finally:
+            await server.close()
+            await gateway.stop()
+
+    if args.local:
+        return asyncio.run(local())
+    host, _, port = args.connect.rpartition(":")
+    return asyncio.run(chat(host or "127.0.0.1", int(port)))
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a gateway with concurrent async clients; print the report."""
+    import asyncio
+
+    from repro.obs import reset_observability
+    from repro.serving.loadgen import LoadgenSpec, run_loadgen
+
+    reset_observability()
+    spec = LoadgenSpec(
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        dataset=args.dataset,
+        max_new_tokens=args.tokens,
+        batch=args.batch,
+        seed=args.seed,
+        alignment=args.alignment,
+        tenants=tuple(args.tenants),
+        max_queue_depth=args.queue_depth,
+        rate_per_tick=args.rate_limit,
+        fault_rate=args.fault_rate,
+    )
+    report = asyncio.run(run_loadgen(spec))
+    print(report.render())
+    ok = (report.dropped == 0 and report.failed == 0
+          and report.final_queue_depth == 0
+          and report.peak_queue_depth <= report.queue_bound)
+    return 0 if ok else 1
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -417,7 +579,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dataset", default="Alpaca")
     serve.add_argument("--alignment", type=float, default=0.88)
     serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--gateway", action="store_true",
+                       help="serve through the async streaming gateway "
+                            "instead of the replay simulation")
+    serve.add_argument("--listen", metavar="HOST:PORT",
+                       help="also expose the gateway over TCP/JSONL while "
+                            "the workload drains (implies --gateway)")
     serve.set_defaults(handler=cmd_serve)
+
+    chat = sub.add_parser(
+        "chat", help="stream one generation from a serving gateway"
+    )
+    chat.add_argument("--connect", metavar="HOST:PORT",
+                      help="address of a running gateway server")
+    chat.add_argument("--local", action="store_true",
+                      help="spin up an in-process gateway and chat with it "
+                           "over loopback TCP")
+    chat.add_argument("--prompt", metavar="TOKENS",
+                      help="space-separated prompt token ids "
+                           "(default: sample from --dataset)")
+    chat.add_argument("--tokens", type=int, default=16)
+    chat.add_argument("--tenant", default="default")
+    chat.add_argument("--slo", choices=("interactive", "batch"),
+                      default="interactive")
+    chat.add_argument("--dataset", default="Alpaca")
+    chat.add_argument("--requests", type=int, default=1,
+                      help=argparse.SUPPRESS)  # _serve_stack compatibility
+    chat.add_argument("--rate", type=float, default=1.0,
+                      help=argparse.SUPPRESS)
+    chat.add_argument("--batch", type=int, default=4,
+                      help=argparse.SUPPRESS)
+    chat.add_argument("--alignment", type=float, default=0.88)
+    chat.add_argument("--seed", type=int, default=7)
+    chat.set_defaults(handler=cmd_chat)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a gateway with concurrent async clients",
+    )
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument("--requests-per-client", type=int, default=2)
+    loadgen.add_argument("--tokens", type=int, default=8)
+    loadgen.add_argument("--batch", type=int, default=4)
+    loadgen.add_argument("--dataset", default="Alpaca")
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--alignment", type=float, default=0.88)
+    loadgen.add_argument("--tenants", nargs="+", default=["alpha", "beta"])
+    loadgen.add_argument("--queue-depth", type=int, default=4,
+                         help="per-tenant admission queue bound")
+    loadgen.add_argument("--rate-limit", type=float, default=None,
+                         help="per-tenant admissions per tick")
+    loadgen.add_argument("--fault-rate", type=float, default=0.0,
+                         help="per-site fault-injection probability")
+    loadgen.set_defaults(handler=cmd_loadgen)
 
     models = sub.add_parser("models", help="list paper model descriptors")
     models.set_defaults(handler=cmd_models)

@@ -489,17 +489,26 @@ class TickOutcome:
 
     Attributes:
         state: The state the outcome describes.
-        emitted: Tokens appended to the request's output this tick.
+        emitted: Tokens appended to the request's output this tick — the
+            per-session committed-token *delta*, so streaming consumers
+            (the serving gateway) forward tokens without re-diffing state.
         advanced: Whether a verification step ran (exactly when a new
             :class:`StepTrace` was recorded).
         retired: Whether the fitter found no room this tick (the state's
             ``retired`` flag is set; it will report ``finished``).
+        committed_total: Tokens the state has committed *after* this tick
+            (``len(state.tokens)``) — the stream position the delta ends
+            at, stable across preemption re-incarnations.
+        finished: Whether the state reports finished after this tick (EOS,
+            budget, or retirement).
     """
 
     state: DecodeState
     emitted: List[int] = field(default_factory=list)
     advanced: bool = False
     retired: bool = False
+    committed_total: int = 0
+    finished: bool = False
 
 
 class DecodePipeline:
@@ -731,6 +740,9 @@ class DecodePipeline:
             _TICK_ALLOCS.inc(allocs)
             tick_span.set(advanced=len(results), tokens_emitted=emitted_total,
                           degraded=degraded, allocs=allocs)
+        for outcome in outcomes:
+            outcome.committed_total = len(outcome.state.tokens)
+            outcome.finished = outcome.state.finished
         return outcomes
 
     def run_to_completion(self, state: DecodeState) -> DecodeState:

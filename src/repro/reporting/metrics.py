@@ -34,15 +34,23 @@ def _histogram_detail(data: Dict[str, object]) -> str:
 
 
 def render_metrics_table(snapshot: Dict[str, Dict[str, object]],
-                         title: str = "metrics registry") -> str:
+                         title: str = "metrics registry",
+                         max_col_width: int = 40) -> str:
     """One row per metric, sorted by name (the snapshot's natural order).
 
     Args:
         snapshot: A :meth:`repro.obs.MetricsRegistry.snapshot` (or
             :meth:`delta`) mapping.
         title: Table title line.
+        max_col_width: Column width cap.  Metric names longer than the
+            cap (deeply dotted series like the per-SLO-class
+            ``repro.gateway.*`` histograms) and long histogram bucket
+            breakdowns wrap onto continuation lines at segment boundaries
+            instead of stretching every row in the table; ``0`` disables
+            wrapping.
     """
-    table = AsciiTable(["metric", "kind", "value", "detail"], title=title)
+    table = AsciiTable(["metric", "kind", "value", "detail"], title=title,
+                       max_col_width=max_col_width)
     for name in sorted(snapshot):
         data = snapshot[name]
         kind = data["kind"]

@@ -15,15 +15,54 @@ def format_float(value: float, digits: int = 2) -> str:
     return f"{value:.{digits}f}"
 
 
-class AsciiTable:
-    """A fixed-header ASCII table accumulated row by row."""
+def _wrap_cell(cell: str, width: int) -> List[str]:
+    """Split a cell into chunks of at most ``width`` characters.
 
-    def __init__(self, headers: Sequence[str], title: str = ""):
+    Prefers breaking after separator characters (``.``, ``_``, space) so
+    dotted metric names split at segment boundaries; falls back to a hard
+    break when no separator lands in the window.
+    """
+    if width < 1:
+        raise ValueError("wrap width must be >= 1")
+    chunks: List[str] = []
+    rest = cell
+    while len(rest) > width:
+        window = rest[: width + 1]
+        break_at = max(
+            window.rfind(sep, 1, width + 1) for sep in (".", "_", " ")
+        )
+        if break_at < 1:
+            break_at = width
+        chunks.append(rest[:break_at])
+        rest = rest[break_at:].lstrip(" ")
+    chunks.append(rest)
+    return chunks
+
+
+class AsciiTable:
+    """A fixed-header ASCII table accumulated row by row.
+
+    Args:
+        headers: Column headers.
+        title: Optional title line above the table.
+        max_col_width: When positive, caps every column at this many
+            characters: longer cells wrap onto continuation lines (the
+            row's other columns render blank there), so a single long
+            cell — e.g. a dotted metric name wider than the header —
+            cannot blow out the whole table's alignment or push rows past
+            the terminal width.
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "",
+                 max_col_width: int = 0):
         if not headers:
             raise ValueError("headers must be non-empty")
+        if max_col_width < 0:
+            raise ValueError("max_col_width must be >= 0")
         self.title = title
         self.headers = [str(h) for h in headers]
         self.rows: List[List[str]] = []
+        self.max_col_width = max_col_width
 
     def add_row(self, *cells: object) -> None:
         """Append a row; cell count must match the header."""
@@ -33,11 +72,28 @@ class AsciiTable:
             )
         self.rows.append([str(c) for c in cells])
 
+    def _wrapped(self, cells: Sequence[str]) -> List[List[str]]:
+        """One logical row as physical lines (cells chunked to the cap)."""
+        chunked = [_wrap_cell(c, self.max_col_width) for c in cells]
+        depth = max(len(chunks) for chunks in chunked)
+        return [
+            [chunks[k] if k < len(chunks) else "" for chunks in chunked]
+            for k in range(depth)
+        ]
+
     def render(self) -> str:
         """The table as a string."""
-        widths = [len(h) for h in self.headers]
-        for row in self.rows:
-            for i, cell in enumerate(row):
+        physical: List[List[str]] = []
+        header_lines = [self.headers]
+        if self.max_col_width:
+            header_lines = self._wrapped(self.headers)
+            for row in self.rows:
+                physical.extend(self._wrapped(row))
+        else:
+            physical = list(self.rows)
+        widths = [0] * len(self.headers)
+        for line in header_lines + physical:
+            for i, cell in enumerate(line):
                 widths[i] = max(widths[i], len(cell))
 
         def fmt(cells: Sequence[str]) -> str:
@@ -46,9 +102,9 @@ class AsciiTable:
         lines = []
         if self.title:
             lines.append(self.title)
-        lines.append(fmt(self.headers))
+        lines.extend(fmt(line) for line in header_lines)
         lines.append("-+-".join("-" * w for w in widths))
-        lines.extend(fmt(row) for row in self.rows)
+        lines.extend(fmt(row) for row in physical)
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -14,6 +14,19 @@
   priority).
 * :mod:`repro.serving.memory` -- KV-cache memory pool and admission control.
 * :mod:`repro.serving.metrics` -- TTFT / TPOT / throughput reporting.
+* :mod:`repro.serving.gateway` -- the async streaming gateway: bounded
+  per-tenant admission queues, weighted round-robin with rate limits, two
+  SLO classes, and per-request token streams over the synchronous core.
+* :mod:`repro.serving.loop` -- the gateway's asyncio driver and SLO-class
+  tick scheduler.
+* :mod:`repro.serving.transport` / :mod:`repro.serving.client` -- the
+  localhost TCP/JSONL transport and its streaming client.
+* :mod:`repro.serving.loadgen` -- concurrent async load generator
+  (``repro loadgen``).
+
+The manager is the pure *synchronous core* (admit / step / retire — used
+directly by the replay path); the gateway layers live admission policy and
+streaming on top.  See ``docs/serving_gateway.md``.
 """
 
 from repro.engine.pipeline import (
@@ -29,6 +42,17 @@ from repro.serving.session import (
     SpeculativeSession,
 )
 from repro.serving.batched_manager import BatchedRequestManager
+from repro.serving.gateway import (
+    AdmissionError,
+    GatewayConfig,
+    GatewayRequestFailed,
+    ServingGateway,
+    SloClass,
+    StreamEvent,
+    TenantConfig,
+    TokenStream,
+)
+from repro.serving.loop import GatewayLoop, SloScheduler
 from repro.serving.manager import IterationStats, RequestManager
 from repro.serving.memory import KvMemoryPool, KvReservation
 from repro.serving.metrics import (
@@ -76,4 +100,14 @@ __all__ = [
     "preempt_newest_first",
     "preempt_oldest_first",
     "make_preemption_policy",
+    "AdmissionError",
+    "GatewayConfig",
+    "GatewayLoop",
+    "GatewayRequestFailed",
+    "ServingGateway",
+    "SloClass",
+    "SloScheduler",
+    "StreamEvent",
+    "TenantConfig",
+    "TokenStream",
 ]

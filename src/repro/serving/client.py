@@ -1,0 +1,152 @@
+"""Streaming TCP client for the serving gateway.
+
+The consumer half of :mod:`repro.serving.transport`'s JSONL protocol:
+:class:`GatewayClient` opens one connection, sends request lines, and
+yields the streamed event records as they arrive — so a CLI chat session
+(or a load generator running many clients concurrently) observes tokens
+with the same incremental cadence the gateway commits them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional, Sequence
+
+from repro.serving.transport import decode_line, encode_line
+
+_TERMINAL_EVENTS = ("done", "failed", "rejected", "error")
+
+
+class GatewayClientError(RuntimeError):
+    """The server closed the connection or broke protocol."""
+
+
+@dataclass
+class GenerationStream:
+    """Result of one streamed generation as observed by a client.
+
+    Attributes:
+        tokens: Tokens received, in order.
+        events: Every wire event, in order (including the terminal one).
+        status: Terminal event kind — ``done``, ``failed``, ``rejected``,
+            or ``error``.
+        reason: Terminal reason for non-``done`` outcomes.
+        stalls: Mid-stream stalls observed (preemptions survived).
+    """
+
+    tokens: List[int] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    status: str = "done"
+    reason: Optional[str] = None
+    stalls: int = 0
+
+
+class GatewayClient:
+    """One TCP/JSONL connection to a running gateway server.
+
+    Usage::
+
+        client = await GatewayClient.connect(host, port)
+        async for event in client.generate(prompt, max_new_tokens=16):
+            ...
+        await client.close()
+
+    Requests on one client are sequential (one stream at a time per
+    connection); concurrency comes from running many clients.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "GatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def ping(self) -> bool:
+        """Liveness check; True iff the server answers ``pong``."""
+        self._writer.write(encode_line({"op": "ping"}))
+        await self._writer.drain()
+        record = await self._read_event()
+        return record.get("event") == "pong"
+
+    async def generate(
+        self,
+        prompt: Sequence[int],
+        max_new_tokens: Optional[int] = None,
+        tenant: str = "default",
+        slo: str = "interactive",
+        stop_on_eos: Optional[bool] = None,
+    ) -> AsyncIterator[Dict[str, object]]:
+        """Stream one generation; yields wire events up to the terminal one.
+
+        The first yielded event is the response header (``accepted`` or
+        ``rejected``); a ``rejected`` header is terminal.
+        """
+        request: Dict[str, object] = {
+            "op": "generate",
+            "prompt": [int(t) for t in prompt],
+            "tenant": tenant,
+            "slo": slo,
+        }
+        if max_new_tokens is not None:
+            request["max_new_tokens"] = int(max_new_tokens)
+        if stop_on_eos is not None:
+            request["stop_on_eos"] = bool(stop_on_eos)
+        self._writer.write(encode_line(request))
+        await self._writer.drain()
+        while True:
+            record = await self._read_event()
+            yield record
+            if record.get("event") in _TERMINAL_EVENTS:
+                return
+
+    async def collect(
+        self,
+        prompt: Sequence[int],
+        max_new_tokens: Optional[int] = None,
+        tenant: str = "default",
+        slo: str = "interactive",
+        stop_on_eos: Optional[bool] = None,
+    ) -> GenerationStream:
+        """Run one generation to completion; returns the full stream."""
+        result = GenerationStream()
+        async for record in self.generate(prompt, max_new_tokens,
+                                          tenant=tenant, slo=slo,
+                                          stop_on_eos=stop_on_eos):
+            result.events.append(record)
+            kind = record.get("event")
+            if kind == "token":
+                result.tokens.append(int(record["token"]))
+            elif kind == "stall":
+                result.stalls += 1
+            if kind in _TERMINAL_EVENTS:
+                result.status = str(kind)
+                reason = record.get("reason")
+                result.reason = str(reason) if reason is not None else None
+        return result
+
+    async def _read_event(self) -> Dict[str, object]:
+        line = await self._reader.readline()
+        if not line:
+            raise GatewayClientError("server closed the connection")
+        try:
+            return decode_line(line)
+        except ValueError as exc:
+            raise GatewayClientError(f"malformed server line: {exc}") from exc

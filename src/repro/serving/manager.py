@@ -91,6 +91,13 @@ class IterationStats:
         llm_tokens_scored: Token positions scored across the batch.
         admitted: Requests admitted this iteration.
         finished: Requests retired this iteration.
+        emissions: Per-request committed-token deltas this iteration —
+            ``{request_id: [token, ...]}`` for every request that emitted.
+            This is what the streaming gateway forwards to clients, so
+            consumers never re-diff session state.
+        finished_ids: Requests retired (FINISHED) this iteration.
+        preempted_ids: Requests preempted and requeued this iteration.
+        failed_ids: Requests terminally FAILED this iteration.
     """
 
     iteration: int
@@ -99,6 +106,10 @@ class IterationStats:
     llm_tokens_scored: int
     admitted: int
     finished: int
+    emissions: Dict[int, List[int]] = field(default_factory=dict)
+    finished_ids: List[int] = field(default_factory=list)
+    preempted_ids: List[int] = field(default_factory=list)
+    failed_ids: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -199,6 +210,11 @@ class RequestManager:
         self._tracked: Dict[int, _Tracked] = {}
         self._waiting: List[int] = []
         self._running: List[int] = []
+        #: Lifecycle events since the last recorded iteration; drained into
+        #: the next :class:`IterationStats` (preempt/fail may also be
+        #: triggered between iterations by an external driver).
+        self._preempted_events: List[int] = []
+        self._failed_events: List[int] = []
 
     # -- submission ------------------------------------------------------------
 
@@ -233,53 +249,120 @@ class RequestManager:
     def has_work(self) -> bool:
         return bool(self._waiting or self._running)
 
-    def run_iteration(self) -> IterationStats:
-        """One scheduler iteration: admit, advance, retire."""
+    @property
+    def free_slots(self) -> int:
+        """Batch slots currently unoccupied (admission headroom)."""
+        return self.max_batch_size - len(self._running)
+
+    def can_reserve(self, prompt_len: int, max_new_tokens: int) -> bool:
+        """Would a request of this shape pass the KV admission check now?
+
+        The gateway's admission control asks this *before* submitting, so
+        requests that cannot hold a KV reservation stay in the gateway's
+        own queues instead of piling up in the manager.
+        """
+        if self.memory_pool is None:
+            return True
+        tokens = prompt_len + max_new_tokens + self.kv_headroom
+        return self.memory_pool.can_admit(tokens)
+
+    def run_iteration(self, only: Optional[Sequence[int]] = None
+                      ) -> IterationStats:
+        """One scheduler iteration: admit, advance, retire.
+
+        Args:
+            only: Optional subset of running request ids to advance this
+                iteration (SLO-class scheduling); other running requests
+                keep their slots and reservations but do not decode.
+        """
         with TRACER.span("repro.serving.iteration",
                          iteration=self.iteration) as span:
             admitted = self._admit()
-            if self.injector is not None:
-                self._apply_kv_pressure()
-            batch_size = len(self._running)
-            if self.backend is None:
-                tokens_emitted, llm_tokens, finished_ids = self._advance_each()
-            else:
-                tokens_emitted, llm_tokens, finished_ids = self._advance_fused()
-            for request_id in finished_ids:
-                self._retire(request_id)
-            stats = IterationStats(
-                iteration=self.iteration,
-                batch_size=batch_size,
-                tokens_emitted=tokens_emitted,
-                llm_tokens_scored=llm_tokens,
-                admitted=admitted,
-                finished=len(finished_ids),
-            )
-            span.set(batch=batch_size, admitted=admitted,
-                     finished=len(finished_ids),
-                     tokens_emitted=tokens_emitted)
-        _ITERATIONS.inc()
-        _TOKENS.inc(tokens_emitted)
-        _SCORED.inc(llm_tokens)
-        _RUNNING.set(len(self._running))
-        _WAITING.set(len(self._waiting))
-        if batch_size:
-            _OCCUPANCY.observe(batch_size)
-        self.iteration_stats.append(stats)
-        self.iteration += 1
+            stats = self._advance_and_retire(admitted, only, span)
+        self._record_iteration(stats)
         return stats
 
-    def _schedulable(self) -> List[int]:
+    def admit(self) -> int:
+        """Admission phase alone (sync-core surface): fill free batch
+        slots from the waiting queue; returns the number admitted."""
+        return self._admit()
+
+    def step(self, only: Optional[Sequence[int]] = None) -> IterationStats:
+        """Advance + retire without admission (sync-core surface).
+
+        The async gateway drives the manager through :meth:`admit` /
+        :meth:`step` so admission policy lives outside the core; the
+        replay path keeps using :meth:`run_iteration`.
+        """
+        with TRACER.span("repro.serving.iteration",
+                         iteration=self.iteration) as span:
+            stats = self._advance_and_retire(0, only, span)
+        self._record_iteration(stats)
+        return stats
+
+    def _advance_and_retire(self, admitted: int,
+                            only: Optional[Sequence[int]],
+                            span) -> IterationStats:
+        """The advance/retire body shared by :meth:`run_iteration` and
+        :meth:`step` (runs inside the iteration trace span)."""
+        if self.injector is not None:
+            self._apply_kv_pressure()
+        batch_size = len(self._running)
+        if self.backend is None:
+            tokens_emitted, llm_tokens, finished_ids, emissions = \
+                self._advance_each(only)
+        else:
+            tokens_emitted, llm_tokens, finished_ids, emissions = \
+                self._advance_fused(only)
+        for request_id in finished_ids:
+            self._retire(request_id)
+        stats = IterationStats(
+            iteration=self.iteration,
+            batch_size=batch_size,
+            tokens_emitted=tokens_emitted,
+            llm_tokens_scored=llm_tokens,
+            admitted=admitted,
+            finished=len(finished_ids),
+            emissions=emissions,
+            finished_ids=finished_ids,
+            preempted_ids=self._preempted_events,
+            failed_ids=self._failed_events,
+        )
+        self._preempted_events = []
+        self._failed_events = []
+        span.set(batch=batch_size, admitted=admitted,
+                 finished=len(finished_ids),
+                 tokens_emitted=tokens_emitted)
+        return stats
+
+    def _record_iteration(self, stats: IterationStats) -> None:
+        """Metrics + the iteration log, then advance the logical clock."""
+        _ITERATIONS.inc()
+        _TOKENS.inc(stats.tokens_emitted)
+        _SCORED.inc(stats.llm_tokens_scored)
+        _RUNNING.set(len(self._running))
+        _WAITING.set(len(self._waiting))
+        if stats.batch_size:
+            _OCCUPANCY.observe(stats.batch_size)
+        self.iteration_stats.append(stats)
+        self.iteration += 1
+
+    def _schedulable(self, only: Optional[Sequence[int]] = None) -> List[int]:
         """Running requests that advance this iteration.
 
         Applies the failure paths before any session touches the model:
         requests backing off after a transient fault are skipped (they keep
         their slot and reservation), and injected session faults are
         absorbed here — bounded retry with exponential
-        backoff-in-iterations, then terminal ``FAILED``.
+        backoff-in-iterations, then terminal ``FAILED``.  With ``only``
+        set, requests outside the subset are skipped without consuming
+        fault-injection draws (they simply do not decode this iteration).
         """
+        subset = set(only) if only is not None else None
         ready: List[int] = []
         for request_id in list(self._running):
+            if subset is not None and request_id not in subset:
+                continue
             tracked = self._tracked[request_id]
             if tracked.cooldown_until > self.iteration:
                 continue
@@ -292,12 +375,15 @@ class RequestManager:
             ready.append(request_id)
         return ready
 
-    def _advance_each(self) -> Tuple[int, int, List[int]]:
+    def _advance_each(
+        self, only: Optional[Sequence[int]] = None,
+    ) -> Tuple[int, int, List[int], Dict[int, List[int]]]:
         """Per-request serving: each session steps through its own pipeline."""
         tokens_emitted = 0
         llm_tokens = 0
         finished_ids: List[int] = []
-        for request_id in self._schedulable():
+        emissions: Dict[int, List[int]] = {}
+        for request_id in self._schedulable(only):
             tracked = self._tracked[request_id]
             session = tracked.session
             steps_before = len(session.steps)
@@ -309,15 +395,19 @@ class RequestManager:
                 # emits nothing and records no trace, and re-reading the
                 # previous trace would double-count its scored tokens.
                 llm_tokens += session.steps[-1].llm_tokens_scored
+            if emitted:
+                emissions[request_id] = list(emitted)
             self._note_emission(tracked, emitted)
             if session.finished:
                 finished_ids.append(request_id)
-        return tokens_emitted, llm_tokens, finished_ids
+        return tokens_emitted, llm_tokens, finished_ids, emissions
 
-    def _advance_fused(self) -> Tuple[int, int, List[int]]:
+    def _advance_fused(
+        self, only: Optional[Sequence[int]] = None,
+    ) -> Tuple[int, int, List[int], Dict[int, List[int]]]:
         """Batched serving: one pipeline tick verifies every session's tree
         through the shared backend."""
-        scheduled = self._schedulable()
+        scheduled = self._schedulable(only)
         sessions: List[DecodeSession] = []
         for request_id in scheduled:
             session = self._tracked[request_id].session
@@ -331,15 +421,18 @@ class RequestManager:
         tokens_emitted = 0
         llm_tokens = 0
         finished_ids: List[int] = []
+        emissions: Dict[int, List[int]] = {}
         for request_id, session, outcome in zip(scheduled, sessions, outcomes):
             self._tracked[request_id].retry_streak = 0
             tokens_emitted += len(outcome.emitted)
             if outcome.advanced:
                 llm_tokens += session.steps[-1].llm_tokens_scored
+            if outcome.emitted:
+                emissions[request_id] = list(outcome.emitted)
             self._note_emission(self._tracked[request_id], outcome.emitted)
             if session.finished:
                 finished_ids.append(request_id)
-        return tokens_emitted, llm_tokens, finished_ids
+        return tokens_emitted, llm_tokens, finished_ids, emissions
 
     def _note_emission(self, tracked: _Tracked, emitted: List[int]) -> None:
         if emitted and tracked.output.first_token_iteration is None:
@@ -434,6 +527,7 @@ class RequestManager:
         self._drop_session(request_id)
         tracked.request.state = RequestState.WAITING
         self._waiting.append(request_id)
+        self._preempted_events.append(request_id)
         _PREEMPTIONS.inc()
         TRACER.event(
             "repro.serving.preempt",
@@ -498,6 +592,7 @@ class RequestManager:
             self._drop_session(request_id)
         elif request_id in self._waiting:
             self._waiting.remove(request_id)
+        self._failed_events.append(request_id)
         _FAILED.inc()
         TRACER.event(
             "repro.serving.fail",

@@ -1,0 +1,190 @@
+"""Localhost TCP/JSONL transport for the serving gateway.
+
+Wire protocol (newline-delimited JSON, one connection per client):
+
+* Client → server, one line per request::
+
+      {"op": "generate", "prompt": [1, 2, 3], "max_new_tokens": 16,
+       "stop_on_eos": true, "tenant": "alpha", "slo": "interactive"}
+
+  (``op: "ping"`` answers ``{"event": "pong"}`` — liveness check.)
+
+* Server → client, a response header then the event stream::
+
+      {"event": "accepted"}            # queued at the gateway
+      {"event": "rejected", "reason": "queue_full"}   # admission refused
+      {"event": "token", "token": 17, "index": 0}
+      {"event": "stall", "reason": "preempted"}
+      {"event": "resume"}
+      {"event": "done", "tokens": 8, "request_id": 3}
+      {"event": "failed", "reason": "..."}
+
+  ``done`` / ``failed`` / ``rejected`` terminate the stream for that
+  request; the connection stays open for the next request line.
+
+The stream events are exactly the gateway's
+:class:`~repro.serving.gateway.StreamEvent` records
+(:meth:`~repro.serving.gateway.StreamEvent.to_wire`), so in-process and
+TCP clients observe identical sequences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from repro.engine.generation import GenerationConfig
+from repro.obs import REGISTRY
+from repro.serving.gateway import AdmissionError, ServingGateway
+
+_CONNECTIONS = REGISTRY.counter(
+    "repro.gateway.transport_connections",
+    help="TCP client connections accepted by the gateway transport")
+_PROTOCOL_ERRORS = REGISTRY.counter(
+    "repro.gateway.transport_protocol_errors",
+    help="malformed request lines rejected by the gateway transport")
+
+
+def encode_line(record: Dict[str, object]) -> bytes:
+    """One wire line: canonical JSON + newline."""
+    return json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one wire line; raises ``ValueError`` on malformed input."""
+    record = json.loads(line.decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError("wire record must be a JSON object")
+    return record
+
+
+class GatewayServer:
+    """A running TCP front end over one :class:`ServingGateway`.
+
+    Obtain via :func:`start_gateway_server`; ``host``/``port`` give the
+    bound address (port 0 requests an ephemeral port).
+    """
+
+    def __init__(self, gateway: ServingGateway,
+                 server: asyncio.AbstractServer):
+        self.gateway = gateway
+        self._server = server
+        sockname = server.sockets[0].getsockname()
+        self.host: str = sockname[0]
+        self.port: int = sockname[1]
+
+    async def close(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def __aenter__(self) -> "GatewayServer":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+async def start_gateway_server(
+    gateway: ServingGateway,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> GatewayServer:
+    """Serve ``gateway`` over TCP/JSONL; returns the bound server."""
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        _CONNECTIONS.inc()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                except ValueError:
+                    _PROTOCOL_ERRORS.inc()
+                    writer.write(encode_line(
+                        {"event": "error", "reason": "malformed_request"}))
+                    await writer.drain()
+                    continue
+                await _serve_request(gateway, request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    server = await asyncio.start_server(handle, host=host, port=port)
+    return GatewayServer(gateway, server)
+
+
+async def _serve_request(gateway: ServingGateway,
+                         request: Dict[str, object],
+                         writer: asyncio.StreamWriter) -> None:
+    """Handle one request line: submit, then relay the stream."""
+    op = request.get("op", "generate")
+    if op == "ping":
+        writer.write(encode_line({"event": "pong"}))
+        await writer.drain()
+        return
+    if op != "generate":
+        _PROTOCOL_ERRORS.inc()
+        writer.write(encode_line(
+            {"event": "error", "reason": f"unknown_op:{op}"}))
+        await writer.drain()
+        return
+    prompt = request.get("prompt")
+    if not isinstance(prompt, list) or not all(
+            isinstance(t, int) for t in prompt):
+        _PROTOCOL_ERRORS.inc()
+        writer.write(encode_line(
+            {"event": "error", "reason": "prompt must be a list of ints"}))
+        await writer.drain()
+        return
+    config = _generation_config(request)
+    try:
+        stream = await gateway.submit(
+            prompt,
+            config,
+            tenant=str(request.get("tenant", "default")),
+            slo=str(request.get("slo", "interactive")),
+        )
+    except AdmissionError as exc:
+        writer.write(encode_line({"event": "rejected", "reason": exc.reason}))
+        await writer.drain()
+        return
+    except ValueError as exc:
+        _PROTOCOL_ERRORS.inc()
+        writer.write(encode_line({"event": "error", "reason": str(exc)}))
+        await writer.drain()
+        return
+    writer.write(encode_line({"event": "accepted"}))
+    await writer.drain()
+    emitted = 0
+    async for event in stream:
+        record = event.to_wire()
+        if event.kind == "token":
+            emitted += 1
+        elif event.kind == "done":
+            record["tokens"] = emitted
+            if stream.request_id is not None:
+                record["request_id"] = stream.request_id
+        writer.write(encode_line(record))
+        await writer.drain()
+
+
+def _generation_config(request: Dict[str, object]) -> Optional[GenerationConfig]:
+    max_new_tokens = request.get("max_new_tokens")
+    stop_on_eos = request.get("stop_on_eos")
+    if max_new_tokens is None and stop_on_eos is None:
+        return None
+    kwargs: Dict[str, object] = {}
+    if max_new_tokens is not None:
+        kwargs["max_new_tokens"] = int(max_new_tokens)
+    if stop_on_eos is not None:
+        kwargs["stop_on_eos"] = bool(stop_on_eos)
+    return GenerationConfig(**kwargs)

@@ -17,6 +17,7 @@ from repro.workloads.arrival import (
     PoissonArrivals,
     UniformArrivals,
     drive_manager,
+    sort_arrivals,
 )
 from repro.workloads.conversation import (
     Conversation,
@@ -41,6 +42,7 @@ __all__ = [
     "PoissonArrivals",
     "UniformArrivals",
     "drive_manager",
+    "sort_arrivals",
     "Conversation",
     "ConversationBuilder",
     "ConversationResult",

@@ -22,10 +22,26 @@ class Arrival:
     Attributes:
         iteration: Scheduler iteration at which the request arrives.
         prompt: The request's prompt tokens.
+        request_id: Stable tie-break key for arrivals that share an
+            iteration — the schedule's draw order.  Simultaneous arrivals
+            are submitted in ``(iteration, request_id)`` order everywhere
+            (replay and gateway admission), so the submission order cannot
+            drift with platform-dependent sort behavior.
     """
 
     iteration: int
     prompt: np.ndarray
+    request_id: int = 0
+
+
+def sort_arrivals(arrivals: List[Arrival]) -> List[Arrival]:
+    """Arrivals in canonical submission order: ``(iteration, request_id)``.
+
+    Every consumer of a schedule (the replay driver, the gateway's load
+    generators) must order simultaneous arrivals identically or admission
+    order — and therefore queueing metrics — diverges between them.
+    """
+    return sorted(arrivals, key=lambda a: (a.iteration, a.request_id))
 
 
 class PoissonArrivals:
@@ -53,18 +69,23 @@ class PoissonArrivals:
 
         Inter-arrival gaps are exponential with mean ``1 / rate``; times are
         floored to integer iterations (multiple arrivals may share one).
+        Simultaneous arrivals are tie-broken by the stable
+        ``(iteration, request_id)`` key — ``request_id`` is the RNG draw
+        order — so replay and gateway admission agree on submission order
+        across platforms.
         """
         if num_requests < 1:
             raise ValueError("num_requests must be >= 1")
         gaps = self._rng.exponential(1.0 / self.rate, size=num_requests)
         times = np.floor(np.cumsum(gaps)).astype(int)
-        return [
+        return sort_arrivals([
             Arrival(
                 iteration=int(t),
                 prompt=self.dataset.sample_prompt(max_len=self.max_prompt_len),
+                request_id=i,
             )
-            for t in times
-        ]
+            for i, t in enumerate(times)
+        ])
 
 
 class UniformArrivals:
@@ -84,6 +105,7 @@ class UniformArrivals:
             Arrival(
                 iteration=i * self.gap,
                 prompt=self.dataset.sample_prompt(max_len=self.max_prompt_len),
+                request_id=i,
             )
             for i in range(num_requests)
         ]
@@ -100,7 +122,7 @@ def drive_manager(manager, arrivals: List[Arrival], config=None,
     from repro.engine.generation import GenerationConfig
 
     config = config or GenerationConfig()
-    pending = sorted(arrivals, key=lambda a: a.iteration)
+    pending = sort_arrivals(arrivals)
     ids: List[int] = []
     i = 0
     while i < len(pending):

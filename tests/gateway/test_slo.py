@@ -1,0 +1,129 @@
+"""SLO classes: scheduler policy unit tests + end-to-end tick shaping."""
+
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.obs import REGISTRY
+from repro.serving.gateway import ServingGateway, SloClass
+from repro.serving.loop import SloScheduler
+
+from tests.gateway.conftest import build_manager
+
+
+class _Req:
+    """Minimal stand-in for the gateway's request view."""
+
+    def __init__(self, request_id, slo, warmed=False):
+        self.request_id = request_id
+        self.slo = slo
+        self.first_token_at = 0.0 if warmed else None
+
+
+class TestSloClassParse:
+    def test_parses_strings_and_passthrough(self):
+        assert SloClass.parse("interactive") is SloClass.INTERACTIVE
+        assert SloClass.parse("BATCH") is SloClass.BATCH
+        assert SloClass.parse(SloClass.BATCH) is SloClass.BATCH
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SloClass.parse("platinum")
+
+
+class TestSloSchedulerPolicy:
+    def test_cold_interactive_with_batch_present_gets_subset(self):
+        scheduler = SloScheduler()
+        running = [
+            _Req(0, SloClass.BATCH, warmed=True),
+            _Req(1, SloClass.INTERACTIVE),
+            _Req(2, SloClass.INTERACTIVE, warmed=True),
+        ]
+        # Subset = every interactive request, cold or warm: the warm ones
+        # ride along so the small tick still makes progress for them.
+        assert scheduler.select(running) == [1, 2]
+
+    def test_all_warm_runs_full_batch(self):
+        scheduler = SloScheduler()
+        running = [
+            _Req(0, SloClass.BATCH, warmed=True),
+            _Req(1, SloClass.INTERACTIVE, warmed=True),
+        ]
+        assert scheduler.select(running) is None
+
+    def test_interactive_only_batch_runs_full(self):
+        scheduler = SloScheduler()
+        assert scheduler.select([_Req(0, SloClass.INTERACTIVE)]) is None
+
+    def test_batch_only_runs_full(self):
+        scheduler = SloScheduler()
+        assert scheduler.select(
+            [_Req(0, SloClass.BATCH), _Req(1, SloClass.BATCH)]) is None
+
+    def test_starvation_bound_forces_a_full_tick(self):
+        scheduler = SloScheduler(max_interactive_only_ticks=2)
+        running = [
+            _Req(0, SloClass.BATCH, warmed=True),
+            _Req(1, SloClass.INTERACTIVE),
+        ]
+        assert scheduler.select(running) == [1]
+        assert scheduler.select(running) == [1]
+        # Bound reached: the batch request gets its full tick ...
+        assert scheduler.select(running) is None
+        # ... and the counter resets, so small ticks may resume.
+        assert scheduler.select(running) == [1]
+
+    def test_zero_bound_disables_interactive_ticks(self):
+        scheduler = SloScheduler(max_interactive_only_ticks=0)
+        running = [
+            _Req(0, SloClass.BATCH, warmed=True),
+            _Req(1, SloClass.INTERACTIVE),
+        ]
+        assert scheduler.select(running) is None
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            SloScheduler(max_interactive_only_ticks=-1)
+
+
+class TestSloEndToEnd:
+    async def test_interactive_ticks_run_and_everything_completes(
+            self, llm, prompts):
+        interactive_ticks = REGISTRY.counter(
+            "repro.gateway.interactive_ticks")
+        full_ticks = REGISTRY.counter("repro.gateway.full_ticks")
+        before_interactive = interactive_ticks.value
+        before_full = full_ticks.value
+        manager = build_manager(llm, batch=4)
+        gateway = ServingGateway(manager)
+        config = GenerationConfig(max_new_tokens=8, stop_on_eos=False)
+        streams = [
+            await gateway.submit(p, config,
+                                 slo=SloClass.BATCH if i < 2
+                                 else SloClass.INTERACTIVE)
+            for i, p in enumerate(prompts[:4])
+        ]
+        await gateway.start()
+        await gateway.stop(drain=True)
+        for stream in streams:
+            assert len(await stream.collect()) == 8
+        # The cold interactive pair triggered TTFT-optimized small ticks,
+        # and the batch pair still finished (no starvation).
+        assert interactive_ticks.value > before_interactive
+        assert full_ticks.value > before_full
+
+    async def test_first_token_unblocks_interactive_ticks(
+            self, llm, prompts):
+        """Once every interactive request is warm, ticks are full-batch
+        again — small ticks are strictly a TTFT instrument."""
+        manager = build_manager(llm, batch=2)
+        gateway = ServingGateway(manager)
+        config = GenerationConfig(max_new_tokens=4, stop_on_eos=False)
+        batch_stream = await gateway.submit(
+            prompts[0], config, slo=SloClass.BATCH)
+        inter_stream = await gateway.submit(
+            prompts[1], config, slo=SloClass.INTERACTIVE)
+        await gateway.start()
+        await gateway.stop(drain=True)
+        assert len(await batch_stream.collect()) == 4
+        assert len(await inter_stream.collect()) == 4
+        assert gateway._scheduler._consecutive_interactive == 0

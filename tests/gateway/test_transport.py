@@ -1,0 +1,197 @@
+"""TCP/JSONL transport: wire protocol, error handling, client parity."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.obs import REGISTRY
+from repro.serving.client import GatewayClient, GatewayClientError
+from repro.serving.gateway import GatewayConfig, ServingGateway, TenantConfig
+from repro.serving.transport import (
+    decode_line,
+    encode_line,
+    start_gateway_server,
+)
+
+from tests.gateway.conftest import build_manager, replay_reference
+
+
+async def _stack(llm, gateway_config=None, **manager_kwargs):
+    gateway = ServingGateway(build_manager(llm, **manager_kwargs),
+                             gateway_config)
+    await gateway.start()
+    server = await start_gateway_server(gateway)
+    return gateway, server
+
+
+class TestWireCodec:
+    def test_round_trip_is_canonical(self):
+        line = encode_line({"b": 2, "a": 1})
+        assert line == b'{"a": 1, "b": 2}\n'
+        assert decode_line(line) == {"a": 1, "b": 2}
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            decode_line(b"[1, 2]\n")
+        with pytest.raises(ValueError):
+            decode_line(b"not json\n")
+
+
+class TestTransport:
+    async def test_ping(self, llm):
+        gateway, server = await _stack(llm)
+        try:
+            async with await GatewayClient.connect(
+                    server.host, server.port) as client:
+                assert await client.ping()
+        finally:
+            await server.close()
+            await gateway.stop()
+
+    async def test_generate_streams_tokens_then_done(self, llm, prompts):
+        reference = replay_reference(
+            llm, prompts[:1],
+            GenerationConfig(max_new_tokens=8, stop_on_eos=False))[0]
+        gateway, server = await _stack(llm)
+        try:
+            async with await GatewayClient.connect(
+                    server.host, server.port) as client:
+                result = await client.collect(
+                    prompts[0], max_new_tokens=8, stop_on_eos=False)
+        finally:
+            await server.close()
+            await gateway.stop()
+        assert result.status == "done"
+        assert result.tokens == reference
+        assert result.events[0] == {"event": "accepted"}
+        done = result.events[-1]
+        assert done["tokens"] == len(reference)
+        assert isinstance(done["request_id"], int)
+        indices = [e["index"] for e in result.events
+                   if e.get("event") == "token"]
+        assert indices == list(range(len(reference)))
+
+    async def test_sequential_requests_share_a_connection(
+            self, llm, prompts):
+        gateway, server = await _stack(llm)
+        try:
+            async with await GatewayClient.connect(
+                    server.host, server.port) as client:
+                first = await client.collect(prompts[0], max_new_tokens=4,
+                                             stop_on_eos=False)
+                second = await client.collect(prompts[1], max_new_tokens=4,
+                                              stop_on_eos=False)
+        finally:
+            await server.close()
+            await gateway.stop()
+        assert first.status == second.status == "done"
+        assert len(first.tokens) == len(second.tokens) == 4
+
+    async def test_rejected_request_is_terminal_not_fatal(
+            self, llm, prompts):
+        config = GatewayConfig(
+            tenants={"a": TenantConfig(name="a")}, auto_tenants=False)
+        gateway, server = await _stack(llm, gateway_config=config)
+        try:
+            async with await GatewayClient.connect(
+                    server.host, server.port) as client:
+                rejected = await client.collect(
+                    prompts[0], max_new_tokens=4, tenant="ghost")
+                assert rejected.status == "rejected"
+                assert rejected.reason == "unknown_tenant"
+                # The connection survives a reject: the next request works.
+                ok = await client.collect(prompts[0], max_new_tokens=4,
+                                          stop_on_eos=False, tenant="a")
+                assert ok.status == "done"
+        finally:
+            await server.close()
+            await gateway.stop()
+
+    async def test_malformed_lines_answer_error_and_keep_connection(
+            self, llm, prompts):
+        errors = REGISTRY.counter(
+            "repro.gateway.transport_protocol_errors")
+        before = errors.value
+        gateway, server = await _stack(llm)
+        try:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port)
+            try:
+                for bad in (b"not json\n",
+                            b"[1, 2]\n",
+                            encode_line({"op": "teleport"}),
+                            encode_line({"op": "generate",
+                                         "prompt": "oops"}),
+                            encode_line({"op": "generate",
+                                         "prompt": [1, "x"]})):
+                    writer.write(bad)
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    assert reply["event"] == "error"
+                # Still alive afterwards.
+                writer.write(encode_line({"op": "ping"}))
+                await writer.drain()
+                assert json.loads(await reader.readline()) == \
+                    {"event": "pong"}
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        finally:
+            await server.close()
+            await gateway.stop()
+        assert errors.value == before + 5
+
+    async def test_closed_server_refuses_new_connections(self, llm):
+        gateway, server = await _stack(llm)
+        try:
+            async with await GatewayClient.connect(
+                    server.host, server.port) as client:
+                assert await client.ping()
+        finally:
+            await server.close()
+            await gateway.stop()
+        with pytest.raises(OSError):
+            await GatewayClient.connect(server.host, server.port)
+
+    async def test_client_error_on_malformed_server_line(self):
+        async def bad_server(reader, writer):
+            await reader.readline()
+            writer.write(b"not json\n")
+            await writer.drain()
+
+        server = await asyncio.start_server(
+            bad_server, host="127.0.0.1", port=0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            client = await GatewayClient.connect(host, port)
+            with pytest.raises(GatewayClientError):
+                await client.ping()
+            await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    async def test_stall_and_resume_cross_the_wire(self, llm, prompts):
+        """Chaos over TCP: the remote client observes stall/resume events
+        and still receives the exact replay tokens."""
+        reference = replay_reference(
+            llm, prompts, GenerationConfig(max_new_tokens=8,
+                                           stop_on_eos=False))
+        gateway, server = await _stack(llm, fault_rate=0.10, fault_seed=3)
+
+        async def one_client(i):
+            async with await GatewayClient.connect(
+                    server.host, server.port) as client:
+                return await client.collect(prompts[i], max_new_tokens=8,
+                                            stop_on_eos=False)
+        try:
+            results = await asyncio.gather(
+                *[one_client(i) for i in range(len(prompts))])
+        finally:
+            await server.close()
+            await gateway.stop()
+        assert [r.tokens for r in results] == reference
+        assert all(r.status == "done" for r in results)
+        assert sum(r.stalls for r in results) >= 1

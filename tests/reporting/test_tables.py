@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.reporting.tables import AsciiTable, format_float, render_series
+from repro.reporting.tables import (
+    AsciiTable,
+    _wrap_cell,
+    format_float,
+    render_series,
+)
 
 
 class TestAsciiTable:
@@ -30,6 +35,96 @@ class TestAsciiTable:
         table = AsciiTable(["x"])
         table.add_row(3)
         assert str(table) == table.render()
+
+
+class TestColumnWrapping:
+    def test_wrap_cell_prefers_segment_boundaries(self):
+        assert _wrap_cell("repro.gateway.queue_depth", 24) == \
+            ["repro.gateway.queue", "_depth"]
+
+    def test_wrap_cell_hard_breaks_without_separator(self):
+        assert _wrap_cell("abcdefgh", 3) == ["abc", "def", "gh"]
+
+    def test_wrap_cell_short_cell_untouched(self):
+        assert _wrap_cell("short", 24) == ["short"]
+
+    def test_long_cells_wrap_and_stay_aligned(self):
+        table = AsciiTable(["name", "value"], max_col_width=10)
+        table.add_row("a" * 25, 1)
+        table.add_row("b", 2)
+        lines = table.render().splitlines()
+        # Every physical line has the same width; none exceeds the cap
+        # plus the second column and separator.
+        assert len({len(line) for line in lines}) == 1
+        assert all(len(line) <= 10 + 3 + 5 for line in lines)
+
+    def test_continuation_lines_blank_other_columns(self):
+        table = AsciiTable(["name", "val"], max_col_width=4)
+        table.add_row("abcdefgh", 7)
+        lines = table.render().splitlines()
+        assert lines[2].startswith("abcd")
+        assert "7" in lines[2]
+        assert lines[3].startswith("efgh")
+        assert "7" not in lines[3]
+
+    def test_long_headers_wrap_too(self):
+        table = AsciiTable(["name", "value"], max_col_width=4)
+        table.add_row("x", 7)
+        lines = table.render().splitlines()
+        assert lines[0].startswith("name") and "valu" in lines[0]
+        assert "e" in lines[1]
+
+    def test_zero_cap_renders_as_before(self):
+        capped = AsciiTable(["h"], max_col_width=0)
+        plain = AsciiTable(["h"])
+        for t in (capped, plain):
+            t.add_row("a-very-long-single-cell")
+        assert capped.render() == plain.render()
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            AsciiTable(["h"], max_col_width=-1)
+
+
+class TestMetricsTableGolden:
+    def test_gateway_names_wrap_golden(self):
+        """Golden output: long ``repro.gateway.*`` names wrap onto
+        continuation lines at segment boundaries and every row stays
+        aligned with the header."""
+        from repro.obs import MetricsRegistry
+        from repro.reporting.metrics import render_metrics_table
+
+        registry = MetricsRegistry()
+        registry.gauge("repro.gateway.queue_depth").set(3)
+        hist = registry.histogram(
+            "repro.gateway.ttft_seconds.interactive",
+            buckets=(0.001, 0.01, 0.1, 1.0))
+        hist.observe(0.005)
+        hist.observe(0.02)
+        registry.counter("repro.gateway.rejected_queue_full").inc(2)
+        out = render_metrics_table(registry.snapshot(),
+                                   title="gateway metrics",
+                                   max_col_width=24)
+        assert out == (
+            "gateway metrics\n"
+            "metric                 | kind      | value           | detail            \n"
+            "-----------------------+-----------+-----------------+-------------------\n"
+            "repro.gateway.queue    | gauge     | 3               | -                 \n"
+            "_depth                 |           |                 |                   \n"
+            "repro.gateway.rejected | counter   | 2               | -                 \n"
+            "_queue_full            |           |                 |                   \n"
+            "repro.gateway.ttft     | histogram | n=2 mean=0.0125 | le=0.01:1 le=0.1:1\n"
+            "_seconds.interactive   |           |                 |                   "
+        )
+
+    def test_default_cap_keeps_short_names_on_one_line(self):
+        from repro.obs import MetricsRegistry
+        from repro.reporting.metrics import render_metrics_table
+
+        registry = MetricsRegistry()
+        registry.counter("repro.serving.iterations").inc(5)
+        out = render_metrics_table(registry.snapshot())
+        assert "repro.serving.iterations" in out.splitlines()[3]
 
 
 class TestHelpers:

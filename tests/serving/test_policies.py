@@ -9,6 +9,8 @@ from repro.serving.policies import (
     fcfs,
     longest_job_first,
     make_priority_policy,
+    preempt_newest_first,
+    preempt_oldest_first,
     shortest_job_first,
 )
 from repro.serving.request import Request
@@ -69,6 +71,106 @@ class TestPolicyOrdering:
         requests = [make_request(1, 5, 5), make_request(0, 2, 2)]
         shortest_job_first(requests)
         assert [r.request_id for r in requests] == [1, 0]
+
+
+class _KvSpike:
+    """Stub injector: fire one KV-pressure spike, nothing else."""
+
+    def __init__(self):
+        self.fired = False
+
+    def should_fire(self, kind, **_kw):
+        from repro.faults import FaultKind
+
+        if kind is FaultKind.KV_PRESSURE and not self.fired:
+            self.fired = True
+            return True
+        return False
+
+
+class TestPreemptionTieBreak:
+    """Same-iteration admissions share an arrival iteration; victim choice
+    must tie-break on request id, not sort stability."""
+
+    def _same_iteration_batch(self):
+        return [
+            make_request(1, 5, 5, arrival=2),
+            make_request(0, 5, 5, arrival=2),
+            make_request(2, 5, 5, arrival=1),
+        ]
+
+    def test_newest_first_ties_on_higher_request_id(self):
+        order = preempt_newest_first(self._same_iteration_batch())
+        assert [r.request_id for r in order] == [1, 0, 2]
+
+    def test_oldest_first_ties_on_lower_request_id(self):
+        order = preempt_oldest_first(self._same_iteration_batch())
+        assert [r.request_id for r in order] == [2, 0, 1]
+
+    def test_orders_are_exact_reverses_under_ties(self):
+        batch = self._same_iteration_batch()
+        newest = [r.request_id for r in preempt_newest_first(batch)]
+        oldest = [r.request_id for r in preempt_oldest_first(batch)]
+        assert newest == oldest[::-1]
+
+    @pytest.mark.parametrize("policy,victim", [
+        (preempt_oldest_first, 0),
+        (preempt_newest_first, 2),
+    ])
+    def test_manager_picks_tie_broken_victim(self, llm, rng, policy, victim):
+        """Three requests admitted in the same iteration (identical
+        arrival iteration): a KV-pressure spike must preempt the victim
+        the tie-broken policy ordering names."""
+        mgr = RequestManager(
+            lambda req: IncrementalSession(req, llm),
+            max_batch_size=3,
+            preemption_policy=policy,
+        )
+        config = GenerationConfig(max_new_tokens=4, stop_on_eos=False)
+        ids = [mgr.submit(make_prompt(rng, length=4), config)
+               for _ in range(3)]
+        assert ids == [0, 1, 2]
+        mgr.run_iteration()  # admits all three at iteration 0
+        mgr.injector = _KvSpike()
+        stats = mgr.run_iteration()
+        assert stats.preempted_ids == [victim]
+        mgr.injector = None
+        mgr.run_until_complete()
+        assert mgr.output_for(victim).preemptions == 1
+
+
+class TestZeroCommittedResume:
+    def test_preempt_before_first_token_resumes_from_original_request(
+            self, llm, rng):
+        """A request preempted with zero committed tokens must re-admit
+        from its *original* request view (full prompt, full budget) — the
+        resume-view path would otherwise build a session from an empty
+        committed list and a reduced budget."""
+        config = GenerationConfig(max_new_tokens=5, stop_on_eos=False)
+        prompt = make_prompt(rng, length=6)
+
+        reference = RequestManager(
+            lambda req: IncrementalSession(req, llm), max_batch_size=2)
+        ref_id = reference.submit(prompt, config)
+        reference.run_until_complete()
+        expected = reference.output_for(ref_id).tokens
+
+        mgr = RequestManager(
+            lambda req: IncrementalSession(req, llm), max_batch_size=2)
+        rid = mgr.submit(prompt, config)
+        assert mgr.admit() == 1  # session exists, nothing decoded yet
+        mgr.preempt(rid)
+        tracked = mgr._tracked[rid]
+        assert tracked.committed == []
+        assert tracked.preemptions == 1
+        # The factory view is the untouched original request.
+        view = mgr._session_request(tracked)
+        assert view is tracked.request
+        assert view.config.max_new_tokens == 5
+        mgr.run_until_complete()
+        output = mgr.output_for(rid)
+        assert output.tokens == expected
+        assert output.preemptions == 1
 
 
 class TestManagerWithPolicy:

@@ -7,9 +7,11 @@ from repro.engine.generation import GenerationConfig
 from repro.serving.manager import RequestManager
 from repro.serving.session import IncrementalSession
 from repro.workloads.arrival import (
+    Arrival,
     PoissonArrivals,
     UniformArrivals,
     drive_manager,
+    sort_arrivals,
 )
 from repro.workloads.datasets import make_dataset
 
@@ -51,6 +53,52 @@ class TestPoissonArrivals:
             rate=1.0, dataset=make_dataset("Alpaca", 64), seed=5
         ).schedule(10)
         assert [x.iteration for x in a] == [x.iteration for x in b]
+
+
+class TestArrivalTieBreak:
+    """Simultaneous arrivals order by the stable (iteration, request_id)
+    key everywhere, so replay and gateway admission agree."""
+
+    def test_sort_arrivals_breaks_iteration_ties_by_request_id(self):
+        prompt = np.array([1], dtype=np.intp)
+        shuffled = [
+            Arrival(iteration=3, prompt=prompt, request_id=2),
+            Arrival(iteration=1, prompt=prompt, request_id=1),
+            Arrival(iteration=3, prompt=prompt, request_id=0),
+        ]
+        ordered = sort_arrivals(shuffled)
+        assert [(a.iteration, a.request_id) for a in ordered] == \
+            [(1, 1), (3, 0), (3, 2)]
+
+    def test_poisson_schedule_pinned_order(self, dataset):
+        """Pinned regression: seed 3 at rate 4 floors several arrivals onto
+        shared iterations; the schedule must come back tie-broken by draw
+        order, not by whatever the platform's sort did with equal keys."""
+        arrivals = PoissonArrivals(rate=4.0, dataset=dataset,
+                                   seed=3).schedule(10)
+        assert [(a.iteration, a.request_id) for a in arrivals] == [
+            (0, 0), (0, 1), (0, 2), (1, 3), (1, 4),
+            (1, 5), (1, 6), (1, 7), (1, 8), (1, 9),
+        ]
+
+    def test_drive_manager_submission_order_is_canonical(self, llm, dataset):
+        """A shuffled arrival list submits in canonical order: the ids
+        drive_manager returns are assigned ascending along the sorted
+        (iteration, request_id) sequence."""
+        arrivals = PoissonArrivals(rate=4.0, dataset=dataset,
+                                   seed=3).schedule(6)
+        shuffled = [arrivals[i] for i in (4, 1, 5, 0, 3, 2)]
+        mgr = RequestManager(lambda req: IncrementalSession(req, llm),
+                             max_batch_size=2)
+        ids = drive_manager(
+            mgr, shuffled,
+            GenerationConfig(max_new_tokens=2, stop_on_eos=False),
+        )
+        assert ids == sorted(ids)
+        canonical = sort_arrivals(shuffled)
+        for request_id, arrival in zip(ids, canonical):
+            tracked = mgr._tracked[request_id].request
+            assert tracked.prompt.tolist() == arrival.prompt.tolist()
 
 
 class TestUniformArrivals:
