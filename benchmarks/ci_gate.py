@@ -1,6 +1,6 @@
 """Perf-regression gate for CI.
 
-Four checks, all driven by the metrics registry rather than parsed
+Five checks, all driven by the metrics registry rather than parsed
 benchmark tables:
 
 1. **Fused speedup** — reads the ``BENCH_ci.json`` written by
@@ -21,6 +21,12 @@ benchmark tables:
    ``repro.engine.tokens_per_step`` histogram mean against the committed
    baseline ``benchmarks/results/baseline_ci.json``.  A drop below
    ``baseline * (1 - TOKENS_PER_STEP_SLACK)`` fails the job.
+5. **Planner vs static trees** — from the ``repro.bench.planner.*``
+   gauges ``bench_planner.py --quick --json`` merges into the same
+   ``BENCH_ci.json``: the dynamic tree planner's modeled tokens/sec must
+   reach ``PLANNER_STATIC_SLACK`` of the *best* static expansion config
+   at batch 1 and batch 8, and strictly beat every static config on the
+   acceptance-drift workload (where no static tree wins both halves).
 
 Regenerate the baseline after an intentional algorithmic change with::
 
@@ -49,6 +55,15 @@ ALLOC_WARMUP_TICKS = 5
 #: deterministic on one platform; the slack absorbs BLAS/platform jitter in
 #: float reductions across CI runners, not algorithmic drift.
 TOKENS_PER_STEP_SLACK = 0.01
+
+#: Gate: planner tokens/sec must be >= this fraction of the best static
+#: expansion config at each gated batch size.  The planner pays a few
+#: EWMA-warm-up ticks before its estimate converges; 0.95 absorbs that
+#: cold-start cost while still catching a planner that picks bad trees.
+PLANNER_STATIC_SLACK = 0.95
+
+#: Batch sizes the planner-vs-static gate checks in the quick benchmark.
+PLANNER_GATE_BATCHES = (1, 8)
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(__file__), "results", "baseline_ci.json"
@@ -177,6 +192,39 @@ def gate_tick_allocs() -> list:
     return []
 
 
+def gate_planner(bench_json: str) -> list:
+    """Failure messages from the planner-vs-static benchmark metrics."""
+    with open(bench_json) as fh:
+        metrics = json.load(fh)
+    failures = []
+    for batch in PLANNER_GATE_BATCHES:
+        key = f"repro.bench.planner.batch{batch}.planner_vs_best_static"
+        if key not in metrics:
+            raise RuntimeError(f"{bench_json} is missing {key}")
+        ratio = float(metrics[key]["value"])
+        print(f"planner vs best static at batch {batch}: {ratio:.3f}x "
+              f"(gate: >= {PLANNER_STATIC_SLACK:.2f}x)")
+        if ratio < PLANNER_STATIC_SLACK:
+            failures.append(
+                f"planner tokens/sec at batch {batch} is {ratio:.3f}x the "
+                f"best static tree (gate: >= {PLANNER_STATIC_SLACK:.2f}x)"
+            )
+    planner_key = "repro.bench.planner.drift.planner.tokens_per_sec"
+    static_key = "repro.bench.planner.drift.best_static.tokens_per_sec"
+    if planner_key not in metrics or static_key not in metrics:
+        raise RuntimeError(f"{bench_json} is missing the drift metrics")
+    planner_tps = float(metrics[planner_key]["value"])
+    static_tps = float(metrics[static_key]["value"])
+    print(f"acceptance drift: planner {planner_tps:.1f} tok/s vs best "
+          f"static {static_tps:.1f} tok/s (gate: strictly greater)")
+    if not planner_tps > static_tps:
+        failures.append(
+            f"planner {planner_tps:.1f} tok/s does not strictly beat the "
+            f"best static tree {static_tps:.1f} tok/s under acceptance drift"
+        )
+    return failures
+
+
 def gate_tokens_per_step(baseline_path: str) -> list:
     """Failure messages from the tokens/step comparison."""
     with open(baseline_path) as fh:
@@ -223,6 +271,7 @@ def main(argv=None) -> int:
     if args.bench_json:
         failures += gate_fused_speedup(args.bench_json)
         failures += gate_bench_allocs(args.bench_json)
+        failures += gate_planner(args.bench_json)
     failures += gate_tick_allocs()
     failures += gate_tokens_per_step(args.baseline)
 

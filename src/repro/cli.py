@@ -125,7 +125,18 @@ def _serve_stack(args: argparse.Namespace):
             ),
         )
 
-    manager = RequestManager(factory, max_batch_size=args.batch)
+    backend = None
+    planner = None
+    if getattr(args, "planner", False):
+        # Per-tick planning needs the batch-wide shared pipeline, so
+        # --planner implies fused verification.
+        from repro.engine.pipeline import FusedBackend
+        from repro.speculate.planner import TreePlanner
+
+        backend = FusedBackend(llm)
+        planner = TreePlanner.default()
+    manager = RequestManager(factory, max_batch_size=args.batch,
+                             backend=backend, planner=planner)
     dataset = make_dataset(args.dataset, vocab_size=96)
     arrivals = PoissonArrivals(rate=args.rate, dataset=dataset,
                                seed=args.seed,
@@ -434,6 +445,7 @@ def _workload_spec(args: argparse.Namespace):
         seed=args.seed,
         alignment=args.alignment,
         mode=args.mode,
+        planner=getattr(args, "planner", False),
     )
 
 
@@ -458,6 +470,9 @@ def _add_workload_args(parser: argparse.ArgumentParser,
     parser.add_argument("--mode", choices=("block", "dense"),
                         default="block",
                         help="fused verification execution path")
+    parser.add_argument("--planner", action="store_true",
+                        help="re-solve the speculation budget every tick "
+                             "against the hardware cost model")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -579,6 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dataset", default="Alpaca")
     serve.add_argument("--alignment", type=float, default=0.88)
     serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--planner", action="store_true",
+                       help="plan speculation budgets per tick against the "
+                            "hardware cost model (implies fused verify)")
     serve.add_argument("--gateway", action="store_true",
                        help="serve through the async streaming gateway "
                             "instead of the replay simulation")

@@ -167,6 +167,61 @@ class LatencyModel:
             pp_comm_time=self._pp_comm(scored_tokens),
         )
 
+    def verify_seconds(
+        self,
+        batch_size: int,
+        tree_tokens: int,
+        context_len: int,
+    ) -> float:
+        """Latency of one batched tree-verification pass.
+
+        Every request in the batch scores a ``tree_tokens``-node tree (the
+        pending root plus the speculated tokens) on top of a
+        ``context_len``-token verified prefix; the tree rows themselves are
+        live KV during the pass, so they count toward the attention reads.
+
+        Args:
+            batch_size: Requests verified in the fused pass.
+            tree_tokens: Scored tree nodes per request (>= 1; incremental
+                decoding is ``tree_tokens=1``).
+            context_len: Verified prefix length per request.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if tree_tokens < 1:
+            raise ValueError("tree_tokens must be >= 1")
+        return self.step_latency(
+            batch_size * tree_tokens,
+            batch_size * (context_len + tree_tokens),
+        )
+
+    def cost_per_verified_token(
+        self,
+        batch_size: int,
+        tree,
+        context_len: int = 128,
+        expected_tokens_per_step: float = 1.0,
+    ) -> float:
+        """Seconds of verify time per committed token — the planner's unit.
+
+        The quantity the dynamic tree planner minimizes (Sequoia's
+        objective): the latency of one fused verification pass divided by
+        the tokens the batch is expected to commit from it.
+
+        Args:
+            batch_size: Requests verified per pass.
+            tree: The speculated tree — a :class:`~repro.tree.token_tree.
+                TokenTree` (or anything sized) or a plain node count.
+            context_len: Verified prefix length per request.
+            expected_tokens_per_step: Expected committed tokens per request
+                per pass (bonus token included), from the acceptance model.
+        """
+        tokens = len(tree) if hasattr(tree, "__len__") else int(tree)
+        if expected_tokens_per_step <= 0:
+            raise ValueError("expected_tokens_per_step must be > 0")
+        seconds = self.verify_seconds(batch_size, tokens, context_len)
+        return seconds / (batch_size * expected_tokens_per_step)
+
     def step_latency(
         self,
         scored_tokens: int,

@@ -540,13 +540,23 @@ class DecodePipeline:
             the packer cannot handle (stochastic decoding, merge-based or
             adaptive speculators, near-end-of-context caches) silently use
             the per-session loop.
+        planner: Optional :class:`~repro.speculate.planner.TreePlanner`
+            consulted once per tick, before speculation.  The plan's
+            expansion profile overrides every speculative state's static
+            configuration for that tick; a budget-0 plan runs the tick as
+            Algorithm-1 incremental decoding (one-node trees through
+            :class:`IncrementalBackend`) until the planner's cooldown
+            re-probes speculation.  Under greedy verification the emitted
+            tokens are identical for every plan — the planner only moves
+            tokens-per-step, never content.
     """
 
     def __init__(self, model: TransformerLM,
                  backend: Optional[VerificationBackend] = None,
                  injector: Optional["FaultInjector"] = None,
                  fallback_cooldown: int = 3,
-                 packed_speculation: bool = True):
+                 packed_speculation: bool = True,
+                 planner: Optional["TreePlanner"] = None):
         if fallback_cooldown < 0:
             raise ValueError("fallback_cooldown must be >= 0")
         self.model = model
@@ -556,8 +566,10 @@ class DecodePipeline:
         self.fitter = TreeFitter(model.config.max_seq_len)
         self.recorder = TraceRecorder()
         self.packed = PackedSpeculator() if packed_speculation else None
+        self.planner = planner
         self._fallback_backend = IncrementalBackend(model)
         self._fallback_remaining = 0
+        self._tick_plan = None
         self._ticks = 0
 
     # -- fault fallback ------------------------------------------------------------
@@ -583,6 +595,7 @@ class DecodePipeline:
             state.pending,
             stochastic=not state.sampling.greedy,
             rng=state.rng,
+            plan=self._tick_plan,
         )
 
     def _fit_tree(self, state: DecodeState,
@@ -659,24 +672,43 @@ class DecodePipeline:
                     self._enter_fallback("speculation")
                     degraded = entered = True
 
+            # Dynamic tree planning: one budget/shape decision for the whole
+            # tick, solved against the live batch size and context depth.
+            # Fault-degraded ticks skip planning (no speculation will run);
+            # a budget-0 plan runs this tick as Algorithm-1 incremental.
+            plan = None
+            if self.planner is not None and can_speculate and not degraded:
+                live = [
+                    s for s in states
+                    if s.speculator is not None and not s.finished
+                ]
+                plan = self.planner.plan(
+                    len(live),
+                    context_len=max(s.cache.length for s in live),
+                )
+            planned_incremental = plan is not None and not plan.speculative
+            self._tick_plan = plan if not planned_incremental else None
+
             with TRACER.span("repro.engine.speculate") as span:
                 raw: List[Optional[TokenTree]] = [None] * len(states)
                 todo: List[int] = []
                 for i, state in enumerate(states):
                     if state.finished:
                         outcomes[i].retired = state.retired
-                    elif degraded:
+                    elif degraded or planned_incremental:
                         raw[i] = TokenTree(state.pending)
                     else:
                         todo.append(i)
                 if todo and self.packed is not None:
                     for i, tree in zip(todo, self.packed.speculate_batch(
-                        [states[i] for i in todo], self._speculate_tree
+                        [states[i] for i in todo], self._speculate_tree,
+                        plan=self._tick_plan,
                     )):
                         raw[i] = tree
                 else:
                     for i in todo:
                         raw[i] = self._speculate_tree(states[i])
+                self._tick_plan = None
                 nodes = sum(len(t) for t in raw if t is not None)
                 _SPECULATED_NODES.inc(nodes)
                 span.set(trees=sum(t is not None for t in raw), nodes=nodes)
@@ -717,7 +749,8 @@ class DecodePipeline:
                         self._enter_fallback("verification")
                         degraded = entered = True
                         trees = [TokenTree(s.pending) for s in active]
-                backend = self._fallback_backend if degraded else self.backend
+                incremental = degraded or planned_incremental
+                backend = self._fallback_backend if incremental else self.backend
                 results = backend.verify(active, trees) if active else []
 
             with TRACER.span("repro.engine.commit") as span:
@@ -725,12 +758,27 @@ class DecodePipeline:
                 for i, state, tree, result in zip(slots, active, trees,
                                                   results):
                     outcomes[i].emitted = self.commit(
-                        state, tree, result, incremental_shape=degraded
+                        state, tree, result, incremental_shape=incremental
                     )
                     outcomes[i].advanced = True
                     emitted_total += len(outcomes[i].emitted)
                 _TOKENS_EMITTED.inc(emitted_total)
                 span.set(steps=len(results), tokens_emitted=emitted_total)
+
+            if plan is not None and plan.speculative and not degraded:
+                # Acceptance evidence for the planner's EWMA: per request,
+                # the accepted speculated tokens, and whether the accepted
+                # path ended by rejection (its tip still had children in the
+                # fitted tree) rather than by consuming the whole tree.
+                accepted = 0
+                stops = 0
+                for state, tree, result in zip(active, trees, results):
+                    if state.speculator is None:
+                        continue
+                    accepted += result.num_accepted_speculated
+                    if tree.nodes[result.accepted_nodes[-1]].children:
+                        stops += 1
+                self.planner.observe(accepted, stops)
 
             if degraded:
                 _FALLBACK_TICKS.inc()
@@ -740,6 +788,9 @@ class DecodePipeline:
             _TICK_ALLOCS.inc(allocs)
             tick_span.set(advanced=len(results), tokens_emitted=emitted_total,
                           degraded=degraded, allocs=allocs)
+            if plan is not None:
+                tick_span.set(planner_budget=plan.budget,
+                              planner_alpha=round(plan.alpha, 6))
         for outcome in outcomes:
             outcome.committed_total = len(outcome.state.tokens)
             outcome.finished = outcome.state.finished

@@ -44,6 +44,11 @@ class WorkloadSpec:
         fault_seed: Seed for the injector's fault streams; defaults to a
             fixed offset of ``seed`` so fault decisions never perturb the
             workload's own RNG streams.
+        planner: Attach a hardware-aware
+            :class:`~repro.speculate.planner.TreePlanner` to the shared
+            pipeline — speculation budgets re-solved every tick (populates
+            ``repro.planner.*`` metrics).  Greedy token output is identical
+            either way; only the tree shapes change.
     """
 
     dataset: str = "Alpaca"
@@ -57,6 +62,7 @@ class WorkloadSpec:
     simulate: bool = True
     fault_rate: float = 0.0
     fault_seed: Optional[int] = None
+    planner: bool = False
 
 
 def _build_toy_pair(alignment: float, seed: int):
@@ -114,12 +120,18 @@ def run_observed_workload(spec: Optional[WorkloadSpec] = None):
         fault_seed = (spec.fault_seed if spec.fault_seed is not None
                       else spec.seed + 9973)
         injector = FaultInjector(rate=spec.fault_rate, seed=fault_seed)
+    planner = None
+    if spec.planner:
+        from repro.speculate.planner import TreePlanner
+
+        planner = TreePlanner.default()
     manager = RequestManager(
         session_factory,
         max_batch_size=spec.batch,
         backend=FusedBackend(llm, rng=np.random.default_rng(spec.seed),
                              mode=spec.mode),
         injector=injector,
+        planner=planner,
     )
     dataset = make_dataset(spec.dataset, vocab_size=llm.config.vocab_size)
     arrivals = PoissonArrivals(

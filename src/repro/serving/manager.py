@@ -166,6 +166,11 @@ class RequestManager:
         fallback_cooldown: Clean pipeline ticks before speculation re-enables
             after a speculation/verification fault (forwarded to
             :class:`DecodePipeline`).
+        planner: Optional :class:`~repro.speculate.planner.TreePlanner`
+            forwarded to the shared :class:`DecodePipeline` — per-tick
+            hardware-aware speculation budgets.  Requires a fused
+            ``backend`` (per-request serving runs one pipeline per session,
+            so there is no batch-wide tick to plan).
     """
 
     def __init__(
@@ -180,11 +185,16 @@ class RequestManager:
         preemption_policy: Optional[Callable] = None,
         max_session_retries: int = 3,
         fallback_cooldown: int = 3,
+        planner: Optional["TreePlanner"] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if kv_headroom < 0:
             raise ValueError("kv_headroom must be >= 0")
+        if planner is not None and backend is None:
+            raise ValueError(
+                "planner requires a fused backend (shared pipeline)"
+            )
         if max_session_retries < 0:
             raise ValueError("max_session_retries must be >= 0")
         from repro.serving.policies import fcfs, preempt_newest_first
@@ -199,9 +209,11 @@ class RequestManager:
         self.preemption_policy = preemption_policy or preempt_newest_first
         self.max_session_retries = max_session_retries
         self.fallback_cooldown = fallback_cooldown
+        self.planner = planner
         self._pipeline = (
             DecodePipeline(backend.model, backend, injector=injector,
-                           fallback_cooldown=fallback_cooldown)
+                           fallback_cooldown=fallback_cooldown,
+                           planner=planner)
             if backend is not None else None
         )
         self.iteration = 0

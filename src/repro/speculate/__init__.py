@@ -7,10 +7,19 @@
   SSM KV caches synchronized with the verified sequence.
 * :mod:`repro.speculate.boost` -- adaptive boost-tuning of an SSM pool
   against the LLM on an unlabeled corpus.
+* :mod:`repro.speculate.planner` -- hardware-aware per-tick tree planning:
+  budget/shape solved against the cost model and measured acceptance.
 """
 
 from repro.speculate.adaptive import AdaptiveConfig, expand_token_tree_adaptive
 from repro.speculate.expansion import ExpansionConfig, expand_token_tree
+from repro.speculate.planner import (
+    AcceptanceEstimator,
+    PlannerConfig,
+    TreePlan,
+    TreePlanner,
+    optimal_widths,
+)
 from repro.speculate.speculator import Speculator
 from repro.speculate.boost import BoostTuner, BoostTuningReport
 
@@ -22,4 +31,9 @@ __all__ = [
     "Speculator",
     "BoostTuner",
     "BoostTuningReport",
+    "AcceptanceEstimator",
+    "PlannerConfig",
+    "TreePlan",
+    "TreePlanner",
+    "optimal_widths",
 ]

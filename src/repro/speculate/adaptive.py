@@ -84,6 +84,7 @@ def expand_token_tree_adaptive(
     temperature: float = 1.0,
     stochastic: bool = False,
     rng: Optional[np.random.Generator] = None,
+    max_tokens: Optional[int] = None,
 ) -> TokenTree:
     """Best-first dynamic expansion of a token tree from one SSM.
 
@@ -102,9 +103,15 @@ def expand_token_tree_adaptive(
             taking the covering top set (required for distribution-
             preserving stochastic verification).
         rng: Randomness for stochastic candidates.
+        max_tokens: Optional per-call override of ``config.max_tokens`` —
+            the tree planner's tick-to-tick budget, applied without
+            rebuilding the speculator or its config.
     """
     if stochastic and rng is None:
         raise ValueError("stochastic expansion requires an rng")
+    if max_tokens is not None and max_tokens < 0:
+        raise ValueError("max_tokens must be >= 0")
+    budget = config.max_tokens if max_tokens is None else max_tokens
     tree = TokenTree(root_token)
     entry = cache.snapshot()
     counter = itertools.count()  # heap tie-breaker
@@ -149,8 +156,9 @@ def expand_token_tree_adaptive(
             )
 
     expanded = {0}
-    push_children(0, (int(root_token),), 1.0)
-    while heap and tree.num_speculated() < config.max_tokens:
+    if budget > 0:
+        push_children(0, (int(root_token),), 1.0)
+    while heap and tree.num_speculated() < budget:
         neg_prob, _, parent, token, path_tokens = heapq.heappop(heap)
         child_idx = tree.add_child(parent, token, ssm_id=ssm_id)
         if child_idx in expanded:

@@ -10,7 +10,7 @@ token); Table 2 and Figures 9/10 sweep ⟨1,1,k,1,1,1,1,1⟩ for k = 1..5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,6 +88,7 @@ def expand_token_tree(
     temperature: float = 1.0,
     stochastic: bool = False,
     rng: "np.random.Generator" = None,
+    max_tokens: Optional[int] = None,
 ) -> TokenTree:
     """Build a token tree from one SSM under a static expansion config.
 
@@ -120,12 +121,19 @@ def expand_token_tree(
         stochastic: Sample candidates instead of taking top-k.
         rng: Randomness for stochastic proposals (required when
             ``stochastic=True``).
+        max_tokens: Optional per-call cap on speculated tokens (root
+            excluded).  The tree planner changes its budget tick-to-tick,
+            so the cap is a *call* parameter — the construction-time
+            ``config`` keeps describing the shape, and no speculator
+            rebuild is needed to shrink a tick's tree.
 
     Returns:
         The expanded :class:`TokenTree` with per-node proposal distributions.
     """
     if stochastic and rng is None:
         raise ValueError("stochastic expansion requires an rng")
+    if max_tokens is not None and max_tokens < 0:
+        raise ValueError("max_tokens must be >= 0")
     tree = TokenTree(root_token)
     entry_snapshot = cache.snapshot()
 
@@ -138,6 +146,8 @@ def expand_token_tree(
     def expand(node_idx: int, token: int, step: int) -> None:
         if step >= config.depth:
             return
+        if max_tokens is not None and tree.num_speculated() >= max_tokens:
+            return  # per-call budget exhausted
         if cache.length + 1 > cache.capacity:
             return  # SSM context limit reached; stop this branch
         logits = ssm.decode(token, cache)
@@ -145,6 +155,9 @@ def expand_token_tree(
                                / max(temperature, 1e-8))
         tree.set_proposal(node_idx, ssm_id, probs)
         for candidate in candidates(probs, config.widths[step]):
+            if (max_tokens is not None
+                    and tree.num_speculated() >= max_tokens):
+                break
             child_idx = tree.add_child(node_idx, candidate, ssm_id=ssm_id)
             if tree.nodes[child_idx].children:
                 continue  # duplicate sample already expanded
@@ -152,6 +165,7 @@ def expand_token_tree(
             expand(child_idx, candidate, step + 1)
             cache.restore(snap)
 
-    expand(0, int(root_token), 0)
+    if max_tokens != 0:
+        expand(0, int(root_token), 0)
     cache.restore(entry_snapshot)
     return tree

@@ -147,12 +147,13 @@ class PackedSpeculator:
 
     # -- eligibility -----------------------------------------------------------------
 
-    def _slot_for(self, state) -> Optional[Tuple[TransformerLM, _Slot]]:
+    def _slot_for(self, state, plan=None) -> Optional[
+            Tuple[TransformerLM, _Slot]]:
         """``(base model, slot)`` when ``state`` is packed-eligible."""
         spec = state.speculator
         if spec is None or not state.sampling.greedy:
             return None
-        packed = spec.packed_expansion_state()
+        packed = spec.packed_expansion_state(plan)
         if packed is None:
             return None
         ssm, cache, config = packed
@@ -169,18 +170,23 @@ class PackedSpeculator:
 
     # -- the packed loop -------------------------------------------------------------
 
-    def speculate_batch(self, states: Sequence, fallback) -> List[TokenTree]:
+    def speculate_batch(self, states: Sequence, fallback,
+                        plan=None) -> List[TokenTree]:
         """One tree per state; ineligible states run ``fallback(state)``.
 
         Args:
             states: Unfinished decode states to speculate for.
             fallback: ``state -> TokenTree`` — the per-session path
                 (also used for incremental states' one-node trees).
+            plan: Optional per-tick :class:`~repro.speculate.planner.
+                TreePlan` applied to every packed slot (the fallback path
+                applies the same plan inside ``Speculator.speculate``, so
+                both paths build identical trees).
         """
         trees: List[Optional[TokenTree]] = [None] * len(states)
         groups: Dict[int, Tuple[TransformerLM, List[Tuple[int, _Slot]]]] = {}
         for i, state in enumerate(states):
-            eligible = self._slot_for(state)
+            eligible = self._slot_for(state, plan)
             if eligible is None:
                 if state.speculator is not None:
                     _PACKED_FALLBACKS.inc()

@@ -63,6 +63,9 @@ class Speculator:
             else [self.config] * len(self.ssms)
         )
         self.temperature = temperature
+        # Depth of the most recent speculation (per-call plans change it
+        # tick-to-tick; ``speculation_latency_steps`` reports it).
+        self._last_depth: Optional[int] = None
         self._caches = [ssm.new_cache() for ssm in self.ssms]
         # Per-SSM staging arenas for the per-tick mirror prefill
         # (:meth:`advance`): without them, every committed step allocates a
@@ -101,7 +104,7 @@ class Speculator:
 
     # -- packed (cross-request) expansion seam -----------------------------------------
 
-    def packed_expansion_state(self):
+    def packed_expansion_state(self, plan=None):
         """``(ssm, cache, config)`` when packed expansion may drive this
         speculator, else ``None``.
 
@@ -109,10 +112,29 @@ class Speculator:
         deterministic expansion of a *single* statically-configured SSM as
         level-synchronous tree-parallel decode; merge-based (multi-SSM) and
         adaptive speculators keep their own loop.
+
+        Args:
+            plan: Optional per-tick :class:`~repro.speculate.planner.
+                TreePlan`; its expansion profile replaces the static config
+                for this tick (exactly as :meth:`speculate` would apply it,
+                so packed and per-session trees stay bit-identical).
         """
         if self.adaptive is not None or len(self.ssms) != 1:
             return None
-        return self.ssms[0], self._caches[0], self.per_ssm_configs[0]
+        config = self._effective_config(self.per_ssm_configs[0], plan)
+        self._last_depth = (
+            config.depth
+            if plan is not None and getattr(plan, "speculative", False)
+            else None
+        )
+        return self.ssms[0], self._caches[0], config
+
+    @staticmethod
+    def _effective_config(config: ExpansionConfig, plan) -> ExpansionConfig:
+        """The static config, unless a per-tick plan overrides the shape."""
+        if plan is None or not getattr(plan, "speculative", False):
+            return config
+        return ExpansionConfig(tuple(plan.widths))
 
     def record_packed_speculation(self, tree: TokenTree) -> None:
         """Update cost accounting after packed expansion built ``tree``.
@@ -132,6 +154,7 @@ class Speculator:
         pending_token: int,
         stochastic: bool = False,
         rng: "np.random.Generator" = None,
+        plan: Optional["TreePlan"] = None,
     ) -> TokenTree:
         """Produce a speculated token tree rooted at ``pending_token``.
 
@@ -144,7 +167,14 @@ class Speculator:
                 of taking top-k — required for distribution-preserving
                 stochastic decoding (see :func:`expand_token_tree`).
             rng: Randomness for stochastic proposals.
+            plan: Optional per-tick :class:`~repro.speculate.planner.
+                TreePlan`.  The plan's shape/budget overrides the
+                construction-time configuration *for this call only* —
+                the planner re-sizes speculation tick-to-tick without
+                rebuilding the speculator or disturbing its caches.
         """
+        planned = plan is not None and getattr(plan, "speculative", False)
+        plan_budget = int(plan.budget) if planned else None
         trees: List[TokenTree] = []
         for ssm_id, (ssm, cache, cfg) in enumerate(
             zip(self.ssms, self._caches, self.per_ssm_configs)
@@ -161,13 +191,14 @@ class Speculator:
                     temperature=self.temperature,
                     stochastic=stochastic,
                     rng=rng,
+                    max_tokens=plan_budget,
                 )
             else:
                 tree = expand_token_tree(
                     ssm,
                     pending_token,
                     cache,
-                    cfg,
+                    self._effective_config(cfg, plan),
                     ssm_id=ssm_id,
                     temperature=self.temperature,
                     stochastic=stochastic,
@@ -178,6 +209,14 @@ class Speculator:
                 1 for n in range(len(tree)) if tree.nodes[n].children
             )
             trees.append(tree)
+        if planned:
+            self._last_depth = (
+                min(plan.depth, self.adaptive.max_depth)
+                if self.adaptive is not None
+                else plan.depth
+            )
+        else:
+            self._last_depth = None
         if len(trees) == 1:
             return trees[0]
         return merge_trees(trees)
@@ -189,7 +228,10 @@ class Speculator:
         governed by the *deepest* single-SSM expansion, which for a static
         config is its depth; the width-k branching at one level is served by
         batching candidate branches, and the dominant term is tree depth.
+        When a per-tick plan drove the last speculation, its depth governs.
         """
+        if self._last_depth is not None:
+            return self._last_depth
         if self.adaptive is not None:
             return self.adaptive.max_depth
         return max(

@@ -1,0 +1,220 @@
+"""Tests for the hardware-aware dynamic tree planner."""
+
+import itertools
+
+import pytest
+
+from repro.cluster.cost_model import LatencyModel
+from repro.cluster.hardware import single_node_cluster
+from repro.cluster.models import paper_model
+from repro.cluster.parallel import ParallelPlan
+from repro.speculate.planner import (
+    AcceptanceEstimator,
+    PlannerConfig,
+    TreePlanner,
+    optimal_widths,
+    tree_tokens,
+)
+from repro.tree.token_tree import TokenTree
+
+
+def brute_force_widths(alpha, budget, max_depth, max_width):
+    """Exhaustive best expected accepted tokens over all width vectors."""
+    best_value, best_widths = 0.0, ()
+    for depth in range(1, max_depth + 1):
+        for widths in itertools.product(range(1, max_width + 1),
+                                        repeat=depth):
+            if tree_tokens(widths) > budget:
+                continue
+            survive, expected = 1.0, 0.0
+            for width in widths:
+                survive *= 1.0 - (1.0 - alpha) ** width
+                expected += survive
+            if expected > best_value:
+                best_value, best_widths = expected, widths
+    return best_widths, best_value
+
+
+class TestOptimalWidths:
+    @pytest.mark.parametrize("alpha", [0.1, 0.3, 0.55, 0.8, 0.95])
+    @pytest.mark.parametrize("budget", [1, 2, 4, 7, 9])
+    def test_matches_brute_force(self, alpha, budget):
+        widths, expected = optimal_widths(alpha, budget, max_depth=4,
+                                          max_width=3)
+        _, best = brute_force_widths(alpha, budget, 4, 3)
+        assert expected == pytest.approx(best, abs=1e-9)
+        assert tree_tokens(widths) <= budget
+        # The returned profile realizes the claimed value.
+        survive, realized = 1.0, 0.0
+        for width in widths:
+            survive *= 1.0 - (1.0 - alpha) ** width
+            realized += survive
+        assert realized == pytest.approx(expected, abs=1e-12)
+
+    def test_zero_budget_and_zero_alpha(self):
+        assert optimal_widths(0.5, 0) == ((), 0.0)
+        assert optimal_widths(0.0, 8) == ((), 0.0)
+
+    def test_respects_depth_and_width_caps(self):
+        widths, _ = optimal_widths(0.9, 100, max_depth=3, max_width=2)
+        assert len(widths) <= 3
+        assert all(w <= 2 for w in widths)
+
+    def test_high_alpha_goes_deep_low_alpha_goes_wide(self):
+        deep, _ = optimal_widths(0.95, 8, max_depth=8, max_width=4)
+        wide, _ = optimal_widths(0.1, 8, max_depth=8, max_width=4)
+        assert len(deep) > len(wide)
+        assert max(wide) > max(deep)
+
+    def test_deterministic(self):
+        runs = {optimal_widths(0.6180339, 17) for _ in range(3)}
+        assert len(runs) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_widths(1.5, 4)
+        with pytest.raises(ValueError):
+            optimal_widths(0.5, 4, max_depth=0)
+
+
+class TestAcceptanceEstimator:
+    def test_cold_start_is_prior(self):
+        assert AcceptanceEstimator(prior=0.7).alpha == 0.7
+
+    def test_moves_toward_tick_estimate(self):
+        est = AcceptanceEstimator(prior=0.7, ewma=0.25)
+        est.observe(accepted=0, stops=4)
+        assert est.alpha == pytest.approx(0.7 * 0.75)
+        est.observe(accepted=8, stops=0)
+        assert est.alpha > 0.5
+
+    def test_converges_under_drift(self):
+        est = AcceptanceEstimator(prior=0.9, ewma=0.25)
+        for _ in range(30):
+            est.observe(accepted=1, stops=4)  # tick alpha 0.2
+        assert est.alpha == pytest.approx(0.2, abs=0.01)
+
+    def test_zero_trial_ticks_ignored(self):
+        est = AcceptanceEstimator(prior=0.7)
+        est.observe(accepted=0, stops=0)
+        assert est.alpha == 0.7
+        assert est.observations == 0
+
+    def test_clamped_to_floor_and_ceiling(self):
+        est = AcceptanceEstimator(prior=0.5, ewma=1.0, floor=0.05,
+                                  ceiling=0.9)
+        est.observe(accepted=0, stops=10)
+        assert est.alpha == 0.05
+        est.observe(accepted=10, stops=0)
+        assert est.alpha == 0.9
+
+    def test_reset_returns_to_prior(self):
+        est = AcceptanceEstimator(prior=0.7)
+        est.observe(accepted=9, stops=1)
+        est.reset()
+        assert est.alpha == 0.7
+        assert est.observations == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceptanceEstimator(ewma=0.0)
+        with pytest.raises(ValueError):
+            AcceptanceEstimator(floor=0.5, ceiling=0.4)
+        est = AcceptanceEstimator()
+        with pytest.raises(ValueError):
+            est.observe(accepted=-1, stops=0)
+
+
+class TestCostPerVerifiedToken:
+    def _model(self):
+        return LatencyModel(
+            paper_model("llama-7b"),
+            ParallelPlan(tensor_parallel=1, pipeline_stages=1),
+            single_node_cluster(),
+        )
+
+    def test_accepts_tree_or_node_count(self):
+        cost = self._model()
+        tree = TokenTree(5)
+        for _ in range(9):
+            tree.add_child(0, 7)
+        by_tree = cost.cost_per_verified_token(4, tree)
+        by_count = cost.cost_per_verified_token(4, len(tree))
+        assert by_tree == by_count > 0
+
+    def test_batching_amortizes_verify_cost(self):
+        cost = self._model()
+        per_token = [cost.cost_per_verified_token(b, 16) for b in (1, 4, 16)]
+        assert per_token[0] > per_token[1] > per_token[2]
+
+    def test_acceptance_scales_cost_down(self):
+        cost = self._model()
+        assert cost.cost_per_verified_token(
+            4, 16, expected_tokens_per_step=4.0
+        ) == pytest.approx(
+            cost.cost_per_verified_token(4, 16) / 4.0
+        )
+
+    def test_validation(self):
+        cost = self._model()
+        with pytest.raises(ValueError):
+            cost.cost_per_verified_token(0, 8)
+        with pytest.raises(ValueError):
+            cost.verify_seconds(4, 0, 128)
+        with pytest.raises(ValueError):
+            cost.cost_per_verified_token(4, 8, expected_tokens_per_step=0.0)
+
+
+class TestTreePlanner:
+    def test_default_planner_speculates_at_cold_start(self):
+        plan = TreePlanner.default().plan(batch_size=4)
+        assert plan.speculative
+        assert plan.budget == tree_tokens(plan.widths)
+        assert plan.expected_tokens > 1.0
+        assert plan.goodput > plan.baseline_goodput
+
+    def test_budget_shrinks_with_batch_size(self):
+        planner = TreePlanner.default()
+        small_batch = planner.plan(batch_size=1)
+        large_batch = planner.plan(batch_size=16)
+        assert large_batch.budget < small_batch.budget
+
+    def test_budget_shrinks_as_acceptance_drops(self):
+        planner = TreePlanner.default()
+        optimistic = planner.plan(batch_size=8)
+        for _ in range(20):
+            planner.observe(accepted=0, stops=8)
+        pessimistic = planner.plan(batch_size=8)
+        assert pessimistic.budget < optimistic.budget
+
+    def test_degrades_below_margin_and_probes_on_cooldown(self):
+        config = PlannerConfig(speculation_margin=100.0, probe_cooldown=3)
+        planner = TreePlanner.default(config=config)
+        plans = [planner.plan(batch_size=4) for _ in range(6)]
+        assert not plans[0].speculative
+        assert not plans[1].speculative
+        # Every probe_cooldown-th degraded tick re-probes speculation with
+        # a minimal tree so an acceptance recovery is noticed.
+        assert plans[2].probe and plans[2].speculative
+        assert plans[2].budget <= config.probe_budget
+        assert not plans[3].speculative
+        assert plans[5].probe
+
+    def test_deterministic_given_identical_observations(self):
+        def run():
+            planner = TreePlanner.default()
+            plans = []
+            for tick in range(10):
+                plans.append(planner.plan(batch_size=4, context_len=200))
+                planner.observe(accepted=tick % 3, stops=2)
+            return [(p.budget, p.widths, p.alpha) for p in plans]
+
+        assert run() == run()
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            TreePlanner.default().plan(batch_size=0)
+        with pytest.raises(ValueError):
+            PlannerConfig(max_budget=0)
+        with pytest.raises(ValueError):
+            PlannerConfig(probe_budget=99)
