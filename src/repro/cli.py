@@ -115,15 +115,34 @@ def _serve_stack(args: argparse.Namespace):
 
     llm, _ = _build_toy_pair(args.alignment, args.seed)
 
-    def factory(request):
-        return SpeculativeSession(
-            request, llm,
-            lambda: Speculator(
-                [CoupledSSM(llm, alignment=args.alignment,
-                            seed=args.seed + 1, noise_scale=2.0)],
-                ExpansionConfig.paper_default(),
-            ),
+    router = None
+    if getattr(args, "pool", 0):
+        from repro.serving.session import make_routed_factory
+        from repro.speculate.pool import SpeculatorPool
+        from repro.speculate.router import RouterConfig, SpeculatorRouter
+
+        if args.pool < 2:
+            raise SystemExit("--pool needs at least 2 members")
+        sp_pool = SpeculatorPool.coupled_spread(
+            llm, args.pool, args.alignment, seed=args.seed + 1,
+            config=ExpansionConfig.paper_default(),
         )
+        router = SpeculatorRouter(
+            sp_pool,
+            RouterConfig(policy=getattr(args, "router", "ucb"),
+                         seed=args.seed),
+        )
+        factory = make_routed_factory(llm, sp_pool, router)
+    else:
+        def factory(request):
+            return SpeculativeSession(
+                request, llm,
+                lambda: Speculator(
+                    [CoupledSSM(llm, alignment=args.alignment,
+                                seed=args.seed + 1, noise_scale=2.0)],
+                    ExpansionConfig.paper_default(),
+                ),
+            )
 
     backend = None
     planner = None
@@ -136,7 +155,8 @@ def _serve_stack(args: argparse.Namespace):
         backend = FusedBackend(llm)
         planner = TreePlanner.default()
     manager = RequestManager(factory, max_batch_size=args.batch,
-                             backend=backend, planner=planner)
+                             backend=backend, planner=planner,
+                             router=router)
     dataset = make_dataset(args.dataset, vocab_size=96)
     arrivals = PoissonArrivals(rate=args.rate, dataset=dataset,
                                seed=args.seed,
@@ -446,6 +466,8 @@ def _workload_spec(args: argparse.Namespace):
         alignment=args.alignment,
         mode=args.mode,
         planner=getattr(args, "planner", False),
+        pool=getattr(args, "pool", 0),
+        router=getattr(args, "router", "ucb"),
     )
 
 
@@ -473,6 +495,19 @@ def _add_workload_args(parser: argparse.ArgumentParser,
     parser.add_argument("--planner", action="store_true",
                         help="re-solve the speculation budget every tick "
                              "against the hardware cost model")
+    _add_pool_args(parser)
+
+
+def _add_pool_args(parser: argparse.ArgumentParser) -> None:
+    """The speculator-pool routing knobs serve/trace/metrics/chaos share."""
+    parser.add_argument("--pool", type=int, default=0, metavar="N",
+                        help="serve with a heterogeneous pool of N coupled "
+                             "speculators routed per request (N >= 2; "
+                             "0 keeps the single-SSM path)")
+    parser.add_argument("--router",
+                        choices=("ucb", "thompson", "round_robin"),
+                        default="ucb",
+                        help="routing policy over the speculator pool")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -597,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--planner", action="store_true",
                        help="plan speculation budgets per tick against the "
                             "hardware cost model (implies fused verify)")
+    _add_pool_args(serve)
     serve.add_argument("--gateway", action="store_true",
                        help="serve through the async streaming gateway "
                             "instead of the replay simulation")

@@ -192,6 +192,10 @@ class DecodeState:
         self.speculator = speculator
         self.rng = rng if rng is not None else np.random.default_rng(config.seed)
         self.cache = (cache_factory or model.new_cache)()
+        #: Optional :class:`~repro.speculate.router.RouteAssignment` pinned
+        #: by the serving layer when this request was routed to a pool
+        #: member; the pipeline feeds acceptance back through it.
+        self.route = None
         self.tokens: List[int] = []
         self.steps: List[StepTrace] = []
         self.finished_by_eos = False
@@ -549,6 +553,15 @@ class DecodePipeline:
             re-probes speculation.  Under greedy verification the emitted
             tokens are identical for every plan — the planner only moves
             tokens-per-step, never content.
+        router: Optional :class:`~repro.speculate.router.SpeculatorRouter`.
+            When set, ticks that speculated feed each routed state's
+            acceptance outcome back per request (through ``state.route``),
+            and the planner's acceptance input becomes the mean of the live
+            routed members' estimates.  Fault-degraded and
+            planned-incremental ticks feed nothing — the same skip the
+            global planner estimator gets.  Routing never changes greedy
+            output: the verifier emits the LLM's greedy continuation
+            whichever member drafted.
     """
 
     def __init__(self, model: TransformerLM,
@@ -556,7 +569,8 @@ class DecodePipeline:
                  injector: Optional["FaultInjector"] = None,
                  fallback_cooldown: int = 3,
                  packed_speculation: bool = True,
-                 planner: Optional["TreePlanner"] = None):
+                 planner: Optional["TreePlanner"] = None,
+                 router: Optional["SpeculatorRouter"] = None):
         if fallback_cooldown < 0:
             raise ValueError("fallback_cooldown must be >= 0")
         self.model = model
@@ -567,6 +581,7 @@ class DecodePipeline:
         self.recorder = TraceRecorder()
         self.packed = PackedSpeculator() if packed_speculation else None
         self.planner = planner
+        self.router = router
         self._fallback_backend = IncrementalBackend(model)
         self._fallback_remaining = 0
         self._tick_plan = None
@@ -584,6 +599,26 @@ class DecodePipeline:
         _FALLBACK_ENTRIES.inc()
         TRACER.event("repro.engine.fallback", cause=cause,
                      cooldown=self.fallback_cooldown, iteration=self._ticks)
+
+    # -- routing -------------------------------------------------------------------
+
+    def _routed_alpha(self, live: Sequence[DecodeState]) -> Optional[float]:
+        """Mean acceptance estimate of the live batch's routed members.
+
+        ``None`` (planner falls back to its own global estimator) when no
+        router is attached or no live state carries a route assignment.
+        """
+        if self.router is None:
+            return None
+        total = 0.0
+        count = 0
+        for state in live:
+            if state.route is not None:
+                total += self.router.alpha_for(state.route.member)
+                count += 1
+        if count == 0:
+            return None
+        return total / count
 
     # -- phases --------------------------------------------------------------------
 
@@ -682,10 +717,18 @@ class DecodePipeline:
                     s for s in states
                     if s.speculator is not None and not s.finished
                 ]
-                plan = self.planner.plan(
-                    len(live),
-                    context_len=max(s.cache.length for s in live),
-                )
+                context_len = max(s.cache.length for s in live)
+                routed_alpha = self._routed_alpha(live)
+                if routed_alpha is not None:
+                    plan = self.planner.plan(len(live),
+                                             context_len=context_len,
+                                             alpha=routed_alpha)
+                else:
+                    # No routed states: the planner falls back to its own
+                    # global estimator (and planner doubles need not grow
+                    # an ``alpha`` parameter).
+                    plan = self.planner.plan(len(live),
+                                             context_len=context_len)
             planned_incremental = plan is not None and not plan.speculative
             self._tick_plan = plan if not planned_incremental else None
 
@@ -765,20 +808,35 @@ class DecodePipeline:
                 _TOKENS_EMITTED.inc(emitted_total)
                 span.set(steps=len(results), tokens_emitted=emitted_total)
 
-            if plan is not None and plan.speculative and not degraded:
-                # Acceptance evidence for the planner's EWMA: per request,
-                # the accepted speculated tokens, and whether the accepted
-                # path ended by rejection (its tip still had children in the
-                # fitted tree) rather than by consuming the whole tree.
-                accepted = 0
-                stops = 0
-                for state, tree, result in zip(active, trees, results):
-                    if state.speculator is None:
-                        continue
-                    accepted += result.num_accepted_speculated
-                    if tree.nodes[result.accepted_nodes[-1]].children:
-                        stops += 1
-                self.planner.observe(accepted, stops)
+            if not degraded and not planned_incremental:
+                # Acceptance evidence — only from ticks that actually
+                # speculated: fault-degraded and planned-incremental ticks
+                # ran Algorithm 1, so they must feed neither the router's
+                # per-member estimators nor the planner's global EWMA.  Per
+                # request, the accepted speculated tokens, and whether the
+                # accepted path ended by rejection (its tip still had
+                # children in the fitted tree) rather than by consuming the
+                # whole tree.
+                if self.router is not None:
+                    for state, tree, result in zip(active, trees, results):
+                        if state.speculator is None or state.route is None:
+                            continue
+                        stop = (1 if tree.nodes[result.accepted_nodes[-1]]
+                                .children else 0)
+                        self.router.observe(
+                            state.route,
+                            result.num_accepted_speculated, stop,
+                        )
+                elif plan is not None and plan.speculative:
+                    accepted = 0
+                    stops = 0
+                    for state, tree, result in zip(active, trees, results):
+                        if state.speculator is None:
+                            continue
+                        accepted += result.num_accepted_speculated
+                        if tree.nodes[result.accepted_nodes[-1]].children:
+                            stops += 1
+                    self.planner.observe(accepted, stops)
 
             if degraded:
                 _FALLBACK_TICKS.inc()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import List, Optional, Tuple
 
 from repro.model.config import ModelConfig
@@ -20,6 +20,42 @@ from repro.model.parameters import ParameterStore
 from repro.model.trainer import Trainer, TrainingConfig
 from repro.model.transformer import TransformerLM
 from repro.workloads.corpus import MarkovCorpus
+
+#: Version tag baked into every cache key and checkpoint filename.  Bump it
+#: whenever the key scheme, the spec's field semantics, or the trained
+#: weight layout changes: old checkpoints then simply stop matching any
+#: lookup path instead of being loaded into a mismatched recipe.
+ZOO_SCHEMA_VERSION = 2
+
+#: Spec fields that determine each role's trained weights.  The LLM never
+#: sees the student's architecture or distillation length, so specs that
+#: differ only in SSM fields share one teacher checkpoint — a speculator
+#: pool trains its LLM exactly once.
+_ROLE_FIELDS = {
+    "llm": ("corpus_branching", "corpus_seed", "llm_config", "llm_steps",
+            "seed", "vocab_size"),
+}
+
+
+def _canonical_value(value) -> str:
+    """A stable textual form for cache-key digests.
+
+    ``repr`` is explicitly avoided: dataclass reprs follow declaration
+    order (silently re-keying on field reorder) and float repr depends on
+    the shortest-roundtrip algorithm.  Dataclasses render as sorted
+    ``field=value`` pairs, floats as 17-significant-digit decimals.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{name}={_canonical_value(getattr(value, name))}"
+            for name in sorted(f.name for f in fields(value))
+        )
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, float):
+        return format(value, ".17g")
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical_value(v) for v in value) + "]"
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -59,9 +95,26 @@ class ZooSpec:
         if self.ssm_config.vocab_size != self.vocab_size:
             raise ValueError("ssm_config vocab must match spec vocab")
 
-    def cache_key(self) -> str:
-        """Deterministic key for the on-disk checkpoint."""
-        digest = hashlib.blake2b(repr(self).encode(), digest_size=8)
+    def cache_key(self, role: Optional[str] = None) -> str:
+        """Deterministic key for the on-disk checkpoint.
+
+        Digests an explicit sorted ``field=value`` listing (plus
+        :data:`ZOO_SCHEMA_VERSION`) rather than ``repr(self)``, so the key
+        cannot shift with dataclass field order or float repr, and a field
+        rename changes the key instead of silently aliasing.  With a
+        ``role`` in :data:`_ROLE_FIELDS`, only the fields that determine
+        that role's weights contribute — every student distilled from the
+        same recipe shares its teacher's ``"llm"`` key.
+        """
+        names = _ROLE_FIELDS.get(role) or sorted(
+            f.name for f in fields(self)
+        )
+        parts = [f"schema={ZOO_SCHEMA_VERSION}", f"role={role or 'pair'}"]
+        parts.extend(
+            f"{name}={_canonical_value(getattr(self, name))}"
+            for name in names
+        )
+        digest = hashlib.blake2b("|".join(parts).encode(), digest_size=8)
         return digest.hexdigest()
 
 
@@ -91,13 +144,32 @@ class ModelZoo:
         ssm = self._load_or_distill_ssm(spec, llm)
         return llm, ssm
 
+    def trained_llm(self, spec: ZooSpec) -> TransformerLM:
+        """Just the trained teacher (cached under its role-specific key).
+
+        Pool construction uses this with :meth:`distilled_ssm` so N member
+        specs sharing a teacher recipe train the LLM once.
+        """
+        return self._load_or_train_llm(spec)
+
+    def distilled_ssm(self, spec: ZooSpec,
+                      llm: Optional[TransformerLM] = None) -> TransformerLM:
+        """A distilled student for ``spec`` (cached), given its teacher."""
+        teacher = llm if llm is not None else self._load_or_train_llm(spec)
+        return self._load_or_distill_ssm(spec, teacher)
+
     # -- internals -------------------------------------------------------------------
 
     def _checkpoint_path(self, spec: ZooSpec, role: str) -> Optional[str]:
         if self.cache_dir is None:
             return None
+        # The filename embeds the schema version twice over (the prefix and
+        # the key digest), so checkpoints written under a stale schema never
+        # match a lookup — they are ignored on load and left on disk rather
+        # than deserialized into a mismatched recipe.
         return os.path.join(
-            self.cache_dir, f"zoo-{spec.cache_key()}-{role}.npz"
+            self.cache_dir,
+            f"zoo-v{ZOO_SCHEMA_VERSION}-{spec.cache_key(role)}-{role}.npz",
         )
 
     def _load_or_train_llm(self, spec: ZooSpec) -> TransformerLM:

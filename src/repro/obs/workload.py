@@ -49,6 +49,15 @@ class WorkloadSpec:
             pipeline — speculation budgets re-solved every tick (populates
             ``repro.planner.*`` metrics).  Greedy token output is identical
             either way; only the tree shapes change.
+        pool: Serve with a heterogeneous speculator pool of this many
+            coupled members (alignments stepping down from ``alignment``)
+            routed per request; 0 (default) keeps the single-SSM path.
+            Greedy token output is identical either way — routing only
+            changes which member drafts (populates ``repro.router.*``
+            metrics).
+        router: Routing policy over the pool (``"ucb"``, ``"thompson"``,
+            ``"round_robin"``, or ``"fixed:<member>"``); only consulted
+            when ``pool >= 2``.
     """
 
     dataset: str = "Alpaca"
@@ -63,6 +72,8 @@ class WorkloadSpec:
     fault_rate: float = 0.0
     fault_seed: Optional[int] = None
     planner: bool = False
+    pool: int = 0
+    router: str = "ucb"
 
 
 def _build_toy_pair(alignment: float, seed: int):
@@ -95,7 +106,7 @@ def run_observed_workload(spec: Optional[WorkloadSpec] = None):
     from repro.engine.pipeline import FusedBackend
     from repro.model.arena import BatchArena
     from repro.serving.manager import RequestManager
-    from repro.serving.session import SpeculativeSession
+    from repro.serving.session import SpeculativeSession, make_routed_factory
     from repro.speculate.expansion import ExpansionConfig
     from repro.speculate.speculator import Speculator
     from repro.workloads.arrival import PoissonArrivals, drive_manager
@@ -105,13 +116,31 @@ def run_observed_workload(spec: Optional[WorkloadSpec] = None):
     llm, ssm_factory = _build_toy_pair(spec.alignment, spec.seed)
     arena = BatchArena(llm.config, max_requests=spec.batch)
 
-    def session_factory(request):
-        return SpeculativeSession(
-            request, llm,
-            lambda: Speculator([ssm_factory()],
-                               ExpansionConfig.paper_default()),
-            cache_factory=arena.new_sequence,
+    router = None
+    if spec.pool:
+        from repro.speculate.pool import SpeculatorPool
+        from repro.speculate.router import RouterConfig, SpeculatorRouter
+
+        if spec.pool < 2:
+            raise ValueError("a routed pool needs >= 2 members")
+        sp_pool = SpeculatorPool.coupled_spread(
+            llm, spec.pool, spec.alignment, seed=spec.seed + 1,
+            config=ExpansionConfig.paper_default(),
         )
+        router = SpeculatorRouter(
+            sp_pool, RouterConfig(policy=spec.router, seed=spec.seed)
+        )
+        session_factory = make_routed_factory(
+            llm, sp_pool, router, cache_factory=arena.new_sequence
+        )
+    else:
+        def session_factory(request):
+            return SpeculativeSession(
+                request, llm,
+                lambda: Speculator([ssm_factory()],
+                                   ExpansionConfig.paper_default()),
+                cache_factory=arena.new_sequence,
+            )
 
     injector = None
     if spec.fault_rate > 0:
@@ -132,6 +161,7 @@ def run_observed_workload(spec: Optional[WorkloadSpec] = None):
                              mode=spec.mode),
         injector=injector,
         planner=planner,
+        router=router,
     )
     dataset = make_dataset(spec.dataset, vocab_size=llm.config.vocab_size)
     arrivals = PoissonArrivals(

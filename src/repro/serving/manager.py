@@ -171,6 +171,14 @@ class RequestManager:
             hardware-aware speculation budgets.  Requires a fused
             ``backend`` (per-request serving runs one pipeline per session,
             so there is no batch-wide tick to plan).
+        router: Optional :class:`~repro.speculate.router.SpeculatorRouter`
+            closing the routing feedback loop: each admitted session's
+            pipeline (the shared one under a fused ``backend``, otherwise
+            the session's own, armed at admission) reports per-request
+            acceptance back after every verify.  Pair it with a routed
+            session factory (:func:`~repro.serving.session.make_routed_factory`)
+            so assignments are pinned at admit; preempted requests re-route
+            sticky through the same factory.
     """
 
     def __init__(
@@ -186,6 +194,7 @@ class RequestManager:
         max_session_retries: int = 3,
         fallback_cooldown: int = 3,
         planner: Optional["TreePlanner"] = None,
+        router: Optional["SpeculatorRouter"] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -210,10 +219,11 @@ class RequestManager:
         self.max_session_retries = max_session_retries
         self.fallback_cooldown = fallback_cooldown
         self.planner = planner
+        self.router = router
         self._pipeline = (
             DecodePipeline(backend.model, backend, injector=injector,
                            fallback_cooldown=fallback_cooldown,
-                           planner=planner)
+                           planner=planner, router=router)
             if backend is not None else None
         )
         self.iteration = 0
@@ -694,6 +704,10 @@ class RequestManager:
                 # pipeline (fused serving arms the one shared pipeline).
                 session.attach_injector(self.injector,
                                         self.fallback_cooldown)
+            if self.router is not None and self.backend is None:
+                # Same split for routing feedback: per-request sessions
+                # report acceptance through their own pipelines.
+                session.attach_router(self.router)
             admitted += 1
             _ADMITTED.inc()
             TRACER.event(

@@ -106,6 +106,16 @@ class DecodeSession(ABC):
         if fallback_cooldown is not None:
             self._pipeline.fallback_cooldown = fallback_cooldown
 
+    def attach_router(self, router) -> None:
+        """Arm this session's standalone pipeline with a speculator router.
+
+        Per-request serving has one pipeline per session (fused serving
+        arms the one shared pipeline instead), so the manager calls this at
+        admission; the pipeline then feeds the session's per-tick
+        acceptance back through ``state.route``.
+        """
+        self._pipeline.router = router
+
     def release(self) -> None:
         """Free the session's cache resources (paged caches return their
         blocks to the pool; contiguous caches have nothing to do)."""
@@ -164,3 +174,32 @@ class SpeculativeSession(DecodeSession):
                     verification: VerificationResult) -> List[int]:
         """Phase 2: record the verification outcome and advance state."""
         return self._pipeline.commit(self.state, tree, verification)
+
+
+def make_routed_factory(model: TransformerLM, pool, router,
+                        cache_factory: Callable = None):
+    """A session factory that pins a routed speculator per request at admit.
+
+    The router decides once per request id; the decision is sticky, so a
+    preempted request re-admitted through its resume view (same id) gets
+    the same pool member back and replays its committed prefix under the
+    identical draft distribution.  The assignment rides on
+    ``session.state.route``, which the pipeline uses to feed the request's
+    per-tick acceptance back to the router after each verify.
+
+    Works for both serving modes: per-request managers additionally call
+    :meth:`DecodeSession.attach_router` on the session, fused managers arm
+    the shared pipeline via their ``router=`` argument.
+    """
+
+    def factory(request: Request) -> SpeculativeSession:
+        assignment = router.route(request.request_id, request.prompt)
+        session = SpeculativeSession(
+            request, model,
+            lambda: pool.make_speculator(assignment.member),
+            cache_factory=cache_factory,
+        )
+        session.state.route = assignment
+        return session
+
+    return factory

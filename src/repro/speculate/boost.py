@@ -30,7 +30,10 @@ class BoostTuningReport:
     """Outcome of one boost-tuning run.
 
     Attributes:
-        per_ssm_covered: Samples newly covered by each SSM, in tuning order.
+        per_ssm_covered: Samples newly covered by each SSM, in tuning order
+            (marginal counts: a sample multiple SSMs reproduce is credited
+            only to its first coverer, so ``sum(per_ssm_covered) +
+            uncovered == total_samples`` even for overlapping pools).
         per_ssm_losses: Final distillation loss of each SSM's fine-tune.
         uncovered: Samples no SSM covers after tuning.
         total_samples: Corpus size.
@@ -124,15 +127,16 @@ class BoostTuner:
         SSMs are fine-tuned *in place* (their parameter stores mutate).
         """
         rng = rng or np.random.default_rng(0)
-        prompt_lens = [
-            min(
-                len(np.asarray(p)),
-                self.teacher.config.max_seq_len - self.continuation_len - 1,
-            )
-            for p in prompts
-        ]
         samples = self.generate_targets(prompts)
+        # The prompt/continuation split must come from the generated samples
+        # themselves — the continuation is always the last
+        # ``continuation_len`` tokens.  Re-deriving the truncation rule here
+        # (as this used to) diverged from ``generate_targets`` for
+        # degenerate budgets, silently mis-splitting the sample inside
+        # ``ssm_matches``.
+        prompt_lens = [len(s) - self.continuation_len for s in samples]
         remaining = list(range(len(samples)))
+        covered_by_any: set = set()
         report = BoostTuningReport(total_samples=len(samples))
         for ssm in ssms:
             if not remaining:
@@ -142,14 +146,19 @@ class BoostTuner:
             trainer = Trainer(ssm, self.training)
             train_seqs = [samples[i] for i in remaining]
             run = trainer.distill(self.teacher, train_seqs, rng=rng)
-            covered = [
+            # Marginal coverage only: a sample several SSMs can reproduce is
+            # credited to its first coverer and filtered from every later
+            # SSM's mark step, so overlapping pools cannot double-count —
+            # ``sum(per_ssm_covered) + uncovered == total_samples`` holds by
+            # construction against the union set.
+            newly_covered = [
                 i
                 for i in remaining
                 if self.ssm_matches(ssm, prompt_lens[i], samples[i])
             ]
-            report.per_ssm_covered.append(len(covered))
+            report.per_ssm_covered.append(len(newly_covered))
             report.per_ssm_losses.append(run.final_loss)
-            covered_set = set(covered)
-            remaining = [i for i in remaining if i not in covered_set]
-        report.uncovered = len(remaining)
+            covered_by_any.update(newly_covered)
+            remaining = [i for i in remaining if i not in covered_by_any]
+        report.uncovered = report.total_samples - len(covered_by_any)
         return report

@@ -1,0 +1,253 @@
+"""Heterogeneous speculator pool: N draft models, one estimator each.
+
+SpecInfer's collective-boosting argument (paper section 2.2) trains a
+*pool* of small speculative models so their aggregate coverage of the LLM
+output distribution exceeds any single SSM's.  This module gives that pool
+a serving-side identity: each :class:`PoolMember` couples a draft-model
+factory with its own private
+:class:`~repro.speculate.planner.AcceptanceEstimator`, so acceptance
+evidence from requests served by one member never biases the estimate for
+another — the per-member alphas are exactly what the
+:class:`~repro.speculate.router.SpeculatorRouter` ranks and what the
+:class:`~repro.speculate.planner.TreePlanner` consumes for routed batches.
+
+Construction paths:
+
+* :meth:`SpeculatorPool.from_coupled` — alignment-knob variants of one LLM
+  (:class:`~repro.model.coupled.CoupledSSM`), the cheap substrate the CLI
+  and the observed workload use.
+* :meth:`SpeculatorPool.from_zoo` — genuinely trained members via
+  :class:`~repro.model.zoo.ModelZoo` (one shared teacher, per-member
+  distilled students) with an optional
+  :class:`~repro.speculate.boost.BoostTuner` pass that specializes later
+  members on the samples earlier ones miss.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.speculate.expansion import ExpansionConfig
+from repro.speculate.planner import AcceptanceEstimator
+from repro.speculate.speculator import Speculator
+
+#: Member names become metric-name components (``repro.router.alpha.<name>``),
+#: so they must be lowercase dotless slugs.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@dataclass
+class PoolMember:
+    """One speculator in the pool.
+
+    Attributes:
+        name: Lowercase slug identifying the member (metric/trace key).
+        ssm_factory: Builds a fresh draft model (per-request SSM caches
+            mean speculators cannot be shared across live requests).
+        config: Expansion profile this member speculates with.
+        estimator: The member's private acceptance estimator.
+    """
+
+    name: str
+    ssm_factory: Callable[[], object]
+    config: ExpansionConfig = field(
+        default_factory=ExpansionConfig.paper_default
+    )
+    estimator: AcceptanceEstimator = field(
+        default_factory=AcceptanceEstimator
+    )
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"pool member name {self.name!r} must match "
+                f"{_NAME_RE.pattern} (it becomes a metric-name component)"
+            )
+
+
+class SpeculatorPool:
+    """An ordered, named collection of heterogeneous speculators.
+
+    Member order is the deterministic tie-break order routers iterate in,
+    so two pools constructed from the same sequence behave identically.
+
+    Args:
+        members: At least one :class:`PoolMember`; names must be unique.
+    """
+
+    def __init__(self, members: Sequence[PoolMember]):
+        if not members:
+            raise ValueError("pool needs at least one member")
+        names = [m.name for m in members]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pool member names: {names}")
+        self._members: Dict[str, PoolMember] = {m.name: m for m in members}
+        #: The shared teacher LLM, when the construction path trained one
+        #: (``from_zoo``); ``None`` for externally-built members.
+        self.llm = None
+        #: The :class:`~repro.speculate.boost.BoostTuningReport` from the
+        #: optional boost pass, when ``from_zoo`` ran one.
+        self.boost_report = None
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[PoolMember]:
+        return iter(self._members.values())
+
+    def member(self, name: str) -> PoolMember:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown pool member {name!r}; pool has {self.names}"
+            ) from None
+
+    def make_speculator(self, name: str) -> Speculator:
+        """A fresh :class:`Speculator` for one request, drafted by ``name``."""
+        member = self.member(name)
+        return Speculator([member.ssm_factory()], member.config)
+
+    def estimator_for(self, name: str) -> AcceptanceEstimator:
+        return self.member(name).estimator
+
+    def alpha_for(self, name: str) -> float:
+        """The member's current acceptance-rate estimate."""
+        return self.member(name).estimator.alpha
+
+    def reset_estimators(self) -> None:
+        """Forget all acceptance evidence (back to each member's prior)."""
+        for member in self:
+            member.estimator.reset()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_coupled(
+        cls,
+        llm,
+        alignments: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+        config: Optional[ExpansionConfig] = None,
+        seed: int = 0,
+        noise_scale: float = 2.0,
+    ) -> "SpeculatorPool":
+        """A pool of alignment-knob coupled views of one LLM.
+
+        Member ``i`` drafts with ``CoupledSSM(llm, alignments[i],
+        seed=seed + i)`` — deterministic, distinct draft distributions at
+        zero training cost.  Default names are ``coupled_a<alignment>``
+        style slugs (``coupled_a88`` for 0.88).
+        """
+        from repro.model.coupled import CoupledSSM
+
+        if not alignments:
+            raise ValueError("from_coupled needs at least one alignment")
+        if names is None:
+            names = [
+                f"coupled_{i}_a{int(round(a * 100)):02d}"
+                for i, a in enumerate(alignments)
+            ]
+        if len(names) != len(alignments):
+            raise ValueError("names and alignments must pair up")
+        members = []
+        for i, (name, alignment) in enumerate(zip(names, alignments)):
+            def ssm_factory(a=alignment, s=seed + i):
+                return CoupledSSM(llm, alignment=a, seed=s,
+                                  noise_scale=noise_scale)
+
+            members.append(PoolMember(
+                name=name,
+                ssm_factory=ssm_factory,
+                config=config or ExpansionConfig.paper_default(),
+            ))
+        pool = cls(members)
+        pool.llm = llm
+        return pool
+
+    @classmethod
+    def coupled_spread(
+        cls,
+        llm,
+        size: int,
+        base_alignment: float,
+        seed: int = 0,
+        config: Optional[ExpansionConfig] = None,
+        step: float = 0.15,
+        floor: float = 0.3,
+    ) -> "SpeculatorPool":
+        """``size`` coupled members stepping down in alignment from
+        ``base_alignment`` — the shared recipe behind the ``--pool N``
+        CLI flags and the observed workload's routed mode."""
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        alignments = tuple(
+            round(max(floor, base_alignment - step * i), 6)
+            for i in range(size)
+        )
+        return cls.from_coupled(llm, alignments, config=config, seed=seed)
+
+    @classmethod
+    def from_zoo(
+        cls,
+        specs: Mapping[str, "ZooSpec"],
+        cache_dir: Optional[str] = None,
+        configs: Optional[Mapping[str, ExpansionConfig]] = None,
+        boost_prompts: Optional[Sequence] = None,
+        tuner: Optional["BoostTuner"] = None,
+    ) -> "SpeculatorPool":
+        """Train a pool through the :class:`~repro.model.zoo.ModelZoo`.
+
+        Every spec must describe the *same* teacher (identical
+        ``cache_key("llm")``): the LLM is trained once and each member's
+        student is distilled from it, so differently-sized/seeded students
+        share one teacher exactly like the paper's pool.  With
+        ``boost_prompts``, a :class:`~repro.speculate.boost.BoostTuner`
+        pass then specializes members in mapping order (later members
+        fine-tune on the samples earlier ones miss); the resulting
+        :class:`~repro.speculate.boost.BoostTuningReport` lands on
+        ``pool.boost_report``.
+        """
+        from repro.model.zoo import ModelZoo
+
+        if not specs:
+            raise ValueError("from_zoo needs at least one spec")
+        zoo = ModelZoo(cache_dir=cache_dir)
+        spec_list = list(specs.items())
+        llm_keys = {spec.cache_key("llm") for _, spec in spec_list}
+        if len(llm_keys) > 1:
+            raise ValueError(
+                "all pool specs must share one teacher (identical "
+                "llm-role cache keys); got multiple distinct teachers"
+            )
+        llm = zoo.trained_llm(spec_list[0][1])
+        ssms = {name: zoo.distilled_ssm(spec, llm)
+                for name, spec in spec_list}
+        report = None
+        if boost_prompts is not None:
+            from repro.speculate.boost import BoostTuner
+
+            active_tuner = tuner or BoostTuner(llm)
+            report = active_tuner.tune(list(ssms.values()), boost_prompts)
+        members = []
+        for name, ssm in ssms.items():
+            config = (configs or {}).get(name)
+            members.append(PoolMember(
+                name=name,
+                # The zoo's students are plain models (no per-request
+                # state), so one instance serves every request.
+                ssm_factory=lambda model=ssm: model,
+                config=config or ExpansionConfig.paper_default(),
+            ))
+        pool = cls(members)
+        pool.llm = llm
+        pool.boost_report = report
+        return pool

@@ -1,0 +1,341 @@
+"""Per-request speculator routing: an acceptance-history bandit.
+
+SPIN-style request-level routing over a heterogeneous draft pool: each
+arriving request is assigned one :class:`~repro.speculate.pool.PoolMember`
+for its whole lifetime, and the verified acceptance outcome of every tick
+flows back into a per-``(member, workload-feature)`` arm.  The workload
+feature is the prompt-length bucket — the one request property the five
+dataset generators actually differ on — so the bandit learns *which member
+accepts best for which kind of request*, not just a global ranking.
+
+Policies (``RouterConfig.policy``):
+
+* ``"ucb"`` (default) — prior-smoothed acceptance mean plus an
+  exploration bonus shrinking with per-arm route counts.
+* ``"thompson"`` — one seeded Beta(1+accepted, 1+stops) draw per arm,
+  draws consumed in pool order so replays are deterministic.
+* ``"round_robin"`` — cycles the pool (the ablation baseline).
+* ``"fixed:<member>"`` — constant assignment (the parity baseline).
+
+Determinism contract: routing is a pure function of the construction
+arguments and the route/observe call sequence.  Cold-start assignments
+(no acceptance history in the request's bucket yet) come from a
+``blake2b`` hash of ``(seed, feature)`` rather than the RNG, so the first
+request of each bucket routes identically across runs regardless of how
+many Thompson draws preceded it.  Assignments are *sticky*: re-routing a
+known ``request_id`` (preemption re-admission) returns the pinned
+assignment without consuming randomness or mutating arm state.
+
+Fault interaction mirrors the planner's: the pipeline only calls
+:meth:`SpeculatorRouter.observe` for ticks that actually speculated, and
+``observe`` with zero trials is a no-op, so fallback/suppressed ticks
+neither move member estimators nor touch routing history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import REGISTRY, TRACER
+from repro.speculate.pool import SpeculatorPool
+
+_ASSIGNMENTS = REGISTRY.counter(
+    "repro.router.assignments",
+    help="requests assigned a pool member (sticky re-routes excluded)")
+_COLD_STARTS = REGISTRY.counter(
+    "repro.router.cold_starts",
+    help="assignments made by the prompt-feature fallback (no acceptance "
+         "history in the request's bucket yet)")
+_OBSERVATIONS = REGISTRY.counter(
+    "repro.router.observations",
+    help="per-request acceptance outcomes fed back into routing arms")
+_REGRET = REGISTRY.gauge(
+    "repro.router.regret_proxy",
+    help="cumulative gap between the chosen arm's acceptance estimate and "
+         "the bucket's best estimate at assignment time (0 = always "
+         "picked the current-best member)")
+
+_POLICIES = ("ucb", "thompson", "round_robin")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Routing policy and feature-space knobs.
+
+    Attributes:
+        policy: ``"ucb"``, ``"thompson"``, ``"round_robin"``, or
+            ``"fixed:<member>"``.
+        exploration: UCB bonus scale (ignored by the other policies).
+        length_buckets: Ascending prompt-length boundaries; ``(16, 24)``
+            splits requests into short/medium/long around the dataset
+            generators' mean prompt lengths.
+        seed: Seeds the Thompson RNG and the cold-start hash.
+    """
+
+    policy: str = "ucb"
+    exploration: float = 0.35
+    length_buckets: Tuple[int, ...] = (16, 24)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        base = self.policy.split(":", 1)[0]
+        if base not in _POLICIES and base != "fixed":
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; expected one of "
+                f"{_POLICIES} or 'fixed:<member>'"
+            )
+        if base == "fixed" and ":" not in self.policy:
+            raise ValueError("fixed policy must name a member: 'fixed:<name>'")
+        if self.exploration < 0:
+            raise ValueError("exploration must be >= 0")
+        buckets = list(self.length_buckets)
+        if buckets != sorted(set(buckets)) or any(b < 1 for b in buckets):
+            raise ValueError("length_buckets must be strictly increasing "
+                             "positive ints")
+
+
+@dataclass(frozen=True)
+class RouteAssignment:
+    """One request's pinned routing decision."""
+
+    request_id: int
+    member: str
+    feature: str
+    cold_start: bool = False
+
+
+class _ArmStats:
+    """Acceptance tallies for one (member, feature) arm."""
+
+    __slots__ = ("routes", "accepted", "stops")
+
+    def __init__(self) -> None:
+        self.routes = 0
+        self.accepted = 0
+        self.stops = 0
+
+    @property
+    def trials(self) -> int:
+        return self.accepted + self.stops
+
+    def mean(self, prior: float) -> float:
+        """Acceptance mean smoothed with one pseudo-trial at ``prior``."""
+        return (self.accepted + prior) / (self.trials + 1.0)
+
+
+class SpeculatorRouter:
+    """Routes each request to one pool member and learns from acceptance.
+
+    Args:
+        pool: The :class:`~repro.speculate.pool.SpeculatorPool` to route
+            over.
+        config: Policy and feature knobs; defaults to UCB over
+            prompt-length buckets.
+    """
+
+    def __init__(self, pool: SpeculatorPool,
+                 config: Optional[RouterConfig] = None):
+        self.pool = pool
+        self.config = config or RouterConfig()
+        if self.config.policy.startswith("fixed:"):
+            pool.member(self.config.policy.split(":", 1)[1])  # validate
+        self._rng = np.random.default_rng(self.config.seed)
+        self._arms: Dict[Tuple[str, str], _ArmStats] = {}
+        self._assignments: Dict[int, RouteAssignment] = {}
+        self._history: List[str] = []
+        self._rr_next = 0
+        self._regret = 0.0
+        self._observations = 0
+        #: Exploit-only mode: selection drops exploration bonuses /
+        #: posterior sampling and arms stop accumulating evidence, so a
+        #: converged router can be measured at its steady state.
+        self.frozen = False
+        self._alpha_gauges = {
+            name: REGISTRY.gauge(
+                f"repro.router.alpha.{name}",
+                help=f"acceptance estimate of pool member {name}")
+            for name in pool.names
+        }
+        self._assigned_counters = {
+            name: REGISTRY.counter(
+                f"repro.router.assigned.{name}",
+                help=f"requests routed to pool member {name}")
+            for name in pool.names
+        }
+
+    # -- features ----------------------------------------------------------------
+
+    def feature_key(self, prompt: Sequence[int]) -> str:
+        """The request's workload-feature key (prompt-length bucket)."""
+        length = len(prompt)
+        bucket = 0
+        for boundary in self.config.length_buckets:
+            if length >= boundary:
+                bucket += 1
+        return f"len{bucket}"
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, request_id: int,
+              prompt: Sequence[int]) -> RouteAssignment:
+        """Assign (or return the pinned) member for ``request_id``.
+
+        Sticky: a request re-routed after preemption gets its original
+        assignment back, with no arm/RNG side effects.
+        """
+        existing = self._assignments.get(request_id)
+        if existing is not None:
+            return existing
+        feature = self.feature_key(prompt)
+        member, cold = self._select(feature)
+        assignment = RouteAssignment(
+            request_id=request_id, member=member, feature=feature,
+            cold_start=cold,
+        )
+        self._assignments[request_id] = assignment
+        self._history.append(member)
+        arm = self._arms.setdefault((member, feature), _ArmStats())
+        arm.routes += 1
+        prior = self.pool.estimator_for(member).prior
+        means = {
+            name: self._arm_mean(name, feature, prior)
+            for name in self.pool.names
+        }
+        self._regret += max(means.values()) - means[member]
+        _REGRET.set(round(self._regret, 6))
+        _ASSIGNMENTS.inc()
+        self._assigned_counters[member].inc()
+        if cold:
+            _COLD_STARTS.inc()
+        TRACER.event(
+            "repro.router.route", request=request_id, member=member,
+            feature=feature, cold_start=cold,
+        )
+        return assignment
+
+    def _arm_mean(self, member: str, feature: str, prior: float) -> float:
+        arm = self._arms.get((member, feature))
+        return arm.mean(prior) if arm is not None else prior
+
+    def _select(self, feature: str) -> Tuple[str, bool]:
+        policy = self.config.policy
+        if policy.startswith("fixed:"):
+            return policy.split(":", 1)[1], False
+        names = self.pool.names
+        if policy == "round_robin":
+            member = names[self._rr_next % len(names)]
+            self._rr_next += 1
+            return member, False
+        arms = [self._arms.get((name, feature)) for name in names]
+        if all(arm is None or arm.trials == 0 for arm in arms):
+            return self._cold_member(feature), True
+        best_name = names[0]
+        best_score = -math.inf
+        total_routes = sum(arm.routes for arm in arms if arm is not None)
+        for name, arm in zip(names, arms):
+            prior = self.pool.estimator_for(name).prior
+            mean = arm.mean(prior) if arm is not None else prior
+            if policy == "thompson":
+                accepted = arm.accepted if arm is not None else 0
+                stops = arm.stops if arm is not None else 0
+                if self.frozen:
+                    # Posterior mean: deterministic exploit-only ranking.
+                    score = (1.0 + accepted) / (2.0 + accepted + stops)
+                else:
+                    score = float(self._rng.beta(1.0 + accepted,
+                                                 1.0 + stops))
+            else:  # ucb
+                routes = arm.routes if arm is not None else 0
+                bonus = 0.0 if self.frozen else (
+                    self.config.exploration
+                    * math.sqrt(math.log(total_routes + 1.0)
+                                / (routes + 1.0))
+                )
+                score = mean + bonus
+            # Strict improvement only: ties break to pool order.
+            if score > best_score + 1e-12:
+                best_name, best_score = name, score
+        return best_name, False
+
+    def _cold_member(self, feature: str) -> str:
+        """Prompt-feature fallback: a pure hash of ``(seed, feature)``.
+
+        Independent of the RNG stream and of arrival order, so the first
+        request of each bucket routes identically across runs; distinct
+        buckets spread across the pool instead of all hitting member 0.
+        """
+        names = self.pool.names
+        digest = hashlib.blake2b(
+            f"{self.config.seed}:{feature}".encode(), digest_size=8
+        ).digest()
+        return names[int.from_bytes(digest, "big") % len(names)]
+
+    # -- feedback ----------------------------------------------------------------
+
+    def observe(self, assignment: RouteAssignment, accepted: int,
+                stops: int) -> None:
+        """Feed one tick's acceptance outcome back into the routing arm
+        and the member's estimator.
+
+        Zero-trial calls are no-ops (mirroring
+        :meth:`~repro.speculate.planner.AcceptanceEstimator.observe`), and
+        a frozen router records nothing — measurement runs leave the
+        learned state untouched.
+        """
+        if accepted < 0 or stops < 0:
+            raise ValueError("accepted/stops must be >= 0")
+        if accepted + stops == 0 or self.frozen:
+            return
+        arm = self._arms.setdefault(
+            (assignment.member, assignment.feature), _ArmStats()
+        )
+        arm.accepted += accepted
+        arm.stops += stops
+        self.pool.estimator_for(assignment.member).observe(accepted, stops)
+        self._observations += 1
+        _OBSERVATIONS.inc()
+        self._alpha_gauges[assignment.member].set(
+            round(self.pool.alpha_for(assignment.member), 6)
+        )
+
+    def alpha_for(self, member: str) -> float:
+        """The member's current acceptance estimate (for planner input)."""
+        return self.pool.alpha_for(member)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Enter exploit-only mode (no exploration, no learning)."""
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        self.frozen = False
+
+    def forget(self, request_id: int) -> None:
+        """Drop a finished request's pinned assignment (bounded memory for
+        long-lived routers); learned arm state is kept."""
+        self._assignments.pop(request_id, None)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def assignment_history(self) -> Tuple[str, ...]:
+        """Member names in assignment order (sticky re-routes excluded)."""
+        return tuple(self._history)
+
+    @property
+    def observations(self) -> int:
+        """Ticks of acceptance evidence recorded so far."""
+        return self._observations
+
+    @property
+    def regret_proxy(self) -> float:
+        return self._regret
+
+    def assignment_for(self, request_id: int) -> Optional[RouteAssignment]:
+        return self._assignments.get(request_id)

@@ -1,0 +1,173 @@
+"""Routed pipeline: per-member feedback, fault guards, planner override."""
+
+import numpy as np
+import pytest
+
+from repro.engine.generation import GenerationConfig
+from repro.engine.pipeline import DecodePipeline, DecodeState, FusedBackend
+from repro.faults import FaultInjector
+from repro.obs import REGISTRY, reset_observability
+from repro.speculate.planner import TreePlanner
+from repro.speculate.pool import SpeculatorPool
+from repro.speculate.router import RouterConfig, SpeculatorRouter
+from tests.conftest import make_prompt
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_observability()
+    yield
+
+
+def make_routed(llm, n=3, max_new_tokens=10, policy="round_robin"):
+    """A pool, its router, and ``n`` states already routed and pinned."""
+    pool = SpeculatorPool.from_coupled(
+        llm, (0.9, 0.7, 0.5), names=("strong", "medium", "weak")
+    )
+    router = SpeculatorRouter(pool, RouterConfig(policy=policy, seed=0))
+    states = []
+    for i in range(n):
+        rng = np.random.default_rng(100 + i)
+        prompt = make_prompt(rng, length=5)
+        assignment = router.route(i, prompt)
+        state = DecodeState(
+            llm, prompt,
+            GenerationConfig(max_new_tokens=max_new_tokens, seed=i),
+            speculator=pool.make_speculator(assignment.member),
+        )
+        state.route = assignment
+        states.append(state)
+    return pool, router, states
+
+
+def drain(pipeline, states):
+    while not all(s.finished for s in states):
+        pipeline.tick([s for s in states])
+    return [list(s.tokens) for s in states]
+
+
+class TestRoutedFeedback:
+    def test_route_defaults_to_none(self, llm, rng):
+        state = DecodeState(llm, make_prompt(rng),
+                            GenerationConfig(max_new_tokens=4))
+        assert state.route is None
+
+    def test_acceptance_flows_to_the_assigned_members(self, llm):
+        pool, router, states = make_routed(llm)
+        priors = {name: pool.alpha_for(name) for name in pool.names}
+        drain(DecodePipeline(llm, FusedBackend(llm), router=router), states)
+        assert router.observations > 0
+        # Round-robin over 3 states touched every member exactly once, so
+        # every estimator moved off its prior with member-private evidence.
+        for name in pool.names:
+            assert pool.estimator_for(name).observations > 0
+            assert pool.alpha_for(name) != priors[name]
+
+    def test_routed_run_matches_unrouted_tokens(self, llm):
+        """Routing changes who drafts, never what greedy verification
+        emits: token-for-token parity with the plain pipeline."""
+        from repro.model.coupled import CoupledSSM
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        _, router, routed_states = make_routed(llm)
+        routed = drain(
+            DecodePipeline(llm, FusedBackend(llm), router=router),
+            routed_states,
+        )
+        plain_states = []
+        for i in range(3):
+            rng = np.random.default_rng(100 + i)
+            plain_states.append(DecodeState(
+                llm, make_prompt(rng, length=5),
+                GenerationConfig(max_new_tokens=10, seed=i),
+                speculator=Speculator(
+                    [CoupledSSM(llm, alignment=0.9, seed=7,
+                                noise_scale=2.0)],
+                    ExpansionConfig.paper_default(),
+                ),
+            ))
+        plain = drain(DecodePipeline(llm, FusedBackend(llm)), plain_states)
+        assert routed == plain
+
+
+class TestFaultGuards:
+    def test_fault_degraded_ticks_observe_nothing(self, llm):
+        """A speculation fault runs the tick incrementally: no router
+        observation, no member-estimator drift — exactly the global
+        planner's skip, per member."""
+        pool, router, states = make_routed(llm)
+        priors = {name: pool.alpha_for(name) for name in pool.names}
+        pipeline = DecodePipeline(
+            llm, FusedBackend(llm), router=router,
+            injector=FaultInjector(rate=1.0, seed=3), fallback_cooldown=2,
+        )
+        pipeline.tick(states)
+        assert pipeline.speculation_suppressed
+        assert router.observations == 0
+        for name in pool.names:
+            assert pool.alpha_for(name) == priors[name]
+            assert pool.estimator_for(name).observations == 0
+
+    def test_suppressed_ticks_observe_nothing(self, llm):
+        pool, router, states = make_routed(llm)
+        pipeline = DecodePipeline(llm, FusedBackend(llm), router=router)
+        pipeline._fallback_remaining = 3
+        pipeline.tick(states)
+        assert router.observations == 0
+        assert REGISTRY.get("repro.router.observations").value == 0
+
+    def test_fault_ticks_keep_assignments_pinned(self, llm):
+        """Fallback must not reset routing history: the sticky assignment
+        survives and no new assignment is minted afterwards."""
+        pool, router, states = make_routed(llm)
+        history = router.assignment_history
+        pipeline = DecodePipeline(
+            llm, FusedBackend(llm), router=router,
+            injector=FaultInjector(rate=1.0, seed=3), fallback_cooldown=1,
+        )
+        pipeline.tick(states)
+        assert router.assignment_history == history
+        for i, state in enumerate(states):
+            assert router.assignment_for(i) is state.route
+
+
+class TestPlannerOverride:
+    def test_plan_uses_mean_routed_alpha(self, llm):
+        pool, router, states = make_routed(llm)
+        # Push the member estimates apart so the routed mean is
+        # distinguishable from the planner's global prior.
+        pool.estimator_for("strong").observe(9, 1)
+        pool.estimator_for("medium").observe(5, 5)
+        pool.estimator_for("weak").observe(1, 9)
+        expected = round(
+            sum(router.alpha_for(s.route.member) for s in states)
+            / len(states), 6,
+        )
+        planner = TreePlanner.default()
+        assert expected != round(planner.estimator.alpha, 6)
+        pipeline = DecodePipeline(llm, FusedBackend(llm), router=router,
+                                  planner=planner)
+        pipeline.tick(states)
+        assert REGISTRY.get("repro.planner.alpha").value == expected
+
+    def test_unrouted_states_fall_back_to_global_estimator(self, llm, rng):
+        from repro.model.coupled import CoupledSSM
+        from repro.speculate.expansion import ExpansionConfig
+        from repro.speculate.speculator import Speculator
+
+        pool, router, _ = make_routed(llm, n=1)
+        planner = TreePlanner.default()
+        state = DecodeState(
+            llm, make_prompt(rng, length=5),
+            GenerationConfig(max_new_tokens=6),
+            speculator=Speculator(
+                [CoupledSSM(llm, alignment=0.9, seed=7, noise_scale=2.0)],
+                ExpansionConfig.paper_default(),
+            ),
+        )
+        pipeline = DecodePipeline(llm, FusedBackend(llm), router=router,
+                                  planner=planner)
+        global_alpha = round(planner.estimator.alpha, 6)
+        pipeline.tick([state])
+        assert REGISTRY.get("repro.planner.alpha").value == global_alpha

@@ -1,0 +1,70 @@
+"""Routed pool behind the async gateway: pinned at admit, fed on verify."""
+
+import asyncio
+
+import numpy as np
+
+from repro.engine.generation import GenerationConfig
+from repro.engine.pipeline import FusedBackend
+from repro.obs import reset_observability
+from repro.serving.gateway import ServingGateway
+from repro.serving.manager import RequestManager
+from repro.serving.session import make_routed_factory
+from repro.speculate.pool import SpeculatorPool
+from repro.speculate.router import RouterConfig, SpeculatorRouter
+from tests.conftest import make_prompt
+
+
+def build_routed_manager(llm, batch=4):
+    pool = SpeculatorPool.from_coupled(
+        llm, (0.9, 0.7, 0.5), names=("strong", "medium", "weak")
+    )
+    router = SpeculatorRouter(pool, RouterConfig(policy="ucb", seed=5))
+    manager = RequestManager(
+        make_routed_factory(llm, pool, router),
+        max_batch_size=batch,
+        backend=FusedBackend(llm, rng=np.random.default_rng(3)),
+        router=router,
+    )
+    return manager, router
+
+
+class TestRoutedGateway:
+    async def test_gateway_requests_are_routed_and_lossless(self, llm, rng):
+        """Admission through the gateway pins one pool member per request
+        and the verify loop feeds acceptance back; tokens match the plain
+        single-SSM gateway run bit-for-bit."""
+        from tests.gateway.conftest import build_manager
+
+        prompts = [[int(t) for t in make_prompt(rng, length=4 + 3 * i)]
+                   for i in range(4)]
+        config = GenerationConfig(max_new_tokens=6, stop_on_eos=False)
+
+        reset_observability()
+        manager, router = build_routed_manager(llm)
+        gateway = ServingGateway(manager)
+        await gateway.start()
+        try:
+            streams = await asyncio.gather(
+                *[gateway.submit(p, config) for p in prompts]
+            )
+            routed = await asyncio.gather(
+                *[s.collect() for s in streams]
+            )
+        finally:
+            await gateway.stop()
+        assert len(router.assignment_history) == len(prompts)
+        assert router.observations > 0
+
+        plain_gateway = ServingGateway(build_manager(llm))
+        await plain_gateway.start()
+        try:
+            streams = await asyncio.gather(
+                *[plain_gateway.submit(p, config) for p in prompts]
+            )
+            plain = await asyncio.gather(
+                *[s.collect() for s in streams]
+            )
+        finally:
+            await plain_gateway.stop()
+        assert routed == plain

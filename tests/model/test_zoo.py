@@ -26,6 +26,29 @@ class TestZooSpec:
         assert a.cache_key() == b.cache_key()
         assert a.cache_key() != c.cache_key()
 
+    def test_llm_role_key_ignores_student_fields(self):
+        """Specs differing only in SSM fields share a teacher key (the
+        pool trains its LLM once) while their pair/ssm keys diverge."""
+        a = ZooSpec(distill_steps=10)
+        b = ZooSpec(
+            distill_steps=99,
+            ssm_config=ModelConfig(vocab_size=64, d_model=8, n_layers=1,
+                                   n_heads=2, max_seq_len=128),
+        )
+        assert a.cache_key("llm") == b.cache_key("llm")
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key("ssm") != b.cache_key("ssm")
+
+    def test_llm_role_key_tracks_teacher_fields(self):
+        a = ZooSpec(llm_steps=10)
+        b = ZooSpec(llm_steps=20)
+        assert a.cache_key("llm") != b.cache_key("llm")
+
+    def test_roles_never_alias(self):
+        spec = ZooSpec()
+        assert len({spec.cache_key(), spec.cache_key("llm"),
+                    spec.cache_key("ssm")}) == 3
+
 
 class TestModelZoo:
     @pytest.fixture(scope="class")
@@ -93,3 +116,37 @@ class TestModelZoo:
         tiny = ZooSpec(llm_steps=3, distill_steps=3)
         llm, ssm = zoo.trained_pair(tiny)
         assert llm.num_parameters() > 0
+
+    def test_checkpoint_names_carry_schema_version(self, pair):
+        from repro.model.zoo import ZOO_SCHEMA_VERSION
+
+        _, cache_dir, _, _ = pair
+        for name in os.listdir(cache_dir):
+            assert name.startswith(f"zoo-v{ZOO_SCHEMA_VERSION}-")
+
+    def test_stale_schema_checkpoints_are_ignored(self, tmp_path):
+        """A checkpoint written under an older key scheme (pre-versioned
+        filename, repr-based digest) must never satisfy a lookup: the zoo
+        retrains and writes a fresh versioned file, leaving the stale one
+        untouched rather than deserializing it into the new recipe."""
+        cache_dir = str(tmp_path)
+        tiny = ZooSpec(llm_steps=3, distill_steps=3)
+        stale_names = [
+            f"zoo-{tiny.cache_key('llm')}-llm.npz",  # unversioned prefix
+            "zoo-v1-0011223344556677-llm.npz",       # old schema version
+        ]
+        for name in stale_names:
+            with open(os.path.join(cache_dir, name), "wb") as fh:
+                fh.write(b"not a checkpoint")
+        zoo = ModelZoo(cache_dir=cache_dir)
+        llm, _ = zoo.trained_pair(tiny)  # would crash if it loaded garbage
+        assert llm.num_parameters() > 0
+        files = set(os.listdir(cache_dir))
+        assert set(stale_names) <= files  # left on disk, never matched
+        from repro.model.zoo import ZOO_SCHEMA_VERSION
+
+        fresh = [f for f in files - set(stale_names)
+                 if f.endswith("-llm.npz")]
+        assert fresh == [
+            f"zoo-v{ZOO_SCHEMA_VERSION}-{tiny.cache_key('llm')}-llm.npz"
+        ]

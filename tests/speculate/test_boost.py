@@ -75,6 +75,44 @@ class TestBoostTuner:
         assert after >= before
         assert 0.0 <= report.coverage <= 1.0
 
+    def test_overlapping_coverage_not_double_counted(self, teacher, prompts):
+        """ISSUE regression: two SSMs whose competence overlaps (A covers
+        samples {0,1}, B covers {1,2} of 4) must credit the shared sample
+        to its first coverer only — per_ssm_covered [2, 1], uncovered 1,
+        and the marginal-count invariant intact.  Before the fix the
+        overlap could be double-counted across the per-SSM tallies."""
+        ssm_a = TransformerLM(STUDENT_CONFIG, seed=20)
+        ssm_b = TransformerLM(STUDENT_CONFIG, seed=21)
+        coverage = {id(ssm_a): {0, 1}, id(ssm_b): {1, 2}}
+
+        class ScriptedTuner(BoostTuner):
+            def ssm_matches(self, ssm, prompt_len, sample):
+                index = next(
+                    i for i, s in enumerate(self._samples)
+                    if s is sample
+                )
+                return index in coverage[id(ssm)]
+
+        tuner = ScriptedTuner(
+            teacher, continuation_len=2, match_len=1,
+            training=TrainingConfig(max_steps=1),
+        )
+        four_prompts = prompts[:4]
+        tuner._samples = tuner.generate_targets(four_prompts)
+        original = tuner.generate_targets
+
+        # Pin tune() to the pre-generated samples so identity lookups in
+        # the scripted ssm_matches line up.
+        tuner.generate_targets = lambda _prompts: tuner._samples
+
+        report = tuner.tune([ssm_a, ssm_b], four_prompts)
+        tuner.generate_targets = original
+        assert report.per_ssm_covered == [2, 1]
+        assert report.uncovered == 1
+        assert report.coverage == 0.75
+        assert (sum(report.per_ssm_covered) + report.uncovered
+                == report.total_samples == 4)
+
     def test_later_ssm_sees_filtered_samples(self, teacher, prompts):
         """With an oracle first SSM, the second SSM gets nothing to cover."""
         oracle = teacher  # matches everything

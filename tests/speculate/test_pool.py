@@ -1,0 +1,156 @@
+"""Tests for the heterogeneous speculator pool."""
+
+import os
+
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.zoo import ZooSpec
+from repro.speculate.expansion import ExpansionConfig
+from repro.speculate.pool import PoolMember, SpeculatorPool
+from repro.speculate.speculator import Speculator
+
+
+def coupled_pool(llm, alignments=(0.9, 0.6), seed=0):
+    return SpeculatorPool.from_coupled(llm, alignments, seed=seed)
+
+
+class TestPoolMember:
+    def test_rejects_bad_names(self, ssm):
+        for bad in ("", "Upper", "has-dash", "has.dot", "0leading", "a b"):
+            with pytest.raises(ValueError, match="member name"):
+                PoolMember(name=bad, ssm_factory=lambda: ssm)
+
+    def test_accepts_slug_names(self, ssm):
+        member = PoolMember(name="short_expert_2", ssm_factory=lambda: ssm)
+        assert member.config == ExpansionConfig.paper_default()
+
+
+class TestSpeculatorPool:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SpeculatorPool([])
+
+    def test_rejects_duplicate_names(self, ssm):
+        members = [PoolMember(name="a", ssm_factory=lambda: ssm),
+                   PoolMember(name="a", ssm_factory=lambda: ssm)]
+        with pytest.raises(ValueError, match="duplicate"):
+            SpeculatorPool(members)
+
+    def test_unknown_member_lookup_names_the_pool(self, llm):
+        pool = coupled_pool(llm)
+        with pytest.raises(KeyError, match="coupled_0_a90"):
+            pool.member("nope")
+
+    def test_order_and_names(self, llm):
+        pool = coupled_pool(llm, alignments=(0.9, 0.6, 0.4))
+        assert pool.names == ("coupled_0_a90", "coupled_1_a60",
+                              "coupled_2_a40")
+        assert len(pool) == 3
+        assert [m.name for m in pool] == list(pool.names)
+
+    def test_make_speculator_returns_fresh_instances(self, llm):
+        pool = coupled_pool(llm)
+        a = pool.make_speculator("coupled_0_a90")
+        b = pool.make_speculator("coupled_0_a90")
+        assert isinstance(a, Speculator)
+        assert a is not b
+        assert a.ssms[0] is not b.ssms[0]
+
+    def test_estimators_are_private_per_member(self, llm):
+        pool = coupled_pool(llm)
+        before = pool.alpha_for("coupled_1_a60")
+        pool.estimator_for("coupled_0_a90").observe(8, 0)
+        assert pool.alpha_for("coupled_0_a90") > before
+        assert pool.alpha_for("coupled_1_a60") == before
+        pool.reset_estimators()
+        assert pool.alpha_for("coupled_0_a90") == before
+
+    def test_from_coupled_validates_inputs(self, llm):
+        with pytest.raises(ValueError, match="alignment"):
+            SpeculatorPool.from_coupled(llm, [])
+        with pytest.raises(ValueError, match="pair up"):
+            SpeculatorPool.from_coupled(llm, [0.9, 0.6], names=["only_one"])
+
+    def test_coupled_spread_is_deterministic(self, llm):
+        a = SpeculatorPool.coupled_spread(llm, 3, 0.88, seed=5)
+        b = SpeculatorPool.coupled_spread(llm, 3, 0.88, seed=5)
+        assert a.names == b.names
+        prompt = [3, 5, 7, 9]
+        spec_a = a.make_speculator(a.names[1])
+        spec_b = b.make_speculator(b.names[1])
+        assert spec_a.ssms[0].alignment == spec_b.ssms[0].alignment
+
+    def test_coupled_spread_floors_alignment(self, llm):
+        pool = SpeculatorPool.coupled_spread(llm, 4, 0.5, step=0.2,
+                                             floor=0.3)
+        alignments = [m.ssm_factory().alignment for m in pool]
+        assert alignments == [0.5, 0.3, 0.3, 0.3]
+
+
+ZOO_LLM_CONFIG = ModelConfig(vocab_size=32, d_model=32, n_layers=2,
+                             n_heads=4, max_seq_len=64, name="pool-zoo-llm")
+ZOO_SSM_A = ModelConfig(vocab_size=32, d_model=16, n_layers=1, n_heads=2,
+                        max_seq_len=64, name="pool-zoo-ssm-a")
+ZOO_SSM_B = ModelConfig(vocab_size=32, d_model=8, n_layers=1, n_heads=2,
+                        max_seq_len=64, name="pool-zoo-ssm-b")
+
+
+def zoo_spec(ssm_config, distill_steps=15):
+    return ZooSpec(vocab_size=32, llm_config=ZOO_LLM_CONFIG,
+                   ssm_config=ssm_config, llm_steps=25,
+                   distill_steps=distill_steps)
+
+
+class TestFromZoo:
+    def test_rejects_empty_and_mismatched_teachers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SpeculatorPool.from_zoo({})
+        mismatched = {
+            "a": zoo_spec(ZOO_SSM_A),
+            "b": ZooSpec(vocab_size=32, llm_config=ZOO_LLM_CONFIG,
+                         ssm_config=ZOO_SSM_B, llm_steps=30,
+                         distill_steps=15),
+        }
+        with pytest.raises(ValueError, match="share one teacher"):
+            SpeculatorPool.from_zoo(mismatched)
+
+    def test_members_share_one_trained_teacher(self, tmp_path):
+        """Two member specs differing only in SSM fields train the LLM
+        once: exactly one llm checkpoint lands in the cache."""
+        cache_dir = str(tmp_path)
+        pool = SpeculatorPool.from_zoo(
+            {"wide": zoo_spec(ZOO_SSM_A), "narrow": zoo_spec(ZOO_SSM_B)},
+            cache_dir=cache_dir,
+        )
+        assert pool.names == ("wide", "narrow")
+        assert pool.llm is not None
+        assert pool.boost_report is None
+        llm_files = [f for f in os.listdir(cache_dir)
+                     if f.endswith("-llm.npz")]
+        ssm_files = [f for f in os.listdir(cache_dir)
+                     if f.endswith("-ssm.npz")]
+        assert len(llm_files) == 1
+        assert len(ssm_files) == 2
+        wide = pool.make_speculator("wide").ssms[0]
+        narrow = pool.make_speculator("narrow").ssms[0]
+        assert wide.config.d_model != narrow.config.d_model
+
+    def test_boost_pass_reports_coverage(self, tmp_path):
+        from repro.model.trainer import TrainingConfig
+        from repro.speculate.boost import BoostTuner
+        from repro.workloads.corpus import MarkovCorpus
+
+        prompts = MarkovCorpus(vocab_size=32, branching=3,
+                               seed=4).sample_many(4, 8)
+        specs = {"wide": zoo_spec(ZOO_SSM_A),
+                 "narrow": zoo_spec(ZOO_SSM_B)}
+        pool = SpeculatorPool.from_zoo(
+            specs, cache_dir=str(tmp_path), boost_prompts=prompts,
+            tuner=None,
+        )
+        report = pool.boost_report
+        assert report is not None
+        assert report.total_samples == len(prompts)
+        assert (sum(report.per_ssm_covered) + report.uncovered
+                == report.total_samples)

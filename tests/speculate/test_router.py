@@ -1,0 +1,217 @@
+"""Tests for the per-request speculator router (acceptance bandit)."""
+
+import pytest
+
+from repro.obs import REGISTRY, reset_observability
+from repro.speculate.pool import SpeculatorPool
+from repro.speculate.router import (
+    RouteAssignment,
+    RouterConfig,
+    SpeculatorRouter,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_observability()
+    yield
+
+
+@pytest.fixture()
+def pool(llm):
+    return SpeculatorPool.from_coupled(
+        llm, (0.9, 0.6, 0.4), names=("strong", "medium", "weak")
+    )
+
+
+def make_router(pool, **kwargs):
+    return SpeculatorRouter(pool, RouterConfig(**kwargs))
+
+
+def short_prompt():
+    return [1] * 4
+
+
+def long_prompt():
+    return [1] * 30
+
+
+class TestRouterConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            RouterConfig(policy="greedy")
+
+    def test_rejects_anonymous_fixed(self):
+        with pytest.raises(ValueError, match="fixed"):
+            RouterConfig(policy="fixed")
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError, match="length_buckets"):
+            RouterConfig(length_buckets=(24, 16))
+        with pytest.raises(ValueError, match="length_buckets"):
+            RouterConfig(length_buckets=(0, 8))
+
+    def test_rejects_negative_exploration(self):
+        with pytest.raises(ValueError, match="exploration"):
+            RouterConfig(exploration=-0.1)
+
+    def test_fixed_member_validated_against_pool(self, pool):
+        with pytest.raises(KeyError):
+            SpeculatorRouter(pool, RouterConfig(policy="fixed:nope"))
+
+
+class TestFeatures:
+    def test_length_bucketing(self, pool):
+        router = make_router(pool, length_buckets=(16, 24))
+        assert router.feature_key([1] * 4) == "len0"
+        assert router.feature_key([1] * 15) == "len0"
+        assert router.feature_key([1] * 16) == "len1"
+        assert router.feature_key([1] * 23) == "len1"
+        assert router.feature_key([1] * 24) == "len2"
+        assert router.feature_key([1] * 100) == "len2"
+
+
+class TestRouting:
+    def test_assignment_is_sticky(self, pool):
+        router = make_router(pool)
+        first = router.route(1, short_prompt())
+        again = router.route(1, long_prompt())  # re-admit, even new prompt
+        assert again is first
+        assert router.assignment_history == (first.member,)
+        assert router.assignment_for(1) is first
+        router.forget(1)
+        assert router.assignment_for(1) is None
+
+    @pytest.mark.parametrize("policy", ["ucb", "thompson"])
+    def test_cold_start_is_seed_determined(self, pool, policy):
+        a = make_router(pool, policy=policy, seed=3)
+        b = make_router(pool, policy=policy, seed=3)
+        ra = a.route(1, short_prompt())
+        rb = b.route(99, short_prompt())  # different id, same feature
+        assert ra.cold_start and rb.cold_start
+        assert ra.member == rb.member
+        assert REGISTRY.get("repro.router.cold_starts").value == 2
+
+    def test_distinct_buckets_can_cold_start_differently(self, pool):
+        router = make_router(pool, seed=0)
+        members = {
+            router._cold_member(f"len{i}") for i in range(8)
+        }
+        assert len(members) > 1
+
+    @pytest.mark.parametrize("policy", ["ucb", "thompson"])
+    def test_same_seed_same_history(self, pool, llm, policy):
+        """Two identically-configured routers replay the same route/observe
+        sequence into byte-identical assignment histories."""
+        other_pool = SpeculatorPool.from_coupled(
+            llm, (0.9, 0.6, 0.4), names=("strong", "medium", "weak")
+        )
+        a = make_router(pool, policy=policy, seed=7)
+        b = make_router(other_pool, policy=policy, seed=7)
+        for router in (a, b):
+            for i in range(30):
+                prompt = short_prompt() if i % 2 else long_prompt()
+                assignment = router.route(i, prompt)
+                # Acceptance favours `strong` regardless of bucket.
+                accepted = 3 if assignment.member == "strong" else 1
+                router.observe(assignment, accepted, 1)
+        assert a.assignment_history == b.assignment_history
+
+    def test_ucb_converges_to_best_arm(self, pool):
+        router = make_router(pool, policy="ucb", exploration=0.2, seed=0)
+        feature = router.feature_key(short_prompt())
+        for member, accepted in (("strong", 9), ("medium", 2), ("weak", 1)):
+            router.observe(
+                RouteAssignment(request_id=-1, member=member,
+                                feature=feature),
+                accepted, 1,
+            )
+        routes = [router.route(100 + i, short_prompt()).member
+                  for i in range(8)]
+        assert routes.count("strong") >= 6
+        assert not any(
+            router.assignment_for(100 + i).cold_start for i in range(8)
+        )
+
+    def test_round_robin_cycles_pool_order(self, pool):
+        router = make_router(pool, policy="round_robin")
+        routes = [router.route(i, short_prompt()).member for i in range(6)]
+        assert routes == ["strong", "medium", "weak"] * 2
+
+    def test_fixed_policy_always_routes_to_member(self, pool):
+        router = make_router(pool, policy="fixed:medium")
+        routes = {router.route(i, short_prompt()).member for i in range(5)}
+        assert routes == {"medium"}
+
+    def test_regret_proxy_grows_when_ignoring_best(self, pool):
+        router = make_router(pool, policy="fixed:weak")
+        feature = router.feature_key(short_prompt())
+        router.observe(
+            RouteAssignment(request_id=-1, member="strong",
+                            feature=feature),
+            9, 1,
+        )
+        assert router.regret_proxy == 0.0
+        router.route(1, short_prompt())
+        assert router.regret_proxy > 0.0
+        assert (REGISTRY.get("repro.router.regret_proxy").value
+                == round(router.regret_proxy, 6))
+
+
+class TestObserve:
+    def test_rejects_negative_evidence(self, pool):
+        router = make_router(pool)
+        assignment = router.route(1, short_prompt())
+        with pytest.raises(ValueError):
+            router.observe(assignment, -1, 0)
+
+    def test_zero_trial_observe_is_noop(self, pool):
+        router = make_router(pool)
+        assignment = router.route(1, short_prompt())
+        alpha = router.alpha_for(assignment.member)
+        router.observe(assignment, 0, 0)
+        assert router.observations == 0
+        assert router.alpha_for(assignment.member) == alpha
+        assert REGISTRY.get("repro.router.observations").value == 0
+
+    def test_observe_moves_only_the_assigned_member(self, pool):
+        router = make_router(pool)
+        assignment = router.route(1, short_prompt())
+        others = [n for n in pool.names if n != assignment.member]
+        before = {n: router.alpha_for(n) for n in pool.names}
+        router.observe(assignment, 4, 0)
+        assert router.alpha_for(assignment.member) > before[assignment.member]
+        for name in others:
+            assert router.alpha_for(name) == before[name]
+        assert router.observations == 1
+        gauge = REGISTRY.get(f"repro.router.alpha.{assignment.member}")
+        assert gauge.value == round(router.alpha_for(assignment.member), 6)
+
+    def test_frozen_router_neither_learns_nor_explores(self, pool):
+        router = make_router(pool, policy="ucb", seed=1)
+        feature = router.feature_key(short_prompt())
+        router.observe(
+            RouteAssignment(request_id=-1, member="strong",
+                            feature=feature),
+            9, 1,
+        )
+        router.freeze()
+        before = router.observations
+        assignment = router.route(1, short_prompt())
+        assert assignment.member == "strong"
+        alpha = router.alpha_for("strong")
+        router.observe(assignment, 5, 0)
+        assert router.alpha_for("strong") == alpha
+        assert router.observations == before
+        router.unfreeze()
+        router.observe(assignment, 5, 0)
+        assert router.observations == before + 1
+
+    def test_assignment_metrics_count_routes(self, pool):
+        router = make_router(pool, policy="round_robin")
+        for i in range(4):
+            router.route(i, short_prompt())
+        router.route(0, short_prompt())  # sticky: not re-counted
+        assert REGISTRY.get("repro.router.assignments").value == 4
+        assert REGISTRY.get("repro.router.assigned.strong").value == 2
+        assert REGISTRY.get("repro.router.assigned.medium").value == 1
